@@ -1,0 +1,200 @@
+// Extension (Section 6, "Effect of last mile"): the paper's cloud vantage
+// points are too clean; it calls for QoE analysis under realistic last-mile
+// conditions — bursty loss, jitter, and *dynamic* bandwidth variation, not
+// just static caps. Three experiments on a two-party Zoom call:
+//
+//  E1. Loss burstiness at a fixed average rate: Bernoulli vs Gilbert–Elliott
+//      with increasing burst lengths. For a codec whose frames span several
+//      packets, *independent* loss is the worst case — nearly every frame
+//      loses at least one fragment — while bursts concentrate the same
+//      average damage into fewer frames, so QoE recovers with burst length.
+//  E2. Last-mile jitter: raising path jitter inflates lag percentiles but
+//      barely touches QoE (frames reassemble regardless of intra-frame
+//      ordering).
+//  E3. Dynamic bandwidth: an oscillating cap vs a static cap with the same
+//      time average; adaptation lag makes oscillation strictly worse.
+#include <cstdio>
+#include <memory>
+
+#include "bench/bench_util.h"
+#include "capture/rate_analyzer.h"
+#include "client/media_feeder.h"
+#include "client/recorder.h"
+#include "client/vca_client.h"
+#include "media/align.h"
+#include "media/feeds.h"
+#include "media/qoe/video_metrics.h"
+#include "net/loss.h"
+#include "platform/base_platform.h"
+#include "testbed/cloud_testbed.h"
+#include "testbed/orchestrator.h"
+
+namespace {
+
+using namespace vc;
+
+struct RunResult {
+  double psnr = 0;
+  double ssim = 0;
+  double delivery = 0;
+  double down_kbps = 0;
+};
+
+// One two-party Zoom session, host US-East → receiver US-East, with optional
+// receiver-side impairments.
+RunResult run_session(std::unique_ptr<net::LossModel> ingress_loss, double jitter_mean_ms,
+                      std::function<void(testbed::CloudTestbed&, net::Host&)> impair,
+                      std::uint64_t seed) {
+  testbed::CloudTestbed::Config bed_cfg;
+  bed_cfg.seed = seed;
+  bed_cfg.latency.jitter_mean_ms = jitter_mean_ms;
+  testbed::CloudTestbed bed{bed_cfg};
+  auto zoom = platform::make_platform(platform::PlatformId::kZoom, bed.network(), seed ^ 0xE);
+  net::Host& host_vm = bed.create_vm(testbed::site_by_name("US-East"), 0);
+  net::Host& rx_vm = bed.create_vm(testbed::site_by_name("US-East"), 1);
+  if (ingress_loss) rx_vm.set_ingress_loss(std::move(ingress_loss));
+  if (impair) impair(bed, rx_vm);
+
+  const int content_w = 128;
+  const int content_h = 96;
+  const int pad = 16;
+  auto content = std::make_shared<media::TalkingHeadFeed>(
+      media::FeedParams{content_w, content_h, 10.0, seed ^ 0xF00D});
+  auto padded = std::make_shared<media::PaddedFeed>(content, pad);
+
+  client::VcaClient::Config host_cfg;
+  host_cfg.send_audio = false;
+  host_cfg.decode_video = false;
+  host_cfg.video_width = content_w + 2 * pad;
+  host_cfg.video_height = content_h + 2 * pad;
+  host_cfg.fps = 10.0;
+  host_cfg.ui_border = 8;
+  host_cfg.motion = platform::MotionClass::kLowMotion;
+  host_cfg.seed = seed;
+  client::VcaClient host{host_vm, *zoom, host_cfg};
+  auto rx_cfg = host_cfg;
+  rx_cfg.send_video = false;
+  rx_cfg.decode_video = true;
+  client::VcaClient rx{rx_vm, *zoom, rx_cfg};
+  client::MediaFeeder feeder{bed.loop(), host.video_device(), host.audio_device()};
+  client::DesktopRecorder recorder{rx, 10.0};
+  capture::PacketCapture rx_cap{rx_vm, bed.clock_offset(rx_vm)};
+
+  const auto duration = seconds(15);
+  testbed::SessionOrchestrator::Plan plan;
+  plan.host = &host;
+  plan.participants = {&rx};
+  plan.media_duration = duration;
+  plan.on_all_joined = [&] {
+    feeder.play_video(padded, duration);
+    recorder.start(duration);
+  };
+  testbed::SessionOrchestrator orch{std::move(plan)};
+  orch.start();
+  bed.run_all();
+
+  RunResult out;
+  const auto cropped = media::crop_and_resize(recorder.video(), pad, content_w, content_h);
+  if (cropped.frames.size() >= 12) {
+    std::vector<media::Frame> reference;
+    for (std::size_t k = 0; k < cropped.frames.size(); ++k) {
+      reference.push_back(content->frame_at(static_cast<std::int64_t>(k)));
+    }
+    const auto shift = media::best_temporal_shift(reference, cropped.frames, 10);
+    const auto aligned = media::align_sequences(reference, cropped.frames, shift);
+    double psnr = 0;
+    double ssim = 0;
+    int n = 0;
+    for (std::size_t k = 0; k < aligned.reference.size(); k += 5) {
+      psnr += media::qoe::psnr(aligned.reference[k], aligned.recording[k]);
+      ssim += media::qoe::ssim(aligned.reference[k], aligned.recording[k]);
+      ++n;
+    }
+    out.psnr = psnr / n;
+    out.ssim = ssim / n;
+  }
+  if (host.stats().video_frames_sent > 0) {
+    out.delivery = static_cast<double>(rx.stats().video_frames_completed) /
+                   static_cast<double>(host.stats().video_frames_sent);
+  }
+  out.down_kbps = capture::RateAnalyzer{rx_cap.trace()}.average().download.as_kbps();
+  return out;
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  const bool paper = vcb::paper_scale(argc, argv);
+  vcb::banner("Extension — last-mile effects (Zoom, two-party)", paper);
+
+  std::printf("--- E1: loss burstiness at 3%% average loss ---\n");
+  {
+    TextTable table{{"loss pattern", "PSNR", "SSIM", "frames delivered"}};
+    auto row = [&](const char* label, std::unique_ptr<net::LossModel> loss) {
+      const auto r = run_session(std::move(loss), 0.3, nullptr, 211);
+      table.add_row({label, TextTable::num(r.psnr, 1), TextTable::num(r.ssim, 3),
+                     TextTable::num(r.delivery, 2)});
+    };
+    row("lossless", nullptr);
+    row("Bernoulli 3%", std::make_unique<net::BernoulliLoss>(0.03));
+    row("bursts of ~4 pkts",
+        std::make_unique<net::GilbertElliottLoss>(net::GilbertElliottLoss::with_average(0.03, 4)));
+    row("bursts of ~16 pkts",
+        std::make_unique<net::GilbertElliottLoss>(net::GilbertElliottLoss::with_average(0.03, 16)));
+    std::printf("%s\n", table.render().c_str());
+  }
+
+  std::printf("--- E2: last-mile jitter ---\n");
+  {
+    TextTable table{{"path jitter (exp mean, ms)", "PSNR", "frames delivered"}};
+    for (const double jitter : {0.3, 3.0, 10.0}) {
+      const auto r = run_session(nullptr, jitter, nullptr, 223);
+      table.add_row({TextTable::num(jitter, 1), TextTable::num(r.psnr, 1),
+                     TextTable::num(r.delivery, 2)});
+    }
+    std::printf("%s\n", table.render().c_str());
+  }
+
+  std::printf("--- E3: dynamic vs static bandwidth (same ~600 Kbps average) ---\n");
+  {
+    TextTable table{{"bandwidth pattern", "PSNR", "SSIM", "frames delivered"}};
+    // Static 600 Kbps.
+    {
+      const auto r = run_session(nullptr, 0.3,
+                                 [](testbed::CloudTestbed& bed, net::Host& rx) {
+                                   rx.set_ingress_shaper(std::make_unique<net::TokenBucketShaper>(
+                                       bed.loop(), DataRate::kbps(600), 24'000, 100));
+                                 },
+                                 233);
+      table.add_row({"static 600 Kbps", TextTable::num(r.psnr, 1), TextTable::num(r.ssim, 3),
+                     TextTable::num(r.delivery, 2)});
+    }
+    // Oscillating 1000/200 Kbps every 3 s.
+    {
+      const auto r = run_session(
+          nullptr, 0.3,
+          [](testbed::CloudTestbed& bed, net::Host& rx) {
+            auto shaper = std::make_unique<net::TokenBucketShaper>(bed.loop(),
+                                                                   DataRate::kbps(1000), 24'000, 100);
+            net::TokenBucketShaper* raw = shaper.get();
+            rx.set_ingress_shaper(std::move(shaper));
+            // tc-style periodic rate changes, bounded so the loop drains.
+            auto flip = std::make_shared<std::function<void(bool, int)>>();
+            net::EventLoop* loop = &bed.loop();
+            *flip = [loop, raw, flip](bool high, int remaining) {
+              raw->set_rate(high ? DataRate::kbps(1000) : DataRate::kbps(200));
+              if (remaining > 0) {
+                loop->schedule_after(seconds(3),
+                                     [flip, high, remaining] { (*flip)(!high, remaining - 1); });
+              }
+            };
+            loop->schedule_after(seconds(3), [flip] { (*flip)(false, 8); });
+          },
+          233);
+      table.add_row({"oscillating 1000/200 Kbps", TextTable::num(r.psnr, 1),
+                     TextTable::num(r.ssim, 3), TextTable::num(r.delivery, 2)});
+    }
+    std::printf("%s\n", table.render().c_str());
+  }
+  return 0;
+}

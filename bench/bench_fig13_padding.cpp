@@ -1,0 +1,117 @@
+// Fig 13: "video screen with padding" — why the paper pads its feeds.
+//
+// Client UIs draw widgets (buttons, thumbnails) over the screen border even
+// in full-screen mode, occluding part of the rendered video. The paper's
+// trick: surround the content with enough padding that the occlusion only
+// ever covers padding, then crop it back out before scoring. This bench
+// quantifies the damage the trick avoids: QoE of the same received stream
+// scored (a) with the paper's padded/cropped pipeline and (b) naively, with
+// the UI widgets inside the scored area.
+#include <cstdio>
+#include <memory>
+
+#include "bench/bench_util.h"
+#include "client/media_feeder.h"
+#include "client/recorder.h"
+#include "client/vca_client.h"
+#include "media/align.h"
+#include "media/feeds.h"
+#include "media/qoe/video_metrics.h"
+#include "platform/base_platform.h"
+#include "testbed/cloud_testbed.h"
+#include "testbed/orchestrator.h"
+
+int main(int argc, char** argv) {
+  using namespace vc;
+  const bool paper = vcb::paper_scale(argc, argv);
+  vcb::banner("Fig 13 — the protective-padding pipeline, and what it avoids", paper);
+
+  const int content_w = 128;
+  const int content_h = 96;
+  const int pad = 16;
+
+  testbed::CloudTestbed bed{77};
+  auto zoom = platform::make_platform(platform::PlatformId::kZoom, bed.network());
+  net::Host& host_vm = bed.create_vm(testbed::site_by_name("US-East"), 0);
+  net::Host& rx_vm = bed.create_vm(testbed::site_by_name("US-East"), 1);
+
+  auto content = std::make_shared<media::TalkingHeadFeed>(
+      media::FeedParams{content_w, content_h, 10.0, 5});
+  auto padded = std::make_shared<media::PaddedFeed>(content, pad);
+
+  client::VcaClient::Config host_cfg;
+  host_cfg.send_audio = false;
+  host_cfg.decode_video = false;
+  host_cfg.video_width = content_w + 2 * pad;
+  host_cfg.video_height = content_h + 2 * pad;
+  host_cfg.fps = 10.0;
+  host_cfg.ui_border = 8;  // UI widgets occlude the outer 8 px of the screen
+  host_cfg.motion = platform::MotionClass::kLowMotion;
+  client::VcaClient host{host_vm, *zoom, host_cfg};
+  auto rx_cfg = host_cfg;
+  rx_cfg.send_video = false;
+  rx_cfg.decode_video = true;
+  client::VcaClient rx{rx_vm, *zoom, rx_cfg};
+  client::MediaFeeder feeder{bed.loop(), host.video_device(), host.audio_device()};
+  client::DesktopRecorder recorder{rx, 10.0};
+
+  const auto duration = paper ? seconds(60) : seconds(12);
+  testbed::SessionOrchestrator::Plan plan;
+  plan.host = &host;
+  plan.participants = {&rx};
+  plan.media_duration = duration;
+  plan.on_all_joined = [&] {
+    feeder.play_video(padded, duration);
+    recorder.start(duration);
+  };
+  testbed::SessionOrchestrator orch{std::move(plan)};
+  orch.start();
+  bed.run_all();
+
+  // (a) The paper's pipeline: crop the padding (removing the occluded
+  // border with it), score content vs content.
+  const auto cropped = media::crop_and_resize(recorder.video(), pad, content_w, content_h);
+  std::vector<media::Frame> content_ref;
+  for (std::size_t k = 0; k < cropped.frames.size(); ++k) {
+    content_ref.push_back(content->frame_at(static_cast<std::int64_t>(k)));
+  }
+  const auto shift_a = media::best_temporal_shift(content_ref, cropped.frames, 10);
+  const auto aligned_a = media::align_sequences(content_ref, cropped.frames, shift_a);
+
+  // (b) Naive: score the full recorded screen (widgets and all) against the
+  // injected padded frames.
+  std::vector<media::Frame> padded_ref;
+  for (std::size_t k = 0; k < recorder.video().frames.size(); ++k) {
+    padded_ref.push_back(padded->frame_at(static_cast<std::int64_t>(k)));
+  }
+  const auto shift_b = media::best_temporal_shift(padded_ref, recorder.video().frames, 10);
+  const auto aligned_b =
+      media::align_sequences(padded_ref, recorder.video().frames, shift_b);
+
+  auto mean_qoe = [](const media::AlignedPair& pair) {
+    media::qoe::VideoQoe acc;
+    int n = 0;
+    for (std::size_t k = 0; k < pair.reference.size(); k += 4) {
+      const auto q = media::qoe::video_qoe(pair.reference[k], pair.recording[k]);
+      acc.psnr += q.psnr;
+      acc.ssim += q.ssim;
+      acc.vifp += q.vifp;
+      ++n;
+    }
+    return media::qoe::VideoQoe{acc.psnr / n, acc.ssim / n, acc.vifp / n};
+  };
+  const auto with_padding = mean_qoe(aligned_a);
+  const auto naive = mean_qoe(aligned_b);
+
+  TextTable table{{"scoring pipeline", "PSNR (dB)", "SSIM", "VIFp"}};
+  table.add_row({"padded feed, padding cropped (paper)", TextTable::num(with_padding.psnr, 1),
+                 TextTable::num(with_padding.ssim, 3), TextTable::num(with_padding.vifp, 3)});
+  table.add_row({"naive (UI occlusion inside scored area)", TextTable::num(naive.psnr, 1),
+                 TextTable::num(naive.ssim, 3), TextTable::num(naive.vifp, 3)});
+  std::printf("%s\n", table.render().c_str());
+  std::printf("UI widgets occlude the outer %d px of the screen; the %d px padding keeps\n"
+              "them out of the content area, so the crop recovers a clean signal. Scoring\n"
+              "naively attributes the occlusion to the platform: %.1f dB of phantom loss.\n",
+              host_cfg.ui_border, pad, with_padding.psnr - naive.psnr);
+  return 0;
+}

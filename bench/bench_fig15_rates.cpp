@@ -1,0 +1,56 @@
+// Fig 15: upload/download Layer-7 data rates for the QoE sessions (US),
+// vs session size and motion class, plus across-session rate variability.
+//
+// Paper anchors: all platforms send low-motion cheaper (Webex halves it,
+// Meet −20%, Zoom −5-10%); Zoom P2P (N=2) ≈ 1 Mbps vs ≈ 0.7 Mbps relayed;
+// Meet N=2 bursts to 1.6–2.0 Mbps then drops to 0.4–0.6 Mbps; Webex is
+// virtually constant across sessions while Meet fluctuates the most.
+#include <cstdio>
+
+#include "bench/bench_util.h"
+#include "core/qoe_benchmark.h"
+
+int main(int argc, char** argv) {
+  using namespace vc;
+  const bool paper = vcb::paper_scale(argc, argv);
+  vcb::banner("Fig 15 — upload/download data rates (US)", paper);
+
+  const int max_n = paper ? 5 : 3;
+  for (const auto motion :
+       {platform::MotionClass::kLowMotion, platform::MotionClass::kHighMotion}) {
+    std::printf("--- %s ---\n",
+                motion == platform::MotionClass::kLowMotion ? "(a) low motion" : "(b) high motion");
+    TextTable table{{"platform", "N", "host upload (Kbps)", "download (Kbps)",
+                     "session-to-session CV", "path"}};
+    for (const auto id : vcb::all_platforms()) {
+      for (int n = 1; n <= max_n; ++n) {
+        core::QoeBenchmarkConfig cfg;
+        cfg.platform = id;
+        cfg.motion = motion;
+        cfg.host_site = "US-East";
+        cfg.receiver_sites = core::us_qoe_receiver_sites(n);
+        cfg.sessions = paper ? 6 : 3;
+        cfg.media_duration = paper ? seconds(45) : seconds(8);
+        cfg.content_width = 160;
+        cfg.content_height = 112;
+        cfg.padding = 16;
+        cfg.fps = 10.0;
+        cfg.score_video = false;  // rates only: no recording or pixel scoring
+        cfg.seed = 601 + static_cast<std::uint64_t>(id) * 13 + static_cast<std::uint64_t>(n) +
+                   (motion == platform::MotionClass::kLowMotion ? 0 : 7);
+        const auto r = core::run_qoe_benchmark(cfg);
+        RunningStats session_rates;
+        for (double v : r.session_download_kbps) session_rates.add(v);
+        const double cv =
+            session_rates.mean() > 0 ? session_rates.stddev() / session_rates.mean() : 0.0;
+        const bool p2p = id == platform::PlatformId::kZoom && n == 1;
+        table.add_row({std::string(platform_name(id)), std::to_string(n),
+                       TextTable::num(r.upload_kbps.mean(), 0),
+                       TextTable::num(r.download_kbps.mean(), 0), TextTable::num(cv, 3),
+                       p2p ? "P2P" : "relay"});
+      }
+    }
+    std::printf("%s\n", table.render().c_str());
+  }
+  return 0;
+}

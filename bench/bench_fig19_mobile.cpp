@@ -1,0 +1,49 @@
+// Fig 19: mobile resource consumption — CPU usage (a), download data rate
+// (b), and battery drain (c) for the S10 and J3 across the five device/UI
+// scenarios (LM, HM, LM-View, LM-Video-View, LM-Off).
+//
+// Paper anchors (Finding 5): videoconferencing needs 2-3 full cores; Meet is
+// the most bandwidth-hungry (~1 GB/hour ≈ 2.2 Mbps) vs Zoom's gallery view
+// at ~175 MB/hour (~0.4 Mbps); one hour drains up to ~40% of the J3's
+// battery, halved by going audio-only.
+#include <cstdio>
+
+#include "bench/bench_util.h"
+#include "core/mobile_benchmark.h"
+
+int main(int argc, char** argv) {
+  using namespace vc;
+  const bool paper = vcb::paper_scale(argc, argv);
+  vcb::banner("Fig 19 — mobile CPU / data rate / battery (S10 & J3)", paper);
+
+  const mobile::MobileScenario scenarios[] = {
+      mobile::MobileScenario::kLM, mobile::MobileScenario::kHM, mobile::MobileScenario::kLMView,
+      mobile::MobileScenario::kLMVideoView, mobile::MobileScenario::kLMOff};
+
+  TextTable table{{"platform", "scenario", "S10 CPU q1/med/q3 (%)", "J3 CPU q1/med/q3 (%)",
+                   "S10 down (Kbps)", "J3 down (Kbps)", "J3 battery (%/h)", "MB/hour (J3)"}};
+  for (const auto id : vcb::all_platforms()) {
+    for (const auto scenario : scenarios) {
+      core::MobileBenchmarkConfig cfg;
+      cfg.platform = id;
+      cfg.scenario = scenario;
+      cfg.repetitions = paper ? 5 : 2;
+      cfg.duration = paper ? seconds(300) : seconds(45);
+      cfg.seed = 801 + static_cast<std::uint64_t>(id) * 41;
+      const auto r = core::run_mobile_benchmark(cfg);
+      auto cpu_cell = [](const BoxplotSummary& b) {
+        return TextTable::num(b.q1, 0) + "/" + TextTable::num(b.median, 0) + "/" +
+               TextTable::num(b.q3, 0);
+      };
+      const double mb_per_hour = r.j3.download_kbps.mean() * 3600.0 / 8.0 / 1000.0;
+      table.add_row({std::string(platform_name(id)), std::string(scenario_name(scenario)),
+                     cpu_cell(r.s10.cpu), cpu_cell(r.j3.cpu),
+                     TextTable::num(r.s10.download_kbps.mean(), 0),
+                     TextTable::num(r.j3.download_kbps.mean(), 0),
+                     TextTable::num(r.j3.battery_pct_per_hour.mean(), 1),
+                     TextTable::num(mb_per_hour, 0)});
+    }
+  }
+  std::printf("%s\n", table.render().c_str());
+  return 0;
+}

@@ -1,0 +1,48 @@
+// Fig 2: packet streams observed on the meeting host (sender) and another
+// user (receiver) during the flash-feed lag measurement, plus the per-flash
+// lags the big-packet method extracts.
+#include <cstdio>
+
+#include "bench/bench_util.h"
+#include "capture/lag_detector.h"
+#include "capture/timeline.h"
+#include "core/lag_benchmark.h"
+
+int main(int argc, char** argv) {
+  using namespace vc;
+  const bool paper = vcb::paper_scale(argc, argv);
+  vcb::banner("Fig 2 — video lag measurement from packet streams (Zoom, US)", paper);
+
+  core::LagBenchmarkConfig cfg;
+  cfg.platform = platform::PlatformId::kZoom;
+  cfg.host_site = "US-East";
+  cfg.participant_sites = {"US-West"};
+  cfg.sessions = 1;
+  cfg.session_duration = paper ? seconds(120) : seconds(24);
+  const auto result = core::run_lag_benchmark(cfg);
+
+  const double window_sec = 12.0;
+  const auto tx = capture::timeline_points(result.sample_sender_trace, net::Direction::kOutgoing);
+  const auto rx = capture::timeline_points(result.sample_receiver_trace, net::Direction::kIncoming);
+  std::printf("packet timeline, first %.0f s ('#' = packet > 200 B, '.' = smaller):\n\n", window_sec);
+  std::printf("sender   |%s|\n", capture::render_ascii_timeline(tx, window_sec).c_str());
+  std::printf("receiver |%s|\n\n", capture::render_ascii_timeline(rx, window_sec).c_str());
+
+  const auto tx_events =
+      capture::detect_flash_events(result.sample_sender_trace, net::Direction::kOutgoing);
+  const auto rx_events =
+      capture::detect_flash_events(result.sample_receiver_trace, net::Direction::kIncoming);
+  const auto lags = capture::match_lags_ms(tx_events, rx_events);
+
+  TextTable table{{"flash #", "sent at (s)", "received at (s)", "lag (ms)"}};
+  for (std::size_t i = 0; i < lags.size() && i < tx_events.size(); ++i) {
+    table.add_row({std::to_string(i + 1), TextTable::num(tx_events[i].at.seconds(), 3),
+                   TextTable::num(rx_events[i].at.seconds(), 3), TextTable::num(lags[i], 2)});
+  }
+  std::printf("%s\n", table.render().c_str());
+  std::printf("flashes detected: sender=%zu receiver=%zu, lags matched=%zu\n", tx_events.size(),
+              rx_events.size(), lags.size());
+  std::printf("median lag US-East -> US-West: %.1f ms (paper: ~50 ms upper range of 20-50)\n",
+              lags.empty() ? 0.0 : median(std::vector<double>(lags)));
+  return 0;
+}

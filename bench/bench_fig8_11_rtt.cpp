@@ -1,0 +1,59 @@
+// Figs 8–11: service proximity — RTTs measured by each client against its
+// discovered service endpoint, per scenario (host in US-East, US-West, UK,
+// Switzerland).
+//
+// Paper anchors: Zoom/Webex US-East-hosted sessions give US-East clients
+// single-digit RTTs and US-West clients ~60-70 ms; Meet RTTs are uniformly
+// low (distributed endpoints); Zoom's Europe RTTs split into three bands
+// ~20/40 ms apart (regional load balancing); Webex's stay trans-Atlantic.
+#include <cstdio>
+
+#include "bench/bench_util.h"
+#include "core/lag_benchmark.h"
+
+namespace {
+
+void run_scenario(const char* figure, const std::string& host, bool europe, bool paper) {
+  using namespace vc;
+  std::printf("--- %s: meeting host in %s ---\n", figure, host.c_str());
+  TextTable table{{"platform", "participant", "per-session mean RTTs (ms)", "min/max (ms)"}};
+  for (const auto id : vcb::all_platforms()) {
+    core::LagBenchmarkConfig cfg;
+    cfg.platform = id;
+    cfg.host_site = host;
+    cfg.participant_sites =
+        europe ? core::europe_participant_sites(host) : core::us_participant_sites(host);
+    cfg.sessions = paper ? 20 : 6;
+    cfg.session_duration = paper ? seconds(120) : seconds(40);
+    cfg.seed = 11 + static_cast<std::uint64_t>(id);
+    const auto result = core::run_lag_benchmark(cfg);
+    for (const auto& p : result.participants) {
+      std::string rtts;
+      double lo = 1e9;
+      double hi = 0;
+      for (std::size_t s = 0; s < p.session_rtt_ms.size(); ++s) {
+        if (s > 0) rtts += " ";
+        rtts += TextTable::num(p.session_rtt_ms[s], 0);
+        lo = std::min(lo, p.session_rtt_ms[s]);
+        hi = std::max(hi, p.session_rtt_ms[s]);
+      }
+      table.add_row({std::string(platform_name(id)), p.label, rtts,
+                     p.session_rtt_ms.empty()
+                         ? "-"
+                         : TextTable::num(lo, 1) + " / " + TextTable::num(hi, 1)});
+    }
+  }
+  std::printf("%s\n", table.render().c_str());
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  const bool paper = vcb::paper_scale(argc, argv);
+  vcb::banner("Figs 8-11 — service proximity (RTT to discovered endpoints)", paper);
+  run_scenario("Fig 8", "US-East", false, paper);
+  run_scenario("Fig 9", "US-West", false, paper);
+  run_scenario("Fig 10", "UK-West", true, paper);
+  run_scenario("Fig 11", "CH", true, paper);
+  return 0;
+}

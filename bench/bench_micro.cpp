@@ -1,0 +1,109 @@
+// Microbenchmarks (google-benchmark) for the hot paths of the harness:
+// codec encode/decode, QoE metrics, audio pipeline, event loop, shaper.
+#include <benchmark/benchmark.h>
+
+#include <memory>
+
+#include "media/audio.h"
+#include "media/feeds.h"
+#include "media/qoe/mos_lqo.h"
+#include "media/qoe/video_metrics.h"
+#include "media/video_codec.h"
+#include "net/event_loop.h"
+#include "net/shaper.h"
+
+namespace {
+
+using namespace vc;
+
+void BM_VideoEncode(benchmark::State& state) {
+  const int w = static_cast<int>(state.range(0));
+  const int h = w * 3 / 4;
+  media::TourGuideFeed feed{{w, h, 10.0, 1}};
+  media::VideoEncoder enc{w, h, {.target_bitrate = DataRate::kbps(800), .fps = 10.0}};
+  std::int64_t i = 0;
+  std::vector<media::Frame> frames;
+  for (int k = 0; k < 10; ++k) frames.push_back(feed.frame_at(k));
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(enc.encode(frames[static_cast<std::size_t>(i++ % 10)]));
+  }
+  state.SetItemsProcessed(state.iterations());
+}
+BENCHMARK(BM_VideoEncode)->Arg(128)->Arg(256);
+
+void BM_VideoDecode(benchmark::State& state) {
+  media::TourGuideFeed feed{{128, 96, 10.0, 1}};
+  media::VideoEncoder enc{128, 96, {.target_bitrate = DataRate::kbps(800), .fps = 10.0}};
+  const auto frame = enc.encode(feed.frame_at(0));
+  media::VideoDecoder dec{128, 96};
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(dec.decode(*frame));
+  }
+  state.SetItemsProcessed(state.iterations());
+}
+BENCHMARK(BM_VideoDecode);
+
+void BM_Ssim(benchmark::State& state) {
+  media::TourGuideFeed feed{{256, 192, 10.0, 1}};
+  const media::Frame a = feed.frame_at(0);
+  const media::Frame b = feed.frame_at(1);
+  for (auto _ : state) benchmark::DoNotOptimize(media::qoe::ssim(a, b));
+}
+BENCHMARK(BM_Ssim);
+
+void BM_Vifp(benchmark::State& state) {
+  media::TourGuideFeed feed{{256, 192, 10.0, 1}};
+  const media::Frame a = feed.frame_at(0);
+  const media::Frame b = feed.frame_at(1);
+  for (auto _ : state) benchmark::DoNotOptimize(media::qoe::vifp(a, b));
+}
+BENCHMARK(BM_Vifp);
+
+void BM_MosLqo(benchmark::State& state) {
+  const auto ref = media::synthesize_voice(2.0, 1);
+  const auto deg = media::synthesize_voice(2.0, 2);
+  for (auto _ : state) benchmark::DoNotOptimize(media::qoe::mos_lqo(ref, deg));
+}
+BENCHMARK(BM_MosLqo);
+
+void BM_FeedRender(benchmark::State& state) {
+  media::TourGuideFeed feed{{256, 192, 10.0, 1}};
+  std::int64_t i = 0;
+  for (auto _ : state) benchmark::DoNotOptimize(feed.frame_at(i++));
+}
+BENCHMARK(BM_FeedRender);
+
+void BM_EventLoopChurn(benchmark::State& state) {
+  for (auto _ : state) {
+    net::EventLoop loop;
+    int counter = 0;
+    for (int i = 0; i < 1000; ++i) {
+      loop.schedule_at(SimTime{i * 100}, [&counter] { ++counter; });
+    }
+    loop.run();
+    benchmark::DoNotOptimize(counter);
+  }
+  state.SetItemsProcessed(state.iterations() * 1000);
+}
+BENCHMARK(BM_EventLoopChurn);
+
+void BM_ShaperThroughput(benchmark::State& state) {
+  for (auto _ : state) {
+    net::EventLoop loop;
+    net::TokenBucketShaper shaper{loop, DataRate::mbps(2.0), 16'000, 256'000};
+    std::int64_t out = 0;
+    for (int i = 0; i < 500; ++i) {
+      net::Packet p;
+      p.l7_len = 1150;
+      shaper.submit(std::move(p), [&out](net::Packet q) { out += q.l7_len; });
+    }
+    loop.run();
+    benchmark::DoNotOptimize(out);
+  }
+  state.SetItemsProcessed(state.iterations() * 500);
+}
+BENCHMARK(BM_ShaperThroughput);
+
+}  // namespace
+
+BENCHMARK_MAIN();

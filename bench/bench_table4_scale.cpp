@@ -1,0 +1,49 @@
+// Table 4: data rate and CPU usage with varying videoconference sizes
+// (N = 3, 6, 11; everyone streaming high-motion), phones in full-screen and
+// gallery view.
+//
+// Paper anchors: Zoom full-screen is nearly flat in N (small buffering
+// bump); gallery doubles 3→6 then plateaus (≤4 tiles); Webex gallery rate
+// *decreases* with more participants; Meet grows ~10% via its always-on
+// previews and caps at four visible streams.
+#include <cstdio>
+
+#include "bench/bench_util.h"
+#include "core/mobile_benchmark.h"
+
+int main(int argc, char** argv) {
+  using namespace vc;
+  const bool paper = vcb::paper_scale(argc, argv);
+  vcb::banner("Table 4 — data rate and CPU vs videoconference size (S10/J3)", paper);
+
+  TextTable table{{"N", "client", "full rate (Mbps)", "full CPU (%)", "gallery rate (Mbps)",
+                   "gallery CPU (%)"}};
+  for (const int n : {3, 6, 11}) {
+    for (const auto id : vcb::all_platforms()) {
+      core::ScaleBenchmarkConfig cfg;
+      cfg.platform = id;
+      cfg.n_total = n;
+      cfg.repetitions = paper ? 5 : 1;
+      cfg.duration = paper ? seconds(300) : seconds(40);
+      cfg.seed = 901 + static_cast<std::uint64_t>(id) * 43 + static_cast<std::uint64_t>(n);
+
+      cfg.phone_view = platform::ViewMode::kFullScreen;
+      const auto full = core::run_scale_benchmark(cfg);
+      cfg.phone_view = platform::ViewMode::kGallery;
+      const auto gallery = core::run_scale_benchmark(cfg);
+
+      table.add_row({std::to_string(n), std::string(platform_name(id)),
+                     TextTable::num(full.s10_rate_mbps, 2) + "/" +
+                         TextTable::num(full.j3_rate_mbps, 2),
+                     TextTable::num(full.s10_cpu_median, 0) + "/" +
+                         TextTable::num(full.j3_cpu_median, 0),
+                     TextTable::num(gallery.s10_rate_mbps, 2) + "/" +
+                         TextTable::num(gallery.j3_rate_mbps, 2),
+                     TextTable::num(gallery.s10_cpu_median, 0) + "/" +
+                         TextTable::num(gallery.j3_cpu_median, 0)});
+    }
+  }
+  std::printf("%s\n", table.render().c_str());
+  std::printf("cells are S10/J3, as in the paper's Table 4.\n");
+  return 0;
+}

@@ -1,0 +1,100 @@
+// Offline trace analysis: run one instrumented session, dump the captures to
+// .vctr files (the tcpdump-analog), then re-load them and run the full
+// offline pipeline — flow table, endpoint discovery, rate analysis, and lag
+// extraction — exactly the way the paper's offline analysis consumes pcaps.
+//
+//   ./trace_analysis [output_dir]
+#include <cstdio>
+#include <string>
+
+#include "capture/endpoint_discovery.h"
+#include "capture/flow.h"
+#include "capture/lag_detector.h"
+#include "capture/rate_analyzer.h"
+#include "capture/trace_io.h"
+#include "client/media_feeder.h"
+#include "client/vca_client.h"
+#include "common/stats.h"
+#include "common/table.h"
+#include "media/feeds.h"
+#include "platform/base_platform.h"
+#include "testbed/cloud_testbed.h"
+#include "testbed/orchestrator.h"
+
+int main(int argc, char** argv) {
+  using namespace vc;
+  const std::string dir = argc > 1 ? argv[1] : "/tmp";
+
+  // ---- live phase: one Zoom session, host US-East -> receiver US-West ----
+  testbed::CloudTestbed bed{2024};
+  auto zoom = platform::make_platform(platform::PlatformId::kZoom, bed.network());
+  net::Host& host_vm = bed.create_vm(testbed::site_by_name("US-East"), 0);
+  net::Host& rx_vm = bed.create_vm(testbed::site_by_name("US-West"), 0);
+  net::Host& rx2_vm = bed.create_vm(testbed::site_by_name("US-Central"), 0);
+
+  client::VcaClient::Config host_cfg;
+  host_cfg.send_audio = false;
+  host_cfg.decode_video = false;
+  host_cfg.video_width = 128;
+  host_cfg.video_height = 96;
+  host_cfg.fps = 10.0;
+  client::VcaClient host{host_vm, *zoom, host_cfg};
+  client::VcaClient::Config rx_cfg = host_cfg;
+  rx_cfg.send_video = false;
+  client::VcaClient rx{rx_vm, *zoom, rx_cfg};
+  client::VcaClient rx2{rx2_vm, *zoom, rx_cfg};
+  client::MediaFeeder feeder{bed.loop(), host.video_device(), host.audio_device()};
+  capture::PacketCapture host_cap{host_vm, bed.clock_offset(host_vm)};
+  capture::PacketCapture rx_cap{rx_vm, bed.clock_offset(rx_vm)};
+
+  auto feed = std::make_shared<media::FlashFeed>(media::FeedParams{128, 96, 10.0, 7});
+  testbed::SessionOrchestrator::Plan plan;
+  plan.host = &host;
+  plan.participants = {&rx, &rx2};
+  plan.media_duration = seconds(30);
+  plan.on_all_joined = [&] { feeder.play_video(feed, seconds(30)); };
+  testbed::SessionOrchestrator orchestrator{std::move(plan)};
+  orchestrator.start();
+  bed.run_all();
+
+  const std::string host_path = dir + "/host.vctr";
+  const std::string rx_path = dir + "/receiver.vctr";
+  capture::write_trace_file(host_path, host_cap.trace());
+  capture::write_trace_file(rx_path, rx_cap.trace());
+  std::printf("wrote %s (%zu records) and %s (%zu records)\n\n", host_path.c_str(),
+              host_cap.size(), rx_path.c_str(), rx_cap.size());
+
+  // ---- offline phase: everything below uses only the trace files ----
+  const capture::Trace host_trace = capture::read_trace_file(host_path);
+  const capture::Trace rx_trace = capture::read_trace_file(rx_path);
+
+  std::printf("flows seen by %s:\n", rx_trace.host_name.c_str());
+  TextTable flows{{"remote endpoint", "pkts in/out", "L7 KB in/out", "duration (s)"}};
+  for (const auto& [key, stats] : capture::FlowTable{rx_trace}.by_volume()) {
+    flows.add_row({key.remote.to_string(),
+                   std::to_string(stats.packets_in) + "/" + std::to_string(stats.packets_out),
+                   TextTable::num(stats.l7_bytes_in / 1000.0, 1) + "/" +
+                       TextTable::num(stats.l7_bytes_out / 1000.0, 1),
+                   TextTable::num(stats.duration().seconds(), 1)});
+  }
+  std::printf("%s\n", flows.render().c_str());
+
+  const auto endpoints = capture::discover_endpoints(rx_trace);
+  if (!endpoints.empty()) {
+    std::printf("discovered streaming endpoint: %s (UDP/%u is Zoom's designated port)\n",
+                endpoints.front().endpoint.to_string().c_str(),
+                endpoints.front().endpoint.port);
+  }
+
+  const capture::RateAnalyzer rates{rx_trace};
+  const auto rep = rates.average();
+  std::printf("receiver L7 rates: down %s, up %s\n", rep.download.to_string().c_str(),
+              rep.upload.to_string().c_str());
+
+  const auto lags = capture::measure_streaming_lag_ms(host_trace, rx_trace);
+  if (!lags.empty()) {
+    std::printf("flash lags: %zu samples, median %.1f ms (US-East -> US-West via relay)\n",
+                lags.size(), median(std::vector<double>(lags)));
+  }
+  return 0;
+}

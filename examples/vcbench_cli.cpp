@@ -1,0 +1,201 @@
+// vcbench CLI: run any of the library's experiments from the command line
+// and optionally export results as CSV for plotting.
+//
+//   vcbench_cli lag    --platform zoom --host US-East [--sessions 5] [--csv out.csv]
+//   vcbench_cli qoe    --platform meet --receivers 3 --motion high [--csv out.csv]
+//   vcbench_cli bwcap  --platform webex --cap-kbps 500 [--csv out.csv]
+//   vcbench_cli mobile --platform zoom --scenario LM-View
+//   vcbench_cli dump   --trace file.vctr [--max 50]
+#include <cstdio>
+#include <cstdlib>
+#include <fstream>
+#include <map>
+#include <string>
+
+#include "capture/trace_dump.h"
+#include "capture/trace_io.h"
+#include "common/csv.h"
+#include "common/stats.h"
+#include "common/table.h"
+#include "core/vcbench.h"
+
+namespace {
+
+using namespace vc;
+
+std::map<std::string, std::string> parse_flags(int argc, char** argv, int start) {
+  std::map<std::string, std::string> flags;
+  for (int i = start; i < argc; ++i) {
+    std::string key = argv[i];
+    if (key.rfind("--", 0) != 0) continue;
+    key = key.substr(2);
+    if (i + 1 < argc && std::string(argv[i + 1]).rfind("--", 0) != 0) {
+      flags[key] = argv[++i];
+    } else {
+      flags[key] = "1";
+    }
+  }
+  return flags;
+}
+
+platform::PlatformId parse_platform(const std::map<std::string, std::string>& flags) {
+  const auto it = flags.find("platform");
+  const std::string name = it == flags.end() ? "zoom" : it->second;
+  if (name == "webex") return platform::PlatformId::kWebex;
+  if (name == "meet") return platform::PlatformId::kMeet;
+  return platform::PlatformId::kZoom;
+}
+
+int flag_int(const std::map<std::string, std::string>& flags, const std::string& key,
+             int fallback) {
+  const auto it = flags.find(key);
+  return it == flags.end() ? fallback : std::atoi(it->second.c_str());
+}
+
+std::string flag_str(const std::map<std::string, std::string>& flags, const std::string& key,
+                     const std::string& fallback) {
+  const auto it = flags.find(key);
+  return it == flags.end() ? fallback : it->second;
+}
+
+int run_lag(const std::map<std::string, std::string>& flags) {
+  core::LagBenchmarkConfig cfg;
+  cfg.platform = parse_platform(flags);
+  cfg.host_site = flag_str(flags, "host", "US-East");
+  cfg.participant_sites = cfg.host_site == "CH" || cfg.host_site == "UK-West"
+                              ? core::europe_participant_sites(cfg.host_site)
+                              : core::us_participant_sites(cfg.host_site);
+  cfg.sessions = flag_int(flags, "sessions", 5);
+  cfg.session_duration = seconds(flag_int(flags, "duration", 40));
+  if (flags.contains("paid")) cfg.webex_tier = platform::WebexTier::kPaid;
+  const auto result = core::run_lag_benchmark(cfg);
+
+  TextTable table{{"participant", "p50 lag (ms)", "p90 lag (ms)", "p50 RTT (ms)", "endpoints"}};
+  for (const auto& p : result.participants) {
+    table.add_row(
+        {p.label, p.lags_ms.empty() ? "-" : TextTable::num(median(std::vector<double>(p.lags_ms)), 1),
+         p.lags_ms.empty() ? "-" : TextTable::num(quantile(std::vector<double>(p.lags_ms), 0.9), 1),
+         p.session_rtt_ms.empty()
+             ? "-"
+             : TextTable::num(median(std::vector<double>(p.session_rtt_ms)), 1),
+         std::to_string(p.distinct_endpoints)});
+  }
+  std::printf("%s", table.render().c_str());
+
+  if (flags.contains("csv")) {
+    std::ofstream out{flags.at("csv")};
+    CsvWriter csv{out};
+    csv.row({"participant", "lag_ms"});
+    for (const auto& p : result.participants) {
+      for (double lag : p.lags_ms) csv.row({p.label, CsvWriter::num(lag)});
+    }
+    std::printf("wrote %zu CSV rows to %s\n", csv.rows_written(), flags.at("csv").c_str());
+  }
+  return 0;
+}
+
+int run_qoe(const std::map<std::string, std::string>& flags) {
+  core::QoeBenchmarkConfig cfg;
+  cfg.platform = parse_platform(flags);
+  cfg.motion = flag_str(flags, "motion", "low") == "high" ? platform::MotionClass::kHighMotion
+                                                          : platform::MotionClass::kLowMotion;
+  cfg.receiver_sites = core::us_qoe_receiver_sites(flag_int(flags, "receivers", 2));
+  cfg.sessions = flag_int(flags, "sessions", 1);
+  cfg.media_duration = seconds(flag_int(flags, "duration", 12));
+  const auto r = core::run_qoe_benchmark(cfg);
+  std::printf("PSNR %.1f dB  SSIM %.3f  VIFp %.3f  delivery %.2f\n", r.psnr.mean(), r.ssim.mean(),
+              r.vifp.mean(), r.delivery_ratio.mean());
+  std::printf("host upload %.0f Kbps, receiver download %.0f Kbps\n", r.upload_kbps.mean(),
+              r.download_kbps.mean());
+  if (flags.contains("csv")) {
+    std::ofstream out{flags.at("csv")};
+    CsvWriter csv{out};
+    csv.row({"metric", "mean", "stddev"});
+    csv.row({"psnr", CsvWriter::num(r.psnr.mean()), CsvWriter::num(r.psnr.stddev())});
+    csv.row({"ssim", CsvWriter::num(r.ssim.mean()), CsvWriter::num(r.ssim.stddev())});
+    csv.row({"vifp", CsvWriter::num(r.vifp.mean()), CsvWriter::num(r.vifp.stddev())});
+    csv.row({"upload_kbps", CsvWriter::num(r.upload_kbps.mean()),
+             CsvWriter::num(r.upload_kbps.stddev())});
+    csv.row({"download_kbps", CsvWriter::num(r.download_kbps.mean()),
+             CsvWriter::num(r.download_kbps.stddev())});
+  }
+  return 0;
+}
+
+int run_bwcap(const std::map<std::string, std::string>& flags) {
+  core::BwCapBenchmarkConfig cfg;
+  cfg.platform = parse_platform(flags);
+  const int cap = flag_int(flags, "cap-kbps", 0);
+  cfg.cap = cap > 0 ? DataRate::kbps(cap) : DataRate::unlimited();
+  cfg.sessions = flag_int(flags, "sessions", 1);
+  cfg.media_duration = seconds(flag_int(flags, "duration", 12));
+  const auto r = core::run_bwcap_benchmark(cfg);
+  std::printf("cap %s: PSNR %.1f dB  SSIM %.3f  MOS-LQO %.2f  delivery %.2f  drops %.1f%%\n",
+              cfg.cap.to_string().c_str(), r.psnr.mean(), r.ssim.mean(), r.mos_lqo.mean(),
+              r.delivery_ratio.mean(), 100.0 * r.drop_fraction.mean());
+  return 0;
+}
+
+int run_mobile(const std::map<std::string, std::string>& flags) {
+  core::MobileBenchmarkConfig cfg;
+  cfg.platform = parse_platform(flags);
+  const std::string scenario = flag_str(flags, "scenario", "LM");
+  using S = mobile::MobileScenario;
+  cfg.scenario = scenario == "HM"              ? S::kHM
+                 : scenario == "LM-View"       ? S::kLMView
+                 : scenario == "LM-Video-View" ? S::kLMVideoView
+                 : scenario == "LM-Off"        ? S::kLMOff
+                                               : S::kLM;
+  cfg.repetitions = flag_int(flags, "repetitions", 2);
+  cfg.duration = seconds(flag_int(flags, "duration", 45));
+  const auto r = core::run_mobile_benchmark(cfg);
+  std::printf("%s / %s:\n", std::string(platform_name(cfg.platform)).c_str(),
+              std::string(scenario_name(cfg.scenario)).c_str());
+  std::printf("  S10: CPU median %.0f%%, download %.0f Kbps\n", r.s10.cpu.median,
+              r.s10.download_kbps.mean());
+  std::printf("  J3:  CPU median %.0f%%, download %.0f Kbps, battery %.1f %%/h\n",
+              r.j3.cpu.median, r.j3.download_kbps.mean(), r.j3.battery_pct_per_hour.mean());
+  return 0;
+}
+
+int run_dump(const std::map<std::string, std::string>& flags) {
+  const std::string path = flag_str(flags, "trace", "");
+  if (path.empty()) {
+    std::fprintf(stderr, "dump requires --trace <file.vctr>\n");
+    return 2;
+  }
+  const auto trace = capture::read_trace_file(path);
+  std::printf("%s\n", capture::summarize_trace(trace).c_str());
+  capture::DumpOptions options;
+  options.max_records = static_cast<std::size_t>(flag_int(flags, "max", 50));
+  std::printf("%s", capture::dump_trace_to_string(trace, options).c_str());
+  return 0;
+}
+
+void usage() {
+  std::fprintf(stderr,
+               "usage: vcbench_cli <lag|qoe|bwcap|mobile|dump> [--platform zoom|webex|meet]\n"
+               "  lag    --host SITE [--sessions N] [--duration S] [--paid] [--csv FILE]\n"
+               "  qoe    --receivers N --motion low|high [--sessions N] [--csv FILE]\n"
+               "  bwcap  --cap-kbps K [--sessions N]\n"
+               "  mobile --scenario LM|HM|LM-View|LM-Video-View|LM-Off\n"
+               "  dump   --trace FILE [--max N]\n");
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  if (argc < 2) {
+    usage();
+    return 2;
+  }
+  const std::string command = argv[1];
+  const auto flags = parse_flags(argc, argv, 2);
+  if (command == "lag") return run_lag(flags);
+  if (command == "qoe") return run_qoe(flags);
+  if (command == "bwcap") return run_bwcap(flags);
+  if (command == "mobile") return run_mobile(flags);
+  if (command == "dump") return run_dump(flags);
+  usage();
+  return 2;
+}

@@ -1,0 +1,48 @@
+#include "capture/endpoint_discovery.h"
+
+#include <algorithm>
+#include <unordered_map>
+#include <unordered_set>
+
+namespace vc::capture {
+
+std::vector<DiscoveredEndpoint> discover_endpoints(const Trace& trace,
+                                                   const DiscoveryConfig& cfg) {
+  std::vector<DiscoveredEndpoint> found;
+  const FlowTable table{trace};
+  for (const auto& [key, stats] : table.by_volume()) {
+    if (stats.l7_bytes() < cfg.min_l7_bytes) continue;
+    if (stats.packets() < cfg.min_packets) continue;
+    found.push_back(DiscoveredEndpoint{key.remote, key.protocol, stats});
+  }
+  return found;
+}
+
+std::uint16_t dominant_media_port(const std::vector<Trace>& traces, const DiscoveryConfig& cfg) {
+  std::unordered_map<std::uint16_t, std::int64_t> bytes_by_port;
+  for (const auto& t : traces) {
+    for (const auto& ep : discover_endpoints(t, cfg)) {
+      bytes_by_port[ep.endpoint.port] += ep.stats.l7_bytes();
+    }
+  }
+  std::uint16_t best = 0;
+  std::int64_t best_bytes = -1;
+  for (const auto& [port, bytes] : bytes_by_port) {
+    if (bytes > best_bytes) {
+      best = port;
+      best_bytes = bytes;
+    }
+  }
+  return best;
+}
+
+std::size_t distinct_endpoint_ips(const std::vector<Trace>& session_traces,
+                                  const DiscoveryConfig& cfg) {
+  std::unordered_set<net::IpAddr> ips;
+  for (const auto& t : session_traces) {
+    for (const auto& ep : discover_endpoints(t, cfg)) ips.insert(ep.endpoint.ip);
+  }
+  return ips.size();
+}
+
+}  // namespace vc::capture

@@ -1,0 +1,37 @@
+#include "capture/flow.h"
+
+#include <algorithm>
+
+namespace vc::capture {
+
+FlowTable::FlowTable(const Trace& trace) {
+  std::unordered_map<FlowKey, std::size_t> index;
+  for (const auto& r : trace.records) {
+    const FlowKey key{r.remote(), r.protocol};
+    auto [it, inserted] = index.emplace(key, flows_.size());
+    if (inserted) flows_.emplace_back(key, FlowStats{});
+    FlowStats& s = flows_[it->second].second;
+    if (s.packets() == 0) s.first = r.timestamp;
+    s.first = std::min(s.first, r.timestamp);
+    s.last = std::max(s.last, r.timestamp);
+    if (r.dir == net::Direction::kIncoming) {
+      ++s.packets_in;
+      s.l7_bytes_in += r.l7_len;
+      s.wire_bytes_in += r.wire_len;
+    } else {
+      ++s.packets_out;
+      s.l7_bytes_out += r.l7_len;
+      s.wire_bytes_out += r.wire_len;
+    }
+  }
+}
+
+std::vector<std::pair<FlowKey, FlowStats>> FlowTable::by_volume() const {
+  auto sorted = flows_;
+  std::sort(sorted.begin(), sorted.end(), [](const auto& a, const auto& b) {
+    return a.second.l7_bytes() > b.second.l7_bytes();
+  });
+  return sorted;
+}
+
+}  // namespace vc::capture

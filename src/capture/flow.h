@@ -1,0 +1,57 @@
+// Per-remote-endpoint flow accounting over a trace.
+#pragma once
+
+#include <cstdint>
+#include <unordered_map>
+#include <vector>
+
+#include "common/time.h"
+#include "capture/trace.h"
+
+namespace vc::capture {
+
+/// A bidirectional conversation between the capturing host and one remote
+/// endpoint over one protocol.
+struct FlowKey {
+  net::Endpoint remote;
+  net::Protocol protocol = net::Protocol::kUdp;
+
+  friend constexpr auto operator<=>(const FlowKey&, const FlowKey&) = default;
+};
+
+struct FlowStats {
+  std::int64_t packets_in = 0;
+  std::int64_t packets_out = 0;
+  std::int64_t l7_bytes_in = 0;
+  std::int64_t l7_bytes_out = 0;
+  std::int64_t wire_bytes_in = 0;
+  std::int64_t wire_bytes_out = 0;
+  SimTime first{};
+  SimTime last{};
+
+  std::int64_t packets() const { return packets_in + packets_out; }
+  std::int64_t l7_bytes() const { return l7_bytes_in + l7_bytes_out; }
+  SimDuration duration() const { return last - first; }
+};
+
+/// Groups trace records into flows keyed by remote endpoint.
+class FlowTable {
+ public:
+  explicit FlowTable(const Trace& trace);
+
+  const std::vector<std::pair<FlowKey, FlowStats>>& flows() const { return flows_; }
+  /// Flows sorted by descending total L7 bytes (heaviest first).
+  std::vector<std::pair<FlowKey, FlowStats>> by_volume() const;
+
+ private:
+  std::vector<std::pair<FlowKey, FlowStats>> flows_;
+};
+
+}  // namespace vc::capture
+
+template <>
+struct std::hash<vc::capture::FlowKey> {
+  std::size_t operator()(const vc::capture::FlowKey& k) const noexcept {
+    return std::hash<vc::net::Endpoint>{}(k.remote) * 31 + static_cast<std::size_t>(k.protocol);
+  }
+};

@@ -1,0 +1,51 @@
+#include "capture/lag_detector.h"
+
+#include <algorithm>
+
+namespace vc::capture {
+
+std::vector<FlashEvent> detect_flash_events(const Trace& trace, net::Direction dir,
+                                            const LagDetectorConfig& cfg) {
+  std::vector<FlashEvent> events;
+  std::optional<SimTime> last_big;
+  for (const auto& r : trace.records) {
+    if (r.dir != dir) continue;
+    if (r.l7_len <= cfg.big_packet_bytes) continue;
+    if (!last_big || r.timestamp - *last_big > cfg.quiescence) {
+      events.push_back(FlashEvent{r.timestamp, r.l7_len});
+    }
+    last_big = r.timestamp;
+  }
+  return events;
+}
+
+std::vector<double> match_lags_ms(const std::vector<FlashEvent>& sender,
+                                  const std::vector<FlashEvent>& receiver,
+                                  const LagDetectorConfig& cfg) {
+  // Clock sync across cloud VMs is good to about a millisecond; allow a
+  // receiver timestamp to precede its sender event by that much.
+  const SimDuration tolerance = millis(2);
+  std::vector<double> lags;
+  std::size_t si = 0;
+  for (const auto& rx : receiver) {
+    // Advance to the latest sender event at or before rx (with tolerance).
+    while (si + 1 < sender.size() && sender[si + 1].at <= rx.at + tolerance) ++si;
+    if (sender.empty() || sender[si].at > rx.at + tolerance) continue;
+    const SimDuration lag = rx.at - sender[si].at;
+    // A lag close to (or beyond) the flash period means we missed the
+    // matching sender event; discard rather than fold into the next flash.
+    if (lag >= cfg.flash_period / 2) continue;
+    lags.push_back(lag.millis());
+  }
+  return lags;
+}
+
+std::vector<double> measure_streaming_lag_ms(const Trace& sender_trace,
+                                             const Trace& receiver_trace,
+                                             const LagDetectorConfig& cfg) {
+  const auto tx = detect_flash_events(sender_trace, net::Direction::kOutgoing, cfg);
+  const auto rx = detect_flash_events(receiver_trace, net::Direction::kIncoming, cfg);
+  return match_lags_ms(tx, rx, cfg);
+}
+
+}  // namespace vc::capture

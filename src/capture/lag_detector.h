@@ -1,0 +1,52 @@
+// Streaming-lag measurement by the paper's "first big packet after a
+// quiescent period" method (Section 4.2, Fig 2).
+//
+// The meeting host broadcasts a blank screen with an image flash every two
+// seconds. On the sender's trace, each flash shows up as the first large
+// packet (>200 B) after a >1 s lull; on a receiver's trace, likewise. The
+// lag is the time shift between matching sender/receiver flash events.
+#pragma once
+
+#include <cstdint>
+#include <optional>
+#include <vector>
+
+#include "common/time.h"
+#include "capture/trace.h"
+
+namespace vc::capture {
+
+struct LagDetectorConfig {
+  /// L7 length above which a packet is "big" (paper: >200 bytes).
+  std::int64_t big_packet_bytes = 200;
+  /// Quiescence (no big packets) required before a big packet marks a new
+  /// flash event (paper: "more than a second-long quiescent period").
+  SimDuration quiescence = millis(1000);
+  /// Flash period of the injected feed; used to bound event matching.
+  SimDuration flash_period = seconds(2);
+};
+
+/// One detected flash event (the timestamp of its first big packet).
+struct FlashEvent {
+  SimTime at{};
+  std::int64_t trigger_len = 0;
+};
+
+/// Detects flash events among packets flowing in `dir` (use kOutgoing on the
+/// sender's trace and kIncoming on a receiver's trace).
+std::vector<FlashEvent> detect_flash_events(const Trace& trace, net::Direction dir,
+                                            const LagDetectorConfig& cfg = {});
+
+/// Pairs sender events with receiver events and returns per-flash lags (ms).
+/// A receiver event matches the latest sender event no later than it (plus a
+/// small clock-sync tolerance) and within one flash period.
+std::vector<double> match_lags_ms(const std::vector<FlashEvent>& sender,
+                                  const std::vector<FlashEvent>& receiver,
+                                  const LagDetectorConfig& cfg = {});
+
+/// Convenience: full pipeline from a sender trace and one receiver trace.
+std::vector<double> measure_streaming_lag_ms(const Trace& sender_trace,
+                                             const Trace& receiver_trace,
+                                             const LagDetectorConfig& cfg = {});
+
+}  // namespace vc::capture

@@ -1,0 +1,40 @@
+// Layer-7 data-rate computation from traces — the paper computes the rates
+// of Fig 15 and Fig 19b "directly from pcap traces" as payload bits over
+// time, per direction.
+#pragma once
+
+#include <optional>
+#include <vector>
+
+#include "common/units.h"
+#include "capture/trace.h"
+
+namespace vc::capture {
+
+struct RateReport {
+  DataRate upload{};      // L7 bits/s, outgoing
+  DataRate download{};    // L7 bits/s, incoming
+  std::int64_t l7_bytes_up = 0;
+  std::int64_t l7_bytes_down = 0;
+  SimDuration span{};
+};
+
+class RateAnalyzer {
+ public:
+  explicit RateAnalyzer(const Trace& trace) : trace_(&trace) {}
+
+  /// Average L7 rate over the full trace (or a sub-interval), optionally
+  /// restricted to one remote endpoint.
+  RateReport average(std::optional<SimTime> from = std::nullopt,
+                     std::optional<SimTime> to = std::nullopt,
+                     std::optional<net::Endpoint> remote = std::nullopt) const;
+
+  /// Windowed download-rate series (for rate-fluctuation analysis: the paper
+  /// contrasts Webex's constant rate with Meet's dynamic one).
+  std::vector<double> download_kbps_series(SimDuration window) const;
+
+ private:
+  const Trace* trace_;
+};
+
+}  // namespace vc::capture

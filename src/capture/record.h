@@ -1,0 +1,34 @@
+// What a packet capture actually sees.
+//
+// CaptureRecord is the *only* information the measurement pipeline may use:
+// timestamp, direction, addresses, protocol and lengths. No payload, no
+// sender-side ground truth — the paper's methodology is black-box
+// (end-to-end encrypted traffic), and this struct enforces that boundary.
+#pragma once
+
+#include <cstdint>
+
+#include "common/time.h"
+#include "net/endpoint.h"
+#include "net/host.h"
+
+namespace vc::capture {
+
+struct CaptureRecord {
+  /// Timestamp in the capturing host's local clock (true time + clock
+  /// offset); clock sync quality is part of the methodology (Section 3.1).
+  SimTime timestamp{};
+  net::Direction dir = net::Direction::kIncoming;
+  net::Endpoint src;
+  net::Endpoint dst;
+  net::Protocol protocol = net::Protocol::kUdp;
+  std::int64_t wire_len = 0;
+  std::int64_t l7_len = 0;
+
+  /// The far side of the conversation, relative to the capturing host.
+  const net::Endpoint& remote() const { return dir == net::Direction::kIncoming ? src : dst; }
+  /// The near side (the capturing host's own endpoint).
+  const net::Endpoint& local() const { return dir == net::Direction::kIncoming ? dst : src; }
+};
+
+}  // namespace vc::capture

@@ -1,0 +1,35 @@
+#include "capture/timeline.h"
+
+#include <algorithm>
+
+namespace vc::capture {
+
+std::vector<TimelinePoint> timeline_points(const Trace& trace, net::Direction dir) {
+  std::vector<TimelinePoint> pts;
+  if (trace.records.empty()) return pts;
+  const SimTime t0 = trace.records.front().timestamp;
+  for (const auto& r : trace.records) {
+    if (r.dir != dir) continue;
+    pts.push_back(TimelinePoint{(r.timestamp - t0).seconds(), r.l7_len});
+  }
+  return pts;
+}
+
+std::string render_ascii_timeline(const std::vector<TimelinePoint>& points, double t_max_sec,
+                                  int columns, std::int64_t big_threshold) {
+  if (columns <= 0 || t_max_sec <= 0.0) return {};
+  std::vector<char> row(static_cast<std::size_t>(columns), ' ');
+  for (const auto& p : points) {
+    if (p.t_sec < 0.0 || p.t_sec >= t_max_sec) continue;
+    const auto col = static_cast<std::size_t>(p.t_sec / t_max_sec * columns);
+    const auto c = std::min(col, row.size() - 1);
+    if (p.l7_len > big_threshold) {
+      row[c] = '#';
+    } else if (row[c] == ' ') {
+      row[c] = '.';
+    }
+  }
+  return std::string{row.begin(), row.end()};
+}
+
+}  // namespace vc::capture

@@ -1,0 +1,27 @@
+// Packet-stream timeline (Fig 2): the scatter of packet sizes over time on
+// sender and receiver, rendered as text for the bench binaries.
+#pragma once
+
+#include <string>
+#include <vector>
+
+#include "capture/trace.h"
+
+namespace vc::capture {
+
+struct TimelinePoint {
+  double t_sec = 0.0;
+  std::int64_t l7_len = 0;
+};
+
+/// Extracts (time, size) points for packets in the given direction, with
+/// time rebased to the first record in the trace.
+std::vector<TimelinePoint> timeline_points(const Trace& trace, net::Direction dir);
+
+/// Renders a coarse ASCII scatter plot: columns are time bins, rows are
+/// packet-size bands; '#' marks bins containing at least one big packet and
+/// '.' bins with only small packets.
+std::string render_ascii_timeline(const std::vector<TimelinePoint>& points, double t_max_sec,
+                                  int columns = 100, std::int64_t big_threshold = 200);
+
+}  // namespace vc::capture

@@ -1,0 +1,38 @@
+#include "capture/trace.h"
+
+namespace vc::capture {
+
+PacketCapture::PacketCapture(net::Host& host, SimDuration clock_offset)
+    : host_(host), clock_offset_(clock_offset) {
+  tap_id_ = host_.add_tap([this](net::Direction dir, const net::Packet& pkt, SimTime t) {
+    CaptureRecord rec;
+    rec.timestamp = t + clock_offset_;
+    rec.dir = dir;
+    rec.src = pkt.src;
+    rec.dst = pkt.dst;
+    rec.protocol = pkt.protocol;
+    rec.wire_len = pkt.wire_len();
+    rec.l7_len = pkt.l7_len;
+    records_.push_back(rec);
+  });
+  running_ = true;
+}
+
+PacketCapture::~PacketCapture() { stop(); }
+
+void PacketCapture::stop() {
+  if (!running_) return;
+  host_.remove_tap(tap_id_);
+  running_ = false;
+}
+
+Trace PacketCapture::trace() const {
+  Trace t;
+  t.host_name = host_.name();
+  t.host_ip = host_.ip();
+  t.clock_offset = clock_offset_;
+  t.records = records_;
+  return t;
+}
+
+}  // namespace vc::capture

@@ -1,0 +1,57 @@
+// In-memory packet trace and the live capture that fills it (the tcpdump
+// analog from the paper's "client monitor" component).
+#pragma once
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+#include "common/time.h"
+#include "net/host.h"
+#include "capture/record.h"
+
+namespace vc::capture {
+
+/// A completed capture from one host: metadata plus time-ordered records.
+struct Trace {
+  std::string host_name;
+  net::IpAddr host_ip;
+  /// The capturing host's clock offset from true time, already baked into
+  /// record timestamps. Stored for ablation studies only; lag analysis must
+  /// not subtract it (a real testbed doesn't know it).
+  SimDuration clock_offset{};
+  std::vector<CaptureRecord> records;
+
+  bool empty() const { return records.empty(); }
+  std::size_t size() const { return records.size(); }
+};
+
+/// Attaches to a host's packet tap and records traffic, applying the host's
+/// clock offset to emulate imperfect (cloud-grade) time sync.
+class PacketCapture {
+ public:
+  /// Starts capturing immediately. `clock_offset` models the capturing VM's
+  /// clock error; cloud time-sync keeps it within ~1 ms (Section 3.1).
+  PacketCapture(net::Host& host, SimDuration clock_offset = SimDuration::zero());
+  ~PacketCapture();
+  PacketCapture(const PacketCapture&) = delete;
+  PacketCapture& operator=(const PacketCapture&) = delete;
+
+  /// Stops capturing (idempotent).
+  void stop();
+
+  /// Snapshot of everything captured so far.
+  Trace trace() const;
+
+  /// Number of records so far (live view).
+  std::size_t size() const { return records_.size(); }
+
+ private:
+  net::Host& host_;
+  SimDuration clock_offset_;
+  std::uint64_t tap_id_ = 0;
+  bool running_ = false;
+  std::vector<CaptureRecord> records_;
+};
+
+}  // namespace vc::capture

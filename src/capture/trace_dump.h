@@ -1,0 +1,31 @@
+// Human-readable trace dumps (the `tcpdump -r` analog for .vctr files).
+#pragma once
+
+#include <iosfwd>
+#include <optional>
+#include <string>
+
+#include "capture/trace.h"
+
+namespace vc::capture {
+
+struct DumpOptions {
+  /// Print at most this many records (0 = all).
+  std::size_t max_records = 0;
+  /// Only records at or after this timestamp.
+  SimTime from{};
+  /// Restrict to one direction; unset prints both.
+  std::optional<net::Direction> direction;
+};
+
+/// Writes one line per record: "12.345678 OUT 10.0.0.1:47000 > 10.0.0.4:8801
+/// UDP wire=1178 l7=1150".
+void dump_trace(std::ostream& out, const Trace& trace, const DumpOptions& options);
+
+/// Convenience: dump to a string (tests, small traces).
+std::string dump_trace_to_string(const Trace& trace, const DumpOptions& options);
+
+/// One-line summary: "US-West: 599 records, 30.1 s, 312 KB in / 3 KB out".
+std::string summarize_trace(const Trace& trace);
+
+}  // namespace vc::capture

@@ -1,0 +1,93 @@
+#include "capture/trace_io.h"
+
+#include <cstdint>
+#include <fstream>
+#include <istream>
+#include <ostream>
+#include <stdexcept>
+
+namespace vc::capture {
+namespace {
+
+constexpr std::uint32_t kMagic = 0x52544356;  // "VCTR"
+constexpr std::uint32_t kVersion = 1;
+
+template <typename T>
+void put(std::ostream& out, T v) {
+  // The simulator only targets little-endian hosts; serialize raw.
+  out.write(reinterpret_cast<const char*>(&v), sizeof v);
+}
+
+template <typename T>
+T get(std::istream& in) {
+  T v{};
+  in.read(reinterpret_cast<char*>(&v), sizeof v);
+  if (!in) throw std::runtime_error{"truncated trace stream"};
+  return v;
+}
+
+}  // namespace
+
+void write_trace(std::ostream& out, const Trace& trace) {
+  put<std::uint32_t>(out, kMagic);
+  put<std::uint32_t>(out, kVersion);
+  put<std::uint32_t>(out, static_cast<std::uint32_t>(trace.host_name.size()));
+  out.write(trace.host_name.data(), static_cast<std::streamsize>(trace.host_name.size()));
+  put<std::uint32_t>(out, trace.host_ip.value());
+  put<std::int64_t>(out, trace.clock_offset.micros());
+  put<std::uint64_t>(out, trace.records.size());
+  for (const auto& r : trace.records) {
+    put<std::int64_t>(out, r.timestamp.micros());
+    put<std::uint8_t>(out, static_cast<std::uint8_t>(r.dir));
+    put<std::uint8_t>(out, static_cast<std::uint8_t>(r.protocol));
+    put<std::uint32_t>(out, r.src.ip.value());
+    put<std::uint16_t>(out, r.src.port);
+    put<std::uint32_t>(out, r.dst.ip.value());
+    put<std::uint16_t>(out, r.dst.port);
+    put<std::uint32_t>(out, static_cast<std::uint32_t>(r.wire_len));
+    put<std::uint32_t>(out, static_cast<std::uint32_t>(r.l7_len));
+  }
+}
+
+Trace read_trace(std::istream& in) {
+  if (get<std::uint32_t>(in) != kMagic) throw std::runtime_error{"bad trace magic"};
+  if (get<std::uint32_t>(in) != kVersion) throw std::runtime_error{"unsupported trace version"};
+  Trace t;
+  const auto name_len = get<std::uint32_t>(in);
+  if (name_len > 4096) throw std::runtime_error{"implausible host name length"};
+  t.host_name.resize(name_len);
+  in.read(t.host_name.data(), name_len);
+  if (!in) throw std::runtime_error{"truncated trace stream"};
+  t.host_ip = net::IpAddr{get<std::uint32_t>(in)};
+  t.clock_offset = SimDuration{get<std::int64_t>(in)};
+  const auto count = get<std::uint64_t>(in);
+  t.records.reserve(count);
+  for (std::uint64_t i = 0; i < count; ++i) {
+    CaptureRecord r;
+    r.timestamp = SimTime{get<std::int64_t>(in)};
+    r.dir = static_cast<net::Direction>(get<std::uint8_t>(in));
+    r.protocol = static_cast<net::Protocol>(get<std::uint8_t>(in));
+    r.src.ip = net::IpAddr{get<std::uint32_t>(in)};
+    r.src.port = get<std::uint16_t>(in);
+    r.dst.ip = net::IpAddr{get<std::uint32_t>(in)};
+    r.dst.port = get<std::uint16_t>(in);
+    r.wire_len = get<std::uint32_t>(in);
+    r.l7_len = get<std::uint32_t>(in);
+    t.records.push_back(r);
+  }
+  return t;
+}
+
+void write_trace_file(const std::string& path, const Trace& trace) {
+  std::ofstream out{path, std::ios::binary};
+  if (!out) throw std::runtime_error{"cannot open for write: " + path};
+  write_trace(out, trace);
+}
+
+Trace read_trace_file(const std::string& path) {
+  std::ifstream in{path, std::ios::binary};
+  if (!in) throw std::runtime_error{"cannot open for read: " + path};
+  return read_trace(in);
+}
+
+}  // namespace vc::capture

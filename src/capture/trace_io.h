@@ -1,0 +1,30 @@
+// Binary trace file format (the repo's ".vctr" analog of a pcap file), so
+// captures can be dumped on the fly and analyzed offline, exactly as the
+// paper's client monitor does with tcpdump.
+//
+// Layout (little-endian):
+//   magic  u32 = 0x52544356 ("VCTR")
+//   version u32 = 1
+//   name_len u32, name bytes
+//   host_ip u32
+//   clock_offset_us i64
+//   record_count u64
+//   records: {ts_us i64, dir u8, proto u8, src_ip u32, src_port u16,
+//             dst_ip u32, dst_port u16, wire_len u32, l7_len u32}
+#pragma once
+
+#include <iosfwd>
+#include <string>
+
+#include "capture/trace.h"
+
+namespace vc::capture {
+
+void write_trace(std::ostream& out, const Trace& trace);
+/// Throws std::runtime_error on malformed input.
+Trace read_trace(std::istream& in);
+
+void write_trace_file(const std::string& path, const Trace& trace);
+Trace read_trace_file(const std::string& path);
+
+}  // namespace vc::capture

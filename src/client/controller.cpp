@@ -1,0 +1,72 @@
+#include "client/controller.h"
+
+namespace vc::client {
+
+ClientController::Script default_script(platform::PlatformId id) {
+  switch (id) {
+    case platform::PlatformId::kZoom:
+      // Native Linux client: fast launch, app login.
+      return {.launch = millis(2500), .login = millis(1200), .join = millis(1500)};
+    case platform::PlatformId::kWebex:
+      // Web client in a browser tab.
+      return {.launch = millis(4000), .login = millis(2000), .join = millis(2500)};
+    case platform::PlatformId::kMeet:
+      return {.launch = millis(3500), .login = millis(1500), .join = millis(2000)};
+  }
+  return {};
+}
+
+ClientController::ClientController(VcaClient& client, Script script)
+    : client_(client), script_(script) {}
+
+ClientController::ClientController(VcaClient& client)
+    : ClientController(client, default_script(client.platform().traits().id)) {}
+
+net::EventLoop& ClientController::loop() { return client_.host().network().loop(); }
+
+void ClientController::start_host(std::function<void(platform::MeetingId)> on_created) {
+  state_ = State::kLaunching;
+  loop().schedule_after(script_.launch, [this, on_created = std::move(on_created)]() mutable {
+    state_ = State::kLoggingIn;
+    loop().schedule_after(script_.login, [this, on_created = std::move(on_created)]() mutable {
+      state_ = State::kCreating;
+      loop().schedule_after(script_.join, [this, on_created = std::move(on_created)] {
+        const auto id = client_.create_meeting();
+        state_ = State::kInMeeting;
+        if (on_created) on_created(id);
+      });
+    });
+  });
+}
+
+void ClientController::start_join(platform::MeetingId meeting, std::function<void()> on_joined) {
+  state_ = State::kLaunching;
+  loop().schedule_after(script_.launch, [this, meeting, on_joined = std::move(on_joined)]() mutable {
+    state_ = State::kLoggingIn;
+    loop().schedule_after(script_.login, [this, meeting, on_joined = std::move(on_joined)]() mutable {
+      state_ = State::kJoining;
+      loop().schedule_after(script_.join, [this, meeting, on_joined = std::move(on_joined)] {
+        client_.join(meeting);
+        state_ = State::kInMeeting;
+        if (on_joined) on_joined();
+      });
+    });
+  });
+}
+
+void ClientController::change_layout_after(SimDuration delay, platform::ViewMode view) {
+  loop().schedule_after(delay, [this, view] {
+    if (state_ == State::kInMeeting) client_.set_view_mode(view);
+  });
+}
+
+void ClientController::leave_after(SimDuration delay) {
+  loop().schedule_after(delay, [this] {
+    if (state_ == State::kInMeeting) {
+      client_.leave();
+      state_ = State::kLeft;
+    }
+  });
+}
+
+}  // namespace vc::client

@@ -1,0 +1,51 @@
+// Client controller (Fig 1): replays a platform-specific UI workflow script
+// — launch, login, meeting create/join, layout changes, leave — by
+// scheduling the corresponding client actions, as xdotool/adb scripts do in
+// the real testbed.
+#pragma once
+
+#include <functional>
+
+#include "client/vca_client.h"
+
+namespace vc::client {
+
+class ClientController {
+ public:
+  /// Scripted step durations; defaults vary slightly by platform (web
+  /// clients log in slower than the native Zoom client).
+  struct Script {
+    SimDuration launch = seconds(2);
+    SimDuration login = seconds(1);
+    SimDuration join = seconds(1);
+  };
+
+  enum class State { kIdle, kLaunching, kLoggingIn, kCreating, kJoining, kInMeeting, kLeft };
+
+  ClientController(VcaClient& client, Script script);
+  /// Uses per-platform default timings.
+  explicit ClientController(VcaClient& client);
+
+  State state() const { return state_; }
+
+  /// Launch → login → create meeting; invokes `on_created` with the id.
+  void start_host(std::function<void(platform::MeetingId)> on_created);
+  /// Launch → login → join; invokes `on_joined` when in-meeting.
+  void start_join(platform::MeetingId meeting, std::function<void()> on_joined);
+  /// Schedules a layout change (only valid once in meeting).
+  void change_layout_after(SimDuration delay, platform::ViewMode view);
+  /// Schedules leaving the meeting.
+  void leave_after(SimDuration delay);
+
+ private:
+  net::EventLoop& loop();
+
+  VcaClient& client_;
+  Script script_;
+  State state_ = State::kIdle;
+};
+
+/// Platform-default workflow timings.
+ClientController::Script default_script(platform::PlatformId id);
+
+}  // namespace vc::client

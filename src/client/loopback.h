@@ -1,0 +1,65 @@
+// Loopback pseudo-devices — the snd-aloop / v4l2loopback analogs.
+//
+// A feeder application writes media into the device; the videoconferencing
+// client reads from it exactly as it would from a real camera/microphone.
+// The devices are dumb buffers: all scheduling lives in MediaFeeder, all
+// consumption in VcaClient, mirroring the paper's in-kernel transparency.
+#pragma once
+
+#include <cstdint>
+#include <optional>
+#include <vector>
+
+#include "media/audio.h"
+#include "media/frame.h"
+
+namespace vc::client {
+
+/// Virtual video capture device: holds the most recent frame written.
+class VideoLoopbackDevice {
+ public:
+  void write_frame(media::Frame frame) {
+    latest_ = std::move(frame);
+    ++frames_written_;
+  }
+
+  /// The frame a client capture would return right now (empty until the
+  /// feeder starts).
+  const std::optional<media::Frame>& latest() const { return latest_; }
+  std::int64_t frames_written() const { return frames_written_; }
+
+ private:
+  std::optional<media::Frame> latest_;
+  std::int64_t frames_written_ = 0;
+};
+
+/// Virtual sound card: an append-only PCM buffer the client reads at its own
+/// cadence.
+class AudioLoopbackDevice {
+ public:
+  explicit AudioLoopbackDevice(int sample_rate = 16'000) : sample_rate_(sample_rate) {}
+
+  int sample_rate() const { return sample_rate_; }
+
+  void write_samples(const std::vector<float>& samples) {
+    buffer_.insert(buffer_.end(), samples.begin(), samples.end());
+  }
+
+  /// Reads `count` samples starting at absolute sample position `pos`;
+  /// positions not yet written read as silence.
+  std::vector<float> read(std::size_t pos, std::size_t count) const {
+    std::vector<float> out(count, 0.0F);
+    for (std::size_t i = 0; i < count; ++i) {
+      if (pos + i < buffer_.size()) out[i] = buffer_[pos + i];
+    }
+    return out;
+  }
+
+  std::size_t samples_written() const { return buffer_.size(); }
+
+ private:
+  int sample_rate_;
+  std::vector<float> buffer_;
+};
+
+}  // namespace vc::client

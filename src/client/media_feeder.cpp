@@ -1,0 +1,55 @@
+#include "client/media_feeder.h"
+
+#include <stdexcept>
+
+namespace vc::client {
+
+MediaFeeder::MediaFeeder(net::EventLoop& loop, VideoLoopbackDevice& video_dev,
+                         AudioLoopbackDevice& audio_dev)
+    : loop_(loop), video_dev_(video_dev), audio_dev_(audio_dev) {}
+
+void MediaFeeder::play_video(std::shared_ptr<const media::VideoFeed> feed, SimDuration duration) {
+  if (!feed) throw std::invalid_argument{"null feed"};
+  feed_ = std::move(feed);
+  video_end_ = loop_.now() + duration;
+  next_frame_ = 0;
+  video_active_ = true;
+  stopped_ = false;
+  video_tick();
+}
+
+void MediaFeeder::video_tick() {
+  if (stopped_ || loop_.now() >= video_end_) {
+    video_active_ = false;
+    return;
+  }
+  video_dev_.write_frame(feed_->frame_at(next_frame_));
+  ++next_frame_;
+  loop_.schedule_after(seconds_f(1.0 / feed_->fps()), [this] { video_tick(); });
+}
+
+void MediaFeeder::play_audio(media::AudioSignal audio) {
+  audio_ = std::move(audio);
+  audio_pos_ = 0;
+  audio_active_ = true;
+  stopped_ = false;
+  audio_tick();
+}
+
+void MediaFeeder::audio_tick() {
+  if (stopped_ || audio_pos_ >= audio_.samples.size()) {
+    audio_active_ = false;
+    return;
+  }
+  const auto chunk = static_cast<std::size_t>(audio_.sample_rate / 50);  // 20 ms
+  const std::size_t n = std::min(chunk, audio_.samples.size() - audio_pos_);
+  audio_dev_.write_samples(
+      std::vector<float>(audio_.samples.begin() + static_cast<std::ptrdiff_t>(audio_pos_),
+                         audio_.samples.begin() + static_cast<std::ptrdiff_t>(audio_pos_ + n)));
+  audio_pos_ += n;
+  loop_.schedule_after(millis(20), [this] { audio_tick(); });
+}
+
+void MediaFeeder::stop() { stopped_ = true; }
+
+}  // namespace vc::client

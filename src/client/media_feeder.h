@@ -1,0 +1,46 @@
+// Media feeder: replays a video feed and an audio track into the loopback
+// devices on the event loop — the aplay/ffmpeg replay of the paper's setup.
+#pragma once
+
+#include <memory>
+
+#include "client/loopback.h"
+#include "media/feeds.h"
+#include "net/event_loop.h"
+
+namespace vc::client {
+
+class MediaFeeder {
+ public:
+  MediaFeeder(net::EventLoop& loop, VideoLoopbackDevice& video_dev, AudioLoopbackDevice& audio_dev);
+
+  /// Starts replaying `feed` into the video device at its native fps, from
+  /// now until `duration` elapses.
+  void play_video(std::shared_ptr<const media::VideoFeed> feed, SimDuration duration);
+
+  /// Starts replaying `audio` into the audio device in 20 ms chunks.
+  void play_audio(media::AudioSignal audio);
+
+  void stop();
+  bool video_active() const { return video_active_; }
+
+ private:
+  void video_tick();
+  void audio_tick();
+
+  net::EventLoop& loop_;
+  VideoLoopbackDevice& video_dev_;
+  AudioLoopbackDevice& audio_dev_;
+
+  std::shared_ptr<const media::VideoFeed> feed_;
+  SimTime video_end_{};
+  std::int64_t next_frame_ = 0;
+  bool video_active_ = false;
+
+  media::AudioSignal audio_;
+  std::size_t audio_pos_ = 0;
+  bool audio_active_ = false;
+  bool stopped_ = false;
+};
+
+}  // namespace vc::client

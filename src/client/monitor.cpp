@@ -1,0 +1,31 @@
+#include "client/monitor.h"
+
+namespace vc::client {
+
+ClientMonitor::ClientMonitor(net::Host& host) : ClientMonitor(host, Config{}) {}
+
+ClientMonitor::ClientMonitor(net::Host& host, Config config)
+    : host_(host), config_(config), capture_(host, config.clock_offset), prober_(host) {}
+
+void ClientMonitor::start_active_probing() {
+  host_.network().loop().schedule_after(config_.discovery_delay, [this] { try_discover(); });
+}
+
+void ClientMonitor::try_discover() {
+  // Discovery over the live capture; thresholds scaled down because only a
+  // few seconds of traffic exist this early in the session.
+  capture::DiscoveryConfig cfg;
+  cfg.min_l7_bytes = 20'000;
+  cfg.min_packets = 20;
+  const auto endpoints = capture::discover_endpoints(capture_.trace(), cfg);
+  if (endpoints.empty()) {
+    if (++discovery_attempts_ < 10) {
+      host_.network().loop().schedule_after(seconds(1), [this] { try_discover(); });
+    }
+    return;
+  }
+  media_endpoint_ = endpoints.front().endpoint;
+  prober_.start(*media_endpoint_, config_.probe_interval, config_.probe_count);
+}
+
+}  // namespace vc::client

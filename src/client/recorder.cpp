@@ -1,0 +1,25 @@
+#include "client/recorder.h"
+
+namespace vc::client {
+
+DesktopRecorder::DesktopRecorder(VcaClient& client, double fps) : client_(client), fps_(fps) {
+  video_.fps = fps;
+}
+
+void DesktopRecorder::start(SimDuration duration) {
+  end_ = client_.host().network().now() + duration;
+  recording_ = true;
+  video_.frames.clear();
+  tick();
+}
+
+void DesktopRecorder::tick() {
+  if (client_.host().network().now() >= end_) {
+    recording_ = false;
+    return;
+  }
+  video_.frames.push_back(client_.render_screen());
+  client_.host().network().loop().schedule_after(seconds_f(1.0 / fps_), [this] { tick(); });
+}
+
+}  // namespace vc::client

@@ -1,0 +1,33 @@
+// Desktop recorder — the simplescreenrecorder analog (Section 3.1): records
+// the client's rendered screen (with its UI occlusion) plus the received
+// audio, inside the VM itself, platform-agnostically.
+#pragma once
+
+#include "client/vca_client.h"
+#include "media/align.h"
+
+namespace vc::client {
+
+class DesktopRecorder {
+ public:
+  DesktopRecorder(VcaClient& client, double fps = 15.0);
+
+  /// Records for `duration` starting now.
+  void start(SimDuration duration);
+  bool recording() const { return recording_; }
+
+  const media::RecordedVideo& video() const { return video_; }
+  /// Snapshot of the client's received audio (call after recording ends).
+  media::AudioSignal audio() const { return client_.received_audio(); }
+
+ private:
+  void tick();
+
+  VcaClient& client_;
+  double fps_;
+  SimTime end_{};
+  bool recording_ = false;
+  media::RecordedVideo video_;
+};
+
+}  // namespace vc::client

@@ -1,0 +1,46 @@
+// Active RTT probing of discovered service endpoints — the tcpping analog
+// (ICMP is blocked by the real infrastructures, so the paper probes the
+// media endpoint itself; our relays likewise answer only in-band probes).
+#pragma once
+
+#include <cstdint>
+#include <unordered_map>
+#include <vector>
+
+#include "common/time.h"
+#include "net/network.h"
+
+namespace vc::client {
+
+class RttProber {
+ public:
+  explicit RttProber(net::Host& host);
+  ~RttProber();
+  RttProber(const RttProber&) = delete;
+  RttProber& operator=(const RttProber&) = delete;
+
+  /// Sends `count` probes to `target`, one every `interval`.
+  void start(net::Endpoint target, SimDuration interval, int count);
+  void stop();
+
+  const std::vector<double>& rtts_ms() const { return rtts_ms_; }
+  double average_ms() const;
+  int sent() const { return sent_; }
+  bool done() const { return !running_; }
+
+ private:
+  void tick();
+
+  net::Host& host_;
+  net::UdpSocket* socket_;
+  net::Endpoint target_;
+  SimDuration interval_{};
+  int remaining_ = 0;
+  int sent_ = 0;
+  bool running_ = false;
+  std::uint64_t next_seq_ = 1;
+  std::unordered_map<std::uint64_t, SimTime> outstanding_;
+  std::vector<double> rtts_ms_;
+};
+
+}  // namespace vc::client

@@ -1,0 +1,41 @@
+#include "common/csv.h"
+
+#include <cstdio>
+#include <ostream>
+
+namespace vc {
+
+CsvWriter::CsvWriter(std::ostream& out) : out_(out) {}
+
+std::string CsvWriter::escape(const std::string& cell) {
+  const bool needs_quoting = cell.find_first_of(",\"\n\r") != std::string::npos;
+  if (!needs_quoting) return cell;
+  std::string out = "\"";
+  for (char c : cell) {
+    if (c == '"') out += '"';
+    out += c;
+  }
+  out += '"';
+  return out;
+}
+
+void CsvWriter::row(const std::vector<std::string>& cells) {
+  for (std::size_t i = 0; i < cells.size(); ++i) {
+    if (i > 0) out_ << ',';
+    out_ << escape(cells[i]);
+  }
+  out_ << '\n';
+  ++rows_;
+}
+
+void CsvWriter::row(std::initializer_list<std::string> cells) {
+  row(std::vector<std::string>(cells));
+}
+
+std::string CsvWriter::num(double v) {
+  char buf[64];
+  std::snprintf(buf, sizeof buf, "%.17g", v);
+  return buf;
+}
+
+}  // namespace vc

@@ -1,0 +1,34 @@
+// Minimal CSV writer for exporting benchmark results to plotting tools.
+//
+// Quoting follows RFC 4180: fields containing commas, quotes, or newlines
+// are quoted, with embedded quotes doubled.
+#pragma once
+
+#include <initializer_list>
+#include <iosfwd>
+#include <string>
+#include <vector>
+
+namespace vc {
+
+class CsvWriter {
+ public:
+  /// Writes rows to `out`; the stream must outlive the writer.
+  explicit CsvWriter(std::ostream& out);
+
+  /// Writes a header or data row.
+  void row(const std::vector<std::string>& cells);
+  void row(std::initializer_list<std::string> cells);
+
+  /// Formats a double with full round-trip precision.
+  static std::string num(double v);
+
+  std::size_t rows_written() const { return rows_; }
+
+ private:
+  static std::string escape(const std::string& cell);
+  std::ostream& out_;
+  std::size_t rows_ = 0;
+};
+
+}  // namespace vc

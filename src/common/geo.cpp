@@ -1,0 +1,35 @@
+#include "common/geo.h"
+
+#include <cmath>
+#include <numbers>
+
+namespace vc {
+namespace {
+
+constexpr double kEarthRadiusKm = 6371.0;
+// Speed of light in fiber, km per second (~0.67 c).
+constexpr double kFiberKmPerSec = 200'000.0;
+
+double deg2rad(double d) { return d * std::numbers::pi / 180.0; }
+
+}  // namespace
+
+double great_circle_km(const GeoPoint& a, const GeoPoint& b) {
+  const double lat1 = deg2rad(a.lat_deg);
+  const double lat2 = deg2rad(b.lat_deg);
+  const double dlat = lat2 - lat1;
+  const double dlon = deg2rad(b.lon_deg - a.lon_deg);
+  const double s = std::sin(dlat / 2.0);
+  const double t = std::sin(dlon / 2.0);
+  const double h = s * s + std::cos(lat1) * std::cos(lat2) * t * t;
+  return 2.0 * kEarthRadiusKm * std::asin(std::min(1.0, std::sqrt(h)));
+}
+
+SimDuration propagation_delay(const GeoPoint& a, const GeoPoint& b, double inflation,
+                              SimDuration base) {
+  const double km = great_circle_km(a, b) * inflation;
+  const double sec = km / kFiberKmPerSec;
+  return base + seconds_f(sec);
+}
+
+}  // namespace vc

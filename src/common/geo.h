@@ -1,0 +1,33 @@
+// Geographic coordinates and distance, used by the network latency model to
+// place the paper's 12 VM sites, the residential mobile site, and platform
+// datacenters.
+#pragma once
+
+#include <string>
+
+#include "common/time.h"
+
+namespace vc {
+
+/// A point on the Earth's surface.
+struct GeoPoint {
+  double lat_deg = 0.0;
+  double lon_deg = 0.0;
+
+  friend bool operator==(const GeoPoint&, const GeoPoint&) = default;
+};
+
+/// Great-circle distance (haversine), in kilometers.
+double great_circle_km(const GeoPoint& a, const GeoPoint& b);
+
+/// One-way propagation delay estimate between two points.
+///
+/// Light in fiber travels at ~2/3 c (~200 km/ms); real internet paths are
+/// longer than the great circle. `inflation` captures routing stretch
+/// (literature reports 1.5–2.1 for inter-domain paths); `base` adds last-mile
+/// and processing latency independent of distance.
+SimDuration propagation_delay(const GeoPoint& a, const GeoPoint& b,
+                              double inflation = 1.8,
+                              SimDuration base = millis_f(1.0));
+
+}  // namespace vc

@@ -1,0 +1,46 @@
+// Minimal leveled logger. Defaults to warnings-and-above so tests and bench
+// binaries stay quiet; experiments can raise verbosity for debugging.
+#pragma once
+
+#include <sstream>
+#include <string>
+
+namespace vc {
+
+enum class LogLevel { kDebug = 0, kInfo = 1, kWarn = 2, kError = 3, kOff = 4 };
+
+/// Sets the global threshold; messages below it are discarded.
+void set_log_level(LogLevel level);
+LogLevel log_level();
+
+namespace detail {
+void log_write(LogLevel level, const std::string& msg);
+}
+
+/// Stream-style logging: VC_LOG(kInfo) << "joined session " << id;
+#define VC_LOG(level)                                            \
+  if (::vc::LogLevel::level < ::vc::log_level()) {               \
+  } else                                                         \
+    ::vc::detail::LogLine(::vc::LogLevel::level)
+
+namespace detail {
+class LogLine {
+ public:
+  explicit LogLine(LogLevel level) : level_(level) {}
+  ~LogLine() { log_write(level_, stream_.str()); }
+  LogLine(const LogLine&) = delete;
+  LogLine& operator=(const LogLine&) = delete;
+
+  template <typename T>
+  LogLine& operator<<(const T& v) {
+    stream_ << v;
+    return *this;
+  }
+
+ private:
+  LogLevel level_;
+  std::ostringstream stream_;
+};
+}  // namespace detail
+
+}  // namespace vc

@@ -1,0 +1,48 @@
+// Deterministic pseudo-random number generation.
+//
+// Every stochastic component of the simulator takes an explicit Rng (or a
+// seed) so that experiments are exactly reproducible — reproducibility is
+// design goal D3 of the paper's methodology.
+#pragma once
+
+#include <cstdint>
+#include <cmath>
+#include <string_view>
+
+namespace vc {
+
+/// xoshiro256** — fast, high-quality, and tiny. Seeded via SplitMix64.
+class Rng {
+ public:
+  explicit Rng(std::uint64_t seed = 0x9E3779B97F4A7C15ULL);
+
+  /// Derives an independent child generator; `salt` distinguishes siblings.
+  Rng fork(std::uint64_t salt) const;
+  /// Derives a child keyed by a label, for readable stream separation.
+  Rng fork(std::string_view label) const;
+
+  std::uint64_t next_u64();
+  /// Uniform in [0, 1).
+  double next_double();
+  /// Uniform in [lo, hi).
+  double uniform(double lo, double hi);
+  /// Uniform integer in [lo, hi] inclusive.
+  std::int64_t uniform_int(std::int64_t lo, std::int64_t hi);
+  /// Standard normal via Box–Muller.
+  double normal(double mean = 0.0, double stddev = 1.0);
+  /// Exponential with the given mean.
+  double exponential(double mean);
+  /// Log-normal parameterized by the mean/stddev of the underlying normal.
+  double lognormal(double mu, double sigma);
+  /// Bernoulli trial.
+  bool chance(double p);
+  /// Picks an index in [0, n) uniformly.
+  std::size_t index(std::size_t n);
+
+ private:
+  std::uint64_t s_[4];
+  bool has_cached_normal_ = false;
+  double cached_normal_ = 0.0;
+};
+
+}  // namespace vc

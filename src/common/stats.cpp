@@ -1,0 +1,126 @@
+#include "common/stats.h"
+
+#include <algorithm>
+#include <cmath>
+#include <stdexcept>
+
+namespace vc {
+
+void RunningStats::add(double x) {
+  if (n_ == 0) {
+    min_ = max_ = x;
+  } else {
+    min_ = std::min(min_, x);
+    max_ = std::max(max_, x);
+  }
+  ++n_;
+  const double delta = x - mean_;
+  mean_ += delta / static_cast<double>(n_);
+  m2_ += delta * (x - mean_);
+}
+
+void RunningStats::merge(const RunningStats& other) {
+  if (other.n_ == 0) return;
+  if (n_ == 0) {
+    *this = other;
+    return;
+  }
+  const double na = static_cast<double>(n_);
+  const double nb = static_cast<double>(other.n_);
+  const double delta = other.mean_ - mean_;
+  const double total = na + nb;
+  mean_ += delta * nb / total;
+  m2_ += other.m2_ + delta * delta * na * nb / total;
+  n_ += other.n_;
+  min_ = std::min(min_, other.min_);
+  max_ = std::max(max_, other.max_);
+}
+
+double RunningStats::variance() const {
+  if (n_ < 2) return 0.0;
+  return m2_ / static_cast<double>(n_ - 1);
+}
+
+double RunningStats::stddev() const { return std::sqrt(variance()); }
+
+double quantile(std::vector<double> values, double q) {
+  if (values.empty()) throw std::invalid_argument{"quantile of empty sample"};
+  if (q < 0.0 || q > 1.0) throw std::invalid_argument{"quantile q out of [0,1]"};
+  std::sort(values.begin(), values.end());
+  const double pos = q * static_cast<double>(values.size() - 1);
+  const auto lo = static_cast<std::size_t>(pos);
+  const double frac = pos - static_cast<double>(lo);
+  if (lo + 1 >= values.size()) return values.back();
+  return values[lo] * (1.0 - frac) + values[lo + 1] * frac;
+}
+
+double median(std::vector<double> values) { return quantile(std::move(values), 0.5); }
+
+BoxplotSummary boxplot(std::vector<double> values) {
+  if (values.empty()) throw std::invalid_argument{"boxplot of empty sample"};
+  std::sort(values.begin(), values.end());
+  BoxplotSummary s;
+  s.n = values.size();
+  s.q1 = quantile(values, 0.25);
+  s.median = quantile(values, 0.5);
+  s.q3 = quantile(values, 0.75);
+  const double iqr = s.q3 - s.q1;
+  const double lo_fence = s.q1 - 1.5 * iqr;
+  const double hi_fence = s.q3 + 1.5 * iqr;
+  s.whisker_lo = values.front();
+  s.whisker_hi = values.back();
+  for (double v : values) {
+    if (v >= lo_fence) {
+      s.whisker_lo = v;
+      break;
+    }
+  }
+  for (auto it = values.rbegin(); it != values.rend(); ++it) {
+    if (*it <= hi_fence) {
+      s.whisker_hi = *it;
+      break;
+    }
+  }
+  return s;
+}
+
+EmpiricalCdf::EmpiricalCdf(std::vector<double> samples) : sorted_(std::move(samples)) {
+  if (sorted_.empty()) throw std::invalid_argument{"CDF of empty sample"};
+  std::sort(sorted_.begin(), sorted_.end());
+}
+
+double EmpiricalCdf::at(double x) const {
+  const auto it = std::upper_bound(sorted_.begin(), sorted_.end(), x);
+  return static_cast<double>(it - sorted_.begin()) / static_cast<double>(sorted_.size());
+}
+
+double EmpiricalCdf::inverse(double q) const {
+  std::vector<double> copy = sorted_;  // already sorted; quantile re-sorts harmlessly
+  return quantile(std::move(copy), q);
+}
+
+Histogram::Histogram(double lo, double hi, std::size_t bins) : lo_(lo), hi_(hi), counts_(bins, 0) {
+  if (bins == 0 || !(hi > lo)) throw std::invalid_argument{"bad histogram bounds"};
+}
+
+void Histogram::add(double x) {
+  ++total_;
+  if (x < lo_) {
+    ++underflow_;
+    return;
+  }
+  if (x >= hi_) {
+    ++overflow_;
+    return;
+  }
+  const auto i = static_cast<std::size_t>((x - lo_) / (hi_ - lo_) * static_cast<double>(counts_.size()));
+  ++counts_[std::min(i, counts_.size() - 1)];
+}
+
+double Histogram::bin_lo(std::size_t i) const {
+  return lo_ + (hi_ - lo_) * static_cast<double>(i) / static_cast<double>(counts_.size());
+}
+
+double Histogram::bin_hi(std::size_t i) const { return bin_lo(i + 1); }
+
+}  // namespace vc

@@ -1,0 +1,37 @@
+#include <cstdio>
+
+#include "common/time.h"
+#include "common/units.h"
+
+namespace vc {
+
+std::string SimTime::to_string() const {
+  char buf[48];
+  std::snprintf(buf, sizeof buf, "%.3f s", seconds());
+  return buf;
+}
+
+std::string SimDuration::to_string() const {
+  char buf[48];
+  if (micros_ < 1000) {
+    std::snprintf(buf, sizeof buf, "%lld us", static_cast<long long>(micros_));
+  } else if (micros_ < 1'000'000) {
+    std::snprintf(buf, sizeof buf, "%.2f ms", millis());
+  } else {
+    std::snprintf(buf, sizeof buf, "%.2f s", seconds());
+  }
+  return buf;
+}
+
+std::string DataRate::to_string() const {
+  char buf[48];
+  if (is_unlimited()) return "unlimited";
+  if (bps_ < 1'000'000) {
+    std::snprintf(buf, sizeof buf, "%.0f Kbps", as_kbps());
+  } else {
+    std::snprintf(buf, sizeof buf, "%.2f Mbps", as_mbps());
+  }
+  return buf;
+}
+
+}  // namespace vc

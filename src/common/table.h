@@ -1,0 +1,29 @@
+// Plain-text table formatting for benchmark output, so each bench binary can
+// print the same rows the paper's tables/figures report.
+#pragma once
+
+#include <cstddef>
+#include <string>
+#include <vector>
+
+namespace vc {
+
+/// Builds a fixed-width ASCII table. All rows must have the same number of
+/// cells as the header.
+class TextTable {
+ public:
+  explicit TextTable(std::vector<std::string> header);
+
+  void add_row(std::vector<std::string> cells);
+  /// Renders with column alignment and a separator under the header.
+  std::string render() const;
+
+  /// Formats a double with `prec` digits after the decimal point.
+  static std::string num(double v, int prec = 2);
+
+ private:
+  std::vector<std::string> header_;
+  std::vector<std::vector<std::string>> rows_;
+};
+
+}  // namespace vc

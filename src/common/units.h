@@ -1,0 +1,62 @@
+// Data-size and data-rate units.
+//
+// Rates follow networking convention: 1 Kbps = 1000 bit/s. Sizes are bytes.
+#pragma once
+
+#include <cstdint>
+#include <compare>
+#include <string>
+
+#include "common/time.h"
+
+namespace vc {
+
+/// A data rate in bits per second.
+class DataRate {
+ public:
+  constexpr DataRate() = default;
+
+  static constexpr DataRate bps(std::int64_t v) { return DataRate{v}; }
+  static constexpr DataRate kbps(double v) {
+    return DataRate{static_cast<std::int64_t>(v * 1e3 + 0.5)};
+  }
+  static constexpr DataRate mbps(double v) {
+    return DataRate{static_cast<std::int64_t>(v * 1e6 + 0.5)};
+  }
+  static constexpr DataRate zero() { return DataRate{0}; }
+  /// Effectively unlimited; used for unshaped links.
+  static constexpr DataRate unlimited() { return DataRate{INT64_MAX / 2}; }
+
+  constexpr std::int64_t bits_per_second() const { return bps_; }
+  constexpr double as_kbps() const { return static_cast<double>(bps_) * 1e-3; }
+  constexpr double as_mbps() const { return static_cast<double>(bps_) * 1e-6; }
+  constexpr bool is_unlimited() const { return bps_ >= INT64_MAX / 2; }
+
+  /// Time to serialize `bytes` at this rate.
+  constexpr SimDuration transmission_time(std::int64_t bytes) const {
+    if (bps_ <= 0 || is_unlimited()) return SimDuration::zero();
+    return SimDuration{bytes * 8 * 1'000'000 / bps_};
+  }
+
+  /// Bytes transferable in `d` at this rate.
+  constexpr std::int64_t bytes_in(SimDuration d) const {
+    return bps_ * d.micros() / 8 / 1'000'000;
+  }
+
+  friend constexpr auto operator<=>(DataRate, DataRate) = default;
+
+  std::string to_string() const;
+
+ private:
+  constexpr explicit DataRate(std::int64_t bps) : bps_(bps) {}
+  std::int64_t bps_ = 0;
+};
+
+constexpr DataRate operator*(DataRate r, double k) {
+  return DataRate::bps(static_cast<std::int64_t>(static_cast<double>(r.bits_per_second()) * k));
+}
+constexpr DataRate operator+(DataRate a, DataRate b) {
+  return DataRate::bps(a.bits_per_second() + b.bits_per_second());
+}
+
+}  // namespace vc

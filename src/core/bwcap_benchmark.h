@@ -1,0 +1,50 @@
+// Streaming under bandwidth constraints (Section 4.4; Figs 17–18).
+//
+// A two-party session with an artificial ingress cap (the tc/ifb analog) on
+// the receiving VM. Video QoE comes from the recorded-screen pipeline; audio
+// QoE from loudness-normalized, offset-aligned MOS-LQO scoring of the
+// received audio against the injected voice track.
+#pragma once
+
+#include <cstdint>
+#include <string>
+
+#include "common/stats.h"
+#include "common/units.h"
+#include "platform/rate_policy.h"
+
+namespace vc::core {
+
+struct BwCapBenchmarkConfig {
+  platform::PlatformId platform = platform::PlatformId::kZoom;
+  platform::MotionClass motion = platform::MotionClass::kLowMotion;
+  /// Ingress cap on the receiver; DataRate::unlimited() for the baseline.
+  DataRate cap = DataRate::unlimited();
+  std::string host_site = "US-East";
+  std::string receiver_site = "US-East";
+  int sessions = 2;
+  SimDuration media_duration = seconds(15);
+  int content_width = 256;
+  int content_height = 192;
+  int padding = 24;
+  double fps = 10.0;
+  int metric_stride = 4;
+  std::uint64_t seed = 5;
+};
+
+struct BwCapBenchmarkResult {
+  platform::PlatformId platform{};
+  DataRate cap{};
+  RunningStats psnr;
+  RunningStats ssim;
+  RunningStats vifp;
+  RunningStats mos_lqo;
+  /// Realized receiver download (post-shaper) and shaper drop fraction.
+  RunningStats download_kbps;
+  RunningStats drop_fraction;
+  RunningStats delivery_ratio;
+};
+
+BwCapBenchmarkResult run_bwcap_benchmark(const BwCapBenchmarkConfig& config);
+
+}  // namespace vc::core

@@ -1,0 +1,184 @@
+#include "core/qoe_benchmark.h"
+
+#include <memory>
+#include <stdexcept>
+#include <unordered_map>
+
+#include "capture/rate_analyzer.h"
+#include "client/media_feeder.h"
+#include "client/recorder.h"
+#include "client/vca_client.h"
+#include "media/align.h"
+#include "media/feeds.h"
+#include "platform/base_platform.h"
+#include "testbed/cloud_testbed.h"
+#include "testbed/orchestrator.h"
+
+namespace vc::core {
+namespace {
+
+std::shared_ptr<const media::VideoFeed> make_content_feed(const QoeBenchmarkConfig& cfg,
+                                                          std::uint64_t seed) {
+  media::FeedParams params{cfg.content_width, cfg.content_height, cfg.fps, seed};
+  if (cfg.motion == platform::MotionClass::kHighMotion) {
+    return std::make_shared<media::TourGuideFeed>(params);
+  }
+  return std::make_shared<media::TalkingHeadFeed>(params);
+}
+
+}  // namespace
+
+std::vector<std::string> us_qoe_receiver_sites(int n) {
+  // Host in US-East; receivers alternate between US-West and US-East.
+  const std::vector<std::string> pool = {"US-West", "US-East", "US-West", "US-East", "US-West"};
+  if (n < 1 || n > static_cast<int>(pool.size())) throw std::invalid_argument{"n in [1,5]"};
+  return {pool.begin(), pool.begin() + n};
+}
+
+std::vector<std::string> europe_qoe_receiver_sites(int n) {
+  // Host in Switzerland; receivers in France, Germany, Ireland, UK (Fig 16).
+  const std::vector<std::string> pool = {"FR", "DE", "IE", "UK-South", "NL"};
+  if (n < 1 || n > static_cast<int>(pool.size())) throw std::invalid_argument{"n in [1,5]"};
+  return {pool.begin(), pool.begin() + n};
+}
+
+QoeBenchmarkResult run_qoe_benchmark(const QoeBenchmarkConfig& config) {
+  if (config.receiver_sites.empty()) throw std::invalid_argument{"need at least one receiver"};
+  const int padded_w = config.content_width + 2 * config.padding;
+  const int padded_h = config.content_height + 2 * config.padding;
+  if (padded_w % 8 != 0 || padded_h % 8 != 0) {
+    throw std::invalid_argument{"padded feed dimensions must be multiples of 8"};
+  }
+
+  testbed::CloudTestbed bed{config.seed};
+  auto platform = platform::make_platform(config.platform, bed.network(), config.seed ^ 0xBEEF);
+
+  net::Host& host_vm = bed.create_vm(testbed::site_by_name(config.host_site), 8);
+  std::vector<net::Host*> rx_vms;
+  std::unordered_map<std::string, int> site_use;
+  for (const auto& site : config.receiver_sites) {
+    rx_vms.push_back(&bed.create_vm(testbed::site_by_name(site), site_use[site]++));
+  }
+
+  QoeBenchmarkResult result;
+  result.platform = config.platform;
+  result.motion = config.motion;
+  result.receivers = static_cast<int>(rx_vms.size());
+
+  for (int s = 0; s < config.sessions; ++s) {
+    const std::uint64_t session_seed = config.seed + static_cast<std::uint64_t>(s) * 6151;
+    const auto content = make_content_feed(config, config.seed ^ 0xC0FFEE);
+    const auto padded = std::make_shared<media::PaddedFeed>(content, config.padding);
+
+    client::VcaClient::Config host_cfg;
+    host_cfg.send_video = true;
+    host_cfg.send_audio = true;
+    host_cfg.decode_video = false;
+    host_cfg.motion = config.motion;
+    host_cfg.video_width = padded_w;
+    host_cfg.video_height = padded_h;
+    host_cfg.fps = config.fps;
+    host_cfg.ui_border = config.padding > 8 ? config.padding - 8 : 0;
+    // Rates-only runs skip the pixel codec: frame sizes follow the same
+    // policy targets either way, and nobody scores pixels.
+    host_cfg.synthetic_video = !config.score_video;
+    host_cfg.seed = session_seed;
+    client::VcaClient host_client{host_vm, *platform, host_cfg};
+    client::MediaFeeder feeder{bed.loop(), host_client.video_device(), host_client.audio_device()};
+    capture::PacketCapture host_capture{host_vm, bed.clock_offset(host_vm)};
+
+    std::vector<std::unique_ptr<client::VcaClient>> receivers;
+    std::vector<std::unique_ptr<client::DesktopRecorder>> recorders;
+    std::vector<std::unique_ptr<capture::PacketCapture>> captures;
+    for (std::size_t i = 0; i < rx_vms.size(); ++i) {
+      client::VcaClient::Config cfg;
+      cfg.send_video = false;
+      cfg.send_audio = false;
+      cfg.decode_video = true;
+      cfg.video_width = padded_w;
+      cfg.video_height = padded_h;
+      cfg.fps = config.fps;
+      cfg.ui_border = host_cfg.ui_border;
+      cfg.seed = session_seed + 17 * (i + 1);
+      cfg.decode_video = config.score_video;
+      receivers.push_back(std::make_unique<client::VcaClient>(*rx_vms[i], *platform, cfg));
+      recorders.push_back(std::make_unique<client::DesktopRecorder>(*receivers.back(), config.fps));
+      captures.push_back(
+          std::make_unique<capture::PacketCapture>(*rx_vms[i], bed.clock_offset(*rx_vms[i])));
+    }
+
+    SimTime media_start{};
+    testbed::SessionOrchestrator::Plan plan;
+    plan.host = &host_client;
+    for (auto& r : receivers) plan.participants.push_back(r.get());
+    plan.media_duration = config.media_duration;
+    plan.on_all_joined = [&] {
+      media_start = bed.network().now();
+      feeder.play_video(padded, config.media_duration);
+      const double audio_sec = config.media_duration.seconds();
+      feeder.play_audio(media::synthesize_voice(audio_sec, session_seed ^ 0xA0D10));
+      if (config.score_video) {
+        for (auto& rec : recorders) rec->start(config.media_duration);
+      }
+    };
+    testbed::SessionOrchestrator orchestrator{std::move(plan)};
+    orchestrator.start();
+    bed.run_all();
+
+    // ---- scoring ----
+    const capture::Trace host_trace = host_capture.trace();
+    const capture::RateAnalyzer host_rates{host_trace};
+    result.upload_kbps.add(host_rates.average(media_start).upload.as_kbps());
+
+    double session_download_acc = 0.0;
+    for (std::size_t i = 0; i < receivers.size(); ++i) {
+      // Rates from the receiver's capture.
+      const capture::Trace rx_trace = captures[i]->trace();
+      const capture::RateAnalyzer rx_rates{rx_trace};
+      const double down = rx_rates.average(media_start).download.as_kbps();
+      result.download_kbps.add(down);
+      session_download_acc += down;
+
+      // Delivery ratio (freezes under congestion show up here).
+      const auto& st = receivers[i]->stats();
+      if (host_client.stats().video_frames_sent > 0) {
+        result.delivery_ratio.add(static_cast<double>(st.video_frames_completed) /
+                                  static_cast<double>(host_client.stats().video_frames_sent));
+      }
+
+      if (!config.score_video) continue;
+      // Recording post-processing: crop padding (which also removes the UI
+      // border), then temporal alignment to the injected feed.
+      const media::RecordedVideo cropped = media::crop_and_resize(
+          recorders[i]->video(), config.padding, config.content_width, config.content_height);
+      if (cropped.frames.size() < 12) continue;  // recording too short to score
+
+      std::vector<media::Frame> reference;
+      reference.reserve(cropped.frames.size());
+      for (std::size_t k = 0; k < cropped.frames.size(); ++k) {
+        reference.push_back(content->frame_at(static_cast<std::int64_t>(k)));
+      }
+      const std::int64_t shift =
+          media::best_temporal_shift(reference, cropped.frames, /*max_shift=*/10);
+      const auto aligned = media::align_sequences(reference, cropped.frames, shift);
+
+      std::vector<media::Frame> ref_sample;
+      std::vector<media::Frame> rec_sample;
+      for (std::size_t k = 0; k < aligned.reference.size();
+           k += static_cast<std::size_t>(config.metric_stride)) {
+        ref_sample.push_back(aligned.reference[k]);
+        rec_sample.push_back(aligned.recording[k]);
+      }
+      if (ref_sample.empty()) continue;
+      const auto qoe = media::qoe::mean_video_qoe(ref_sample, rec_sample);
+      result.psnr.add(qoe.psnr);
+      result.ssim.add(qoe.ssim);
+      result.vifp.add(qoe.vifp);
+    }
+    result.session_download_kbps.push_back(session_download_acc /
+                                           static_cast<double>(receivers.size()));
+  }
+  return result;
+}
+
+}  // namespace vc::core

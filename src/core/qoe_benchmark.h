@@ -1,0 +1,66 @@
+// User-perceived video QoE benchmark (Section 4.3; Figs 12, 14, 15, 16).
+//
+// A host VM broadcasts a padded low- or high-motion feed; N receivers render
+// it full screen and desktop-record their screens. Recordings are cropped,
+// resized and SSIM-aligned to the injected feed, then scored with
+// PSNR/SSIM/VIFp. Host upload and receiver download rates come from the
+// pcap-analog captures (Layer-7 payload, as in Fig 15).
+#pragma once
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+#include "common/stats.h"
+#include "media/qoe/video_metrics.h"
+#include "platform/rate_policy.h"
+
+namespace vc::core {
+
+struct QoeBenchmarkConfig {
+  platform::PlatformId platform = platform::PlatformId::kZoom;
+  platform::MotionClass motion = platform::MotionClass::kLowMotion;
+  std::string host_site = "US-East";
+  /// Receiver sites; size determines N (the paper sweeps 1..5 receivers).
+  std::vector<std::string> receiver_sites = {"US-West"};
+  int sessions = 2;
+  SimDuration media_duration = seconds(15);
+  // Feed geometry: content + protective padding (Fig 13). Padded dimensions
+  // must be multiples of 8.
+  int content_width = 256;
+  int content_height = 192;
+  int padding = 24;
+  double fps = 10.0;
+  /// Score every k-th aligned frame pair (QoE means are stable under
+  /// subsampling; full-rate scoring is available by setting 1).
+  int metric_stride = 4;
+  /// When false, skip desktop recording and pixel scoring entirely and
+  /// report traffic rates only (Fig 15 mode).
+  bool score_video = true;
+  std::uint64_t seed = 1;
+};
+
+struct QoeBenchmarkResult {
+  platform::PlatformId platform{};
+  platform::MotionClass motion{};
+  int receivers = 0;
+  /// Pooled over receivers and sessions.
+  RunningStats psnr;
+  RunningStats ssim;
+  RunningStats vifp;
+  /// Data rates (Kbps): host upload, receiver download; pooled per session.
+  RunningStats upload_kbps;
+  RunningStats download_kbps;
+  /// Mean download per session (exposes across-session rate variability).
+  std::vector<double> session_download_kbps;
+  /// Fraction of sent video frames each receiver completed (freeze metric).
+  RunningStats delivery_ratio;
+};
+
+QoeBenchmarkResult run_qoe_benchmark(const QoeBenchmarkConfig& config);
+
+/// Receiver site lists used by the paper's US and Europe QoE experiments.
+std::vector<std::string> us_qoe_receiver_sites(int n);
+std::vector<std::string> europe_qoe_receiver_sites(int n);
+
+}  // namespace vc::core

@@ -1,0 +1,68 @@
+#include "media/align.h"
+
+#include <algorithm>
+#include <stdexcept>
+
+#include "media/qoe/video_metrics.h"
+
+namespace vc::media {
+
+RecordedVideo crop_and_resize(const RecordedVideo& recording, int pad, int target_w, int target_h) {
+  RecordedVideo out;
+  out.fps = recording.fps;
+  out.frames.reserve(recording.frames.size());
+  for (const auto& f : recording.frames) {
+    if (f.width() <= 2 * pad || f.height() <= 2 * pad) {
+      throw std::invalid_argument{"padding exceeds frame size"};
+    }
+    Frame inner = pad > 0 ? f.crop(pad, pad, f.width() - 2 * pad, f.height() - 2 * pad) : f;
+    out.frames.push_back(inner.resized(target_w, target_h));
+  }
+  return out;
+}
+
+std::int64_t best_temporal_shift(const std::vector<Frame>& reference,
+                                 const std::vector<Frame>& recording, std::int64_t max_shift,
+                                 std::int64_t probe_frames) {
+  if (reference.empty() || recording.empty()) throw std::invalid_argument{"empty sequence"};
+  double best = -2.0;
+  std::int64_t best_shift = 0;
+  for (std::int64_t shift = 0; shift <= max_shift; ++shift) {
+    const auto common = static_cast<std::int64_t>(
+        std::min(reference.size(), recording.size() - std::min<std::size_t>(
+                                       static_cast<std::size_t>(shift), recording.size())));
+    if (common <= 0) break;
+    const std::int64_t stride = std::max<std::int64_t>(1, common / probe_frames);
+    double acc = 0.0;
+    std::int64_t n = 0;
+    for (std::int64_t i = 0; i < common; i += stride) {
+      acc += qoe::ssim(reference[static_cast<std::size_t>(i)],
+                       recording[static_cast<std::size_t>(i + shift)]);
+      ++n;
+    }
+    const double score = acc / static_cast<double>(n);
+    if (score > best) {
+      best = score;
+      best_shift = shift;
+    }
+  }
+  return best_shift;
+}
+
+AlignedPair align_sequences(std::vector<Frame> reference, std::vector<Frame> recording,
+                            std::int64_t shift) {
+  AlignedPair out;
+  if (shift < 0) throw std::invalid_argument{"negative shift"};
+  if (static_cast<std::size_t>(shift) >= recording.size()) {
+    throw std::invalid_argument{"shift exceeds recording length"};
+  }
+  recording.erase(recording.begin(), recording.begin() + static_cast<std::ptrdiff_t>(shift));
+  const std::size_t common = std::min(reference.size(), recording.size());
+  reference.resize(common);
+  recording.resize(common);
+  out.reference = std::move(reference);
+  out.recording = std::move(recording);
+  return out;
+}
+
+}  // namespace vc::media

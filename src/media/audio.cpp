@@ -1,0 +1,118 @@
+#include "media/audio.h"
+
+#include <algorithm>
+#include <cmath>
+#include <numbers>
+
+namespace vc::media {
+
+double AudioSignal::rms() const {
+  if (samples.empty()) return 0.0;
+  double acc = 0.0;
+  for (float s : samples) acc += static_cast<double>(s) * s;
+  return std::sqrt(acc / static_cast<double>(samples.size()));
+}
+
+AudioSignal synthesize_voice(double seconds, std::uint64_t seed, int sample_rate) {
+  AudioSignal out;
+  out.sample_rate = sample_rate;
+  const auto total = static_cast<std::size_t>(seconds * sample_rate);
+  out.samples.assign(total, 0.0F);
+  Rng rng{seed};
+
+  std::size_t pos = 0;
+  const double f0_base = rng.uniform(110.0, 190.0);  // speaker pitch
+  while (pos < total) {
+    // A syllable: 120–280 ms of voiced sound.
+    const auto syllable = static_cast<std::size_t>(rng.uniform(0.12, 0.28) * sample_rate);
+    const double f0 = f0_base * rng.uniform(0.9, 1.15);   // intonation
+    const double formant = rng.uniform(500.0, 2200.0);    // vowel color
+    const double breath = rng.uniform(0.02, 0.06);        // noise floor
+    for (std::size_t i = 0; i < syllable && pos + i < total; ++i) {
+      const double t = static_cast<double>(i) / sample_rate;
+      const double frac = static_cast<double>(i) / static_cast<double>(syllable);
+      // Attack-decay envelope.
+      const double env = std::sin(std::numbers::pi * frac);
+      double v = 0.0;
+      for (int h = 1; h <= 8; ++h) {
+        const double fh = f0 * h;
+        if (fh > sample_rate / 2.0) break;
+        // Resonance: harmonics near the formant are boosted.
+        const double gain = 1.0 / h * (1.0 + 2.0 * std::exp(-std::pow((fh - formant) / 350.0, 2)));
+        v += gain * std::sin(2.0 * std::numbers::pi * fh * t);
+      }
+      v = 0.18 * env * v + breath * env * rng.normal();
+      out.samples[pos + i] = static_cast<float>(v);
+    }
+    pos += syllable;
+    // Pause between syllables / words: 30–250 ms.
+    pos += static_cast<std::size_t>(rng.uniform(0.03, 0.25) * sample_rate);
+  }
+  return out;
+}
+
+void normalize_loudness(AudioSignal& signal, double target_rms) {
+  const double r = signal.rms();
+  if (r <= 1e-9) return;
+  const double k = target_rms / r;
+  for (auto& s : signal.samples) s = static_cast<float>(s * k);
+}
+
+namespace {
+
+// Short-time energy envelope with 10 ms hops.
+std::vector<double> energy_envelope(const AudioSignal& s) {
+  const auto hop = static_cast<std::size_t>(s.sample_rate / 100);
+  std::vector<double> env;
+  for (std::size_t i = 0; i + hop <= s.samples.size(); i += hop) {
+    double acc = 0.0;
+    for (std::size_t k = 0; k < hop; ++k) acc += std::abs(static_cast<double>(s.samples[i + k]));
+    env.push_back(acc / static_cast<double>(hop));
+  }
+  return env;
+}
+
+}  // namespace
+
+std::int64_t find_offset_samples(const AudioSignal& reference, const AudioSignal& degraded,
+                                 std::int64_t max_shift_samples) {
+  const auto ref_env = energy_envelope(reference);
+  const auto deg_env = energy_envelope(degraded);
+  if (ref_env.empty() || deg_env.empty()) return 0;
+  const auto hop = static_cast<std::int64_t>(reference.sample_rate / 100);
+  const std::int64_t max_shift_hops = max_shift_samples / hop;
+
+  double best_score = -1e300;
+  std::int64_t best_shift = 0;
+  for (std::int64_t shift = -max_shift_hops; shift <= max_shift_hops; ++shift) {
+    double score = 0.0;
+    std::int64_t n = 0;
+    for (std::int64_t i = 0; i < static_cast<std::int64_t>(ref_env.size()); ++i) {
+      const std::int64_t j = i + shift;
+      if (j < 0 || j >= static_cast<std::int64_t>(deg_env.size())) continue;
+      score += ref_env[static_cast<std::size_t>(i)] * deg_env[static_cast<std::size_t>(j)];
+      ++n;
+    }
+    if (n > 0) score /= static_cast<double>(n);
+    if (score > best_score) {
+      best_score = score;
+      best_shift = shift;
+    }
+  }
+  return best_shift * hop;
+}
+
+AudioSignal shifted(const AudioSignal& signal, std::int64_t shift, std::size_t length) {
+  AudioSignal out;
+  out.sample_rate = signal.sample_rate;
+  out.samples.assign(length, 0.0F);
+  for (std::size_t i = 0; i < length; ++i) {
+    const std::int64_t j = static_cast<std::int64_t>(i) + shift;
+    if (j >= 0 && j < static_cast<std::int64_t>(signal.samples.size())) {
+      out.samples[i] = signal.samples[static_cast<std::size_t>(j)];
+    }
+  }
+  return out;
+}
+
+}  // namespace vc::media

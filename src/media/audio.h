@@ -1,0 +1,42 @@
+// Audio signals, procedural speech synthesis, and the audio preprocessing
+// steps of the paper's pipeline (Section 4.4): loudness normalization and
+// offset alignment (the audio-offset-finder analog).
+#pragma once
+
+#include <cstdint>
+#include <vector>
+
+#include "common/rng.h"
+
+namespace vc::media {
+
+struct AudioSignal {
+  int sample_rate = 16'000;
+  std::vector<float> samples;
+
+  double duration_sec() const {
+    return sample_rate > 0 ? static_cast<double>(samples.size()) / sample_rate : 0.0;
+  }
+  double rms() const;
+};
+
+/// Synthesizes speech-like audio: voiced syllables (harmonic stacks shaped by
+/// formant-ish resonance and an amplitude envelope) separated by pauses.
+/// Deterministic in (seconds, seed).
+AudioSignal synthesize_voice(double seconds, std::uint64_t seed, int sample_rate = 16'000);
+
+/// Scales the signal to a target RMS (the EBU R128-style normalization step;
+/// we normalize energy rather than perceptual LUFS).
+void normalize_loudness(AudioSignal& signal, double target_rms = 0.1);
+
+/// Estimates the shift (in samples) that best aligns `degraded` to
+/// `reference` by cross-correlating short-time energy envelopes; positive
+/// means `degraded` lags. Searches |shift| <= max_shift_samples.
+std::int64_t find_offset_samples(const AudioSignal& reference, const AudioSignal& degraded,
+                                 std::int64_t max_shift_samples);
+
+/// Applies a shift: drops `shift` leading samples (or pads zeros when
+/// negative) and truncates/pads to `length`.
+AudioSignal shifted(const AudioSignal& signal, std::int64_t shift, std::size_t length);
+
+}  // namespace vc::media

@@ -1,0 +1,236 @@
+#include "media/feeds.h"
+
+#include <algorithm>
+#include <cmath>
+#include <numbers>
+#include <stdexcept>
+
+namespace vc::media {
+namespace {
+
+// Deterministic 2D hash noise in [0, 255].
+std::uint8_t hash_noise(std::uint64_t seed, int x, int y) {
+  std::uint64_t h = seed;
+  h ^= static_cast<std::uint64_t>(x) * 0x9E3779B97F4A7C15ULL;
+  h ^= static_cast<std::uint64_t>(y) * 0xC2B2AE3D27D4EB4FULL;
+  h ^= h >> 29;
+  h *= 0xBF58476D1CE4E5B9ULL;
+  h ^= h >> 32;
+  return static_cast<std::uint8_t>(h & 0xFF);
+}
+
+// Smooth value noise: bilinear interpolation of lattice hash noise at a
+// given cell size. Produces natural-looking low-frequency texture.
+double value_noise(std::uint64_t seed, double x, double y, double cell) {
+  const double gx = x / cell;
+  const double gy = y / cell;
+  const int x0 = static_cast<int>(std::floor(gx));
+  const int y0 = static_cast<int>(std::floor(gy));
+  const double fx = gx - x0;
+  const double fy = gy - y0;
+  const double sx = fx * fx * (3 - 2 * fx);  // smoothstep
+  const double sy = fy * fy * (3 - 2 * fy);
+  const double v00 = hash_noise(seed, x0, y0);
+  const double v10 = hash_noise(seed, x0 + 1, y0);
+  const double v01 = hash_noise(seed, x0, y0 + 1);
+  const double v11 = hash_noise(seed, x0 + 1, y0 + 1);
+  return (v00 * (1 - sx) + v10 * sx) * (1 - sy) + (v01 * (1 - sx) + v11 * sx) * sy;
+}
+
+// Two-octave fractal noise, range ~[0, 255].
+double fractal_noise(std::uint64_t seed, double x, double y, double cell) {
+  return 0.7 * value_noise(seed, x, y, cell) + 0.3 * value_noise(seed ^ 0xABCD, x, y, cell / 3.0);
+}
+
+void fill_ellipse(Frame& f, double cx, double cy, double rx, double ry, std::uint8_t luma) {
+  const int x_lo = std::max(0, static_cast<int>(cx - rx) - 1);
+  const int x_hi = std::min(f.width() - 1, static_cast<int>(cx + rx) + 1);
+  const int y_lo = std::max(0, static_cast<int>(cy - ry) - 1);
+  const int y_hi = std::min(f.height() - 1, static_cast<int>(cy + ry) + 1);
+  for (int y = y_lo; y <= y_hi; ++y) {
+    for (int x = x_lo; x <= x_hi; ++x) {
+      const double dx = (x - cx) / rx;
+      const double dy = (y - cy) / ry;
+      if (dx * dx + dy * dy <= 1.0) f.set(x, y, luma);
+    }
+  }
+}
+
+// Deterministic sensor noise: zero-mean uniform with std-dev sigma, keyed by
+// (seed, frame index, pixel).
+void apply_sensor_noise(Frame& f, std::uint64_t seed, std::int64_t index, double sigma) {
+  if (sigma <= 0.0) return;
+  const double half_range = sigma * 1.7320508;  // uniform(-a, a) has sd a/sqrt(3)
+  const std::uint64_t frame_seed = seed ^ (0x9E3779B97F4A7C15ULL * static_cast<std::uint64_t>(index + 1));
+  for (int y = 0; y < f.height(); ++y) {
+    for (int x = 0; x < f.width(); ++x) {
+      const double u = (hash_noise(frame_seed, x, y) - 127.5) / 127.5;
+      const double v = f.at(x, y) + u * half_range;
+      f.set(x, y, static_cast<std::uint8_t>(std::clamp(v, 0.0, 255.0)));
+    }
+  }
+}
+
+}  // namespace
+
+// ---------------------------------------------------------------- TalkingHead
+
+TalkingHeadFeed::TalkingHeadFeed(FeedParams params) : p_(params), background_(p_.width, p_.height) {
+  // Indoor wall: smooth low-frequency texture plus a darker "bookshelf" band.
+  for (int y = 0; y < p_.height; ++y) {
+    for (int x = 0; x < p_.width; ++x) {
+      double v = 90.0 + 0.25 * fractal_noise(p_.seed, x, y, 48.0);
+      if (x > p_.width * 3 / 4) v *= 0.7;  // shelf on the right
+      background_.set(x, y, static_cast<std::uint8_t>(std::clamp(v, 0.0, 255.0)));
+    }
+  }
+}
+
+Frame TalkingHeadFeed::frame_at(std::int64_t index) const {
+  if (index < 0) throw std::invalid_argument{"negative frame index"};
+  Frame f = background_;
+  const double t = static_cast<double>(index) / p_.fps;
+  const double cx = p_.width / 2.0 + 1.5 * std::sin(2.0 * std::numbers::pi * 0.25 * t);
+  const double head_cy = p_.height * 0.38 + 1.0 * std::sin(2.0 * std::numbers::pi * 0.4 * t);
+  const double head_r = p_.height * 0.16;
+
+  // Torso.
+  fill_ellipse(f, cx, p_.height * 0.85, p_.width * 0.22, p_.height * 0.30, 60);
+  // Head.
+  fill_ellipse(f, cx, head_cy, head_r * 0.8, head_r, 180);
+  // Eyes (blink every ~4 s).
+  const bool blink = std::fmod(t, 4.0) < 0.15;
+  if (!blink) {
+    fill_ellipse(f, cx - head_r * 0.35, head_cy - head_r * 0.2, head_r * 0.1, head_r * 0.07, 30);
+    fill_ellipse(f, cx + head_r * 0.35, head_cy - head_r * 0.2, head_r * 0.1, head_r * 0.07, 30);
+  }
+  // Mouth: opens and closes while "talking" (syllable rate ~3 Hz).
+  const double mouth_open = 0.5 + 0.5 * std::sin(2.0 * std::numbers::pi * 3.0 * t);
+  fill_ellipse(f, cx, head_cy + head_r * 0.5, head_r * 0.3, head_r * (0.05 + 0.12 * mouth_open), 40);
+  // Occasional hand gesture: a raised hand for ~1 s every ~7 s.
+  const double phase = std::fmod(t, 7.0);
+  if (phase < 1.0) {
+    const double lift = std::sin(std::numbers::pi * phase);  // raise then lower
+    fill_ellipse(f, cx + p_.width * 0.25, p_.height * (0.8 - 0.25 * lift), p_.width * 0.05,
+                 p_.height * 0.06, 170);
+  }
+  apply_sensor_noise(f, p_.seed, index, p_.sensor_noise_sigma);
+  return f;
+}
+
+// ------------------------------------------------------------------ TourGuide
+
+TourGuideFeed::TourGuideFeed(FeedParams params) : p_(params) {}
+
+Frame TourGuideFeed::frame_at(std::int64_t index) const {
+  if (index < 0) throw std::invalid_argument{"negative frame index"};
+  Frame f{p_.width, p_.height};
+  const double t = static_cast<double>(index) / p_.fps;
+  const auto scene = static_cast<std::uint64_t>(t / scene_change_period_sec_);
+  const std::uint64_t scene_seed = p_.seed ^ (scene * 0x9E3779B97F4A7C15ULL + 17);
+
+  // Camera pans briskly; a full scene change re-seeds the texture. The
+  // texture has fine detail (small cells): panning shifts it by sub-block
+  // amounts every frame, so inter residuals carry real structure — the
+  // reason high-motion content is expensive per bit (Finding 3).
+  const double pan_x = 85.0 * t;
+  const double pan_y = 12.0 * std::sin(2.0 * std::numbers::pi * 0.3 * t);
+  for (int y = 0; y < p_.height; ++y) {
+    for (int x = 0; x < p_.width; ++x) {
+      const double v = fractal_noise(scene_seed, x + pan_x, y + pan_y, 9.0);
+      f.set(x, y, static_cast<std::uint8_t>(std::clamp(v, 0.0, 255.0)));
+    }
+  }
+  // Moving foreground objects (pedestrians/vehicles) crossing the view.
+  Rng obj_rng{scene_seed ^ 0x5151};
+  for (int i = 0; i < 8; ++i) {
+    const double speed = obj_rng.uniform(30.0, 90.0) * (obj_rng.chance(0.5) ? 1.0 : -1.0);
+    const double y0 = obj_rng.uniform(0.2, 0.9) * p_.height;
+    const double r = obj_rng.uniform(0.03, 0.08) * p_.height;
+    const double scene_t = t - static_cast<double>(scene) * scene_change_period_sec_;
+    double x0 = obj_rng.uniform(0.0, 1.0) * p_.width + speed * scene_t;
+    x0 = std::fmod(std::fmod(x0, p_.width) + p_.width, p_.width);
+    const auto luma = static_cast<std::uint8_t>(obj_rng.uniform_int(20, 235));
+    fill_ellipse(f, x0, y0, r * 1.5, r, luma);
+  }
+  apply_sensor_noise(f, p_.seed, index, p_.sensor_noise_sigma);
+  return f;
+}
+
+// ---------------------------------------------------------------------- Flash
+
+FlashFeed::FlashFeed(FeedParams params, double period_sec, int flash_frames)
+    : p_(params), period_sec_(period_sec), flash_frames_(flash_frames) {
+  if (period_sec <= 0 || flash_frames <= 0) throw std::invalid_argument{"bad flash parameters"};
+}
+
+bool FlashFeed::is_flash_frame(std::int64_t index) const {
+  const auto period_frames = static_cast<std::int64_t>(period_sec_ * p_.fps + 0.5);
+  return index % period_frames < flash_frames_;
+}
+
+Frame FlashFeed::frame_at(std::int64_t index) const {
+  if (index < 0) throw std::invalid_argument{"negative frame index"};
+  if (!is_flash_frame(index)) return Frame{p_.width, p_.height, 16};
+  // A photo-like image (checker + fine texture): its coded size is several
+  // KB, producing the unmistakable burst of big packets on the wire that
+  // the lag detector keys on (Fig 2).
+  Frame f{p_.width, p_.height};
+  for (int y = 0; y < p_.height; ++y) {
+    for (int x = 0; x < p_.width; ++x) {
+      const bool check = ((x / 12) + (y / 12)) % 2 == 0;
+      const double texture = 0.5 * value_noise(p_.seed ^ 0xF1A5, x, y, 5.0);
+      const double v = (check ? 200.0 : 60.0) + texture - 64.0;
+      f.set(x, y, static_cast<std::uint8_t>(std::clamp(v, 0.0, 255.0)));
+    }
+  }
+  return f;
+}
+
+// ---------------------------------------------------------------------- Blank
+
+BlankFeed::BlankFeed(FeedParams params) : p_(params) {}
+
+Frame BlankFeed::frame_at(std::int64_t index) const {
+  if (index < 0) throw std::invalid_argument{"negative frame index"};
+  return Frame{p_.width, p_.height, 16};
+}
+
+// --------------------------------------------------------------------- Padded
+
+PaddedFeed::PaddedFeed(std::shared_ptr<const VideoFeed> inner, int pad, std::uint8_t pad_luma)
+    : inner_(std::move(inner)), pad_(pad), pad_luma_(pad_luma) {
+  if (!inner_) throw std::invalid_argument{"null inner feed"};
+  if (pad_ < 0) throw std::invalid_argument{"negative padding"};
+}
+
+Frame PaddedFeed::frame_at(std::int64_t index) const {
+  const Frame inner = inner_->frame_at(index);
+  Frame out{width(), height(), pad_luma_};
+  for (int y = 0; y < inner.height(); ++y) {
+    for (int x = 0; x < inner.width(); ++x) {
+      out.set(x + pad_, y + pad_, inner.at(x, y));
+    }
+  }
+  return out;
+}
+
+// --------------------------------------------------------------------- motion
+
+double mean_motion(const VideoFeed& feed, std::int64_t frames) {
+  if (frames < 2) throw std::invalid_argument{"need at least two frames"};
+  double acc = 0.0;
+  Frame prev = feed.frame_at(0);
+  for (std::int64_t i = 1; i < frames; ++i) {
+    Frame cur = feed.frame_at(i);
+    double diff = 0.0;
+    for (std::size_t k = 0; k < cur.size(); ++k) {
+      diff += std::abs(static_cast<int>(cur.data()[k]) - static_cast<int>(prev.data()[k]));
+    }
+    acc += diff / static_cast<double>(cur.size());
+    prev = std::move(cur);
+  }
+  return acc / static_cast<double>(frames - 1);
+}
+
+}  // namespace vc::media

@@ -1,0 +1,48 @@
+// Raster frames for the media pipeline.
+//
+// Frames are single-plane 8-bit luma. The paper's QoE metrics (PSNR, SSIM,
+// VIFp as computed by VQMT) operate on the luminance channel, so a luma
+// plane carries all the signal the metrics need while keeping the toy codec
+// and the procedural feeds fast.
+#pragma once
+
+#include <cstdint>
+#include <vector>
+
+namespace vc::media {
+
+class Frame {
+ public:
+  Frame() = default;
+  Frame(int width, int height, std::uint8_t fill = 0);
+
+  int width() const { return width_; }
+  int height() const { return height_; }
+  bool empty() const { return data_.empty(); }
+
+  std::uint8_t at(int x, int y) const { return data_[static_cast<std::size_t>(y) * width_ + x]; }
+  void set(int x, int y, std::uint8_t v) { data_[static_cast<std::size_t>(y) * width_ + x] = v; }
+  /// Clamped accessor: reads outside the frame return the nearest edge pixel.
+  std::uint8_t at_clamped(int x, int y) const;
+
+  const std::uint8_t* data() const { return data_.data(); }
+  std::uint8_t* data() { return data_.data(); }
+  std::size_t size() const { return data_.size(); }
+
+  /// Extracts the rectangle [x, x+w) × [y, y+h); must lie inside the frame.
+  Frame crop(int x, int y, int w, int h) const;
+  /// Bilinear resize.
+  Frame resized(int new_w, int new_h) const;
+
+  /// Mean squared error against another frame of identical dimensions.
+  double mse(const Frame& other) const;
+
+  friend bool operator==(const Frame&, const Frame&) = default;
+
+ private:
+  int width_ = 0;
+  int height_ = 0;
+  std::vector<std::uint8_t> data_;
+};
+
+}  // namespace vc::media

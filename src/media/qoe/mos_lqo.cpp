@@ -1,0 +1,117 @@
+#include "media/qoe/mos_lqo.h"
+
+#include <algorithm>
+#include <cmath>
+#include <numbers>
+#include <stdexcept>
+
+namespace vc::media::qoe {
+
+Spectrogram spectrogram(const AudioSignal& signal, int bands, double frame_ms, double hop_ms,
+                        double max_hz) {
+  if (bands <= 0 || frame_ms <= 0 || hop_ms <= 0) throw std::invalid_argument{"bad spectrogram params"};
+  const auto frame_len = static_cast<std::size_t>(signal.sample_rate * frame_ms / 1000.0);
+  const auto hop = static_cast<std::size_t>(signal.sample_rate * hop_ms / 1000.0);
+  Spectrogram spec;
+  spec.bands = bands;
+  if (frame_len == 0 || hop == 0 || signal.samples.size() < frame_len) return spec;
+
+  // Precompute the Hann window.
+  std::vector<double> window(frame_len);
+  for (std::size_t i = 0; i < frame_len; ++i) {
+    window[i] = 0.5 - 0.5 * std::cos(2.0 * std::numbers::pi * static_cast<double>(i) /
+                                     static_cast<double>(frame_len - 1));
+  }
+  // Band center frequencies spaced on a mel-like (log) scale from 80 Hz.
+  std::vector<double> centers(static_cast<std::size_t>(bands));
+  const double f_lo = 80.0;
+  for (int b = 0; b < bands; ++b) {
+    centers[static_cast<std::size_t>(b)] =
+        f_lo * std::pow(max_hz / f_lo, static_cast<double>(b) / (bands - 1));
+  }
+
+  for (std::size_t start = 0; start + frame_len <= signal.samples.size(); start += hop) {
+    std::vector<double> powers(static_cast<std::size_t>(bands));
+    for (int b = 0; b < bands; ++b) {
+      // Goertzel-style single-bin DFT at the band center.
+      const double f = centers[static_cast<std::size_t>(b)];
+      const double w = 2.0 * std::numbers::pi * f / signal.sample_rate;
+      double re = 0.0;
+      double im = 0.0;
+      for (std::size_t i = 0; i < frame_len; ++i) {
+        const double v = window[i] * static_cast<double>(signal.samples[start + i]);
+        re += v * std::cos(w * static_cast<double>(i));
+        im -= v * std::sin(w * static_cast<double>(i));
+      }
+      powers[static_cast<std::size_t>(b)] = std::log10(1e-10 + re * re + im * im);
+    }
+    spec.frames.push_back(std::move(powers));
+  }
+  return spec;
+}
+
+double nsim(const Spectrogram& reference, const Spectrogram& degraded) {
+  if (reference.bands != degraded.bands || reference.bands == 0) {
+    throw std::invalid_argument{"spectrogram band mismatch"};
+  }
+  const std::size_t frames = std::min(reference.frames.size(), degraded.frames.size());
+  if (frames == 0) return 0.0;
+  const int bands = reference.bands;
+
+  // SSIM-like similarity over 3×3 (time × band) patches of the log
+  // spectrograms. Dynamic range of log10 power ~ 10; constants scaled to it.
+  constexpr double kC1 = 0.01 * 10 * 0.01 * 10;
+  constexpr double kC2 = 0.03 * 10 * 0.03 * 10;
+  constexpr int kPatch = 3;
+  double total = 0.0;
+  std::int64_t n = 0;
+  for (std::size_t t0 = 0; t0 + kPatch <= frames; ++t0) {
+    for (int b0 = 0; b0 + kPatch <= bands; ++b0) {
+      double sa = 0, sb = 0, saa = 0, sbb = 0, sab = 0;
+      for (int dt = 0; dt < kPatch; ++dt) {
+        for (int db = 0; db < kPatch; ++db) {
+          const double a = reference.frames[t0 + static_cast<std::size_t>(dt)]
+                                           [static_cast<std::size_t>(b0 + db)];
+          const double b = degraded.frames[t0 + static_cast<std::size_t>(dt)]
+                                          [static_cast<std::size_t>(b0 + db)];
+          sa += a;
+          sb += b;
+          saa += a * a;
+          sbb += b * b;
+          sab += a * b;
+        }
+      }
+      constexpr double kN = kPatch * kPatch;
+      const double ma = sa / kN;
+      const double mb = sb / kN;
+      const double va = std::max(saa / kN - ma * ma, 0.0);
+      const double vb = std::max(sbb / kN - mb * mb, 0.0);
+      const double cov = sab / kN - ma * mb;
+      // Luminance term on mean log-power, structure term on covariance.
+      const double lum = (2 * ma * mb + kC1) / (ma * ma + mb * mb + kC1);
+      const double str = (2 * cov + kC2) / (va + vb + kC2);
+      total += std::clamp(lum * str, -1.0, 1.0);
+      ++n;
+    }
+  }
+  if (n == 0) return 0.0;
+  return std::clamp(total / static_cast<double>(n), 0.0, 1.0);
+}
+
+double nsim_to_mos(double nsim_value) {
+  const double s = std::clamp(nsim_value, 0.0, 1.0);
+  // Logistic: s=1 → ~4.75, s≈0.85 → ~4.1, s≈0.6 → ~2.6, s→0 → ~1.0.
+  const double mos = 1.0 + 3.75 / (1.0 + std::exp(-10.0 * (s - 0.62)));
+  return std::clamp(mos, 1.0, 5.0);
+}
+
+double mos_lqo(const AudioSignal& reference, const AudioSignal& degraded) {
+  if (reference.sample_rate != degraded.sample_rate) {
+    throw std::invalid_argument{"sample-rate mismatch"};
+  }
+  const auto ref_spec = spectrogram(reference);
+  const auto deg_spec = spectrogram(degraded);
+  return nsim_to_mos(nsim(ref_spec, deg_spec));
+}
+
+}  // namespace vc::media::qoe

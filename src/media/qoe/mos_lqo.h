@@ -1,0 +1,38 @@
+// Objective speech quality: MOS-LQO via spectro-temporal similarity, in the
+// spirit of ViSQOL (the tool the paper uses in Section 4.4).
+//
+// Pipeline: both signals → log-power spectrograms (Hann-windowed short-time
+// DFT, 30 ms frames / 15 ms hop, 32 bands up to 4 kHz) → NSIM (an SSIM-like
+// neurogram similarity over spectrogram patches) → a monotone map onto the
+// 1–5 MOS scale. ViSQOL proper fits the final map with a learned model; we
+// use a fixed logistic calibrated so that identical audio ≈ 4.75 (ViSQOL's
+// own ceiling in speech mode) and uncorrelated noise ≈ 1.
+#pragma once
+
+#include <vector>
+
+#include "media/audio.h"
+
+namespace vc::media::qoe {
+
+/// A time × band log-power spectrogram.
+struct Spectrogram {
+  int bands = 0;
+  std::vector<std::vector<double>> frames;  // frames[t][band]
+};
+
+Spectrogram spectrogram(const AudioSignal& signal, int bands = 32, double frame_ms = 30.0,
+                        double hop_ms = 15.0, double max_hz = 4000.0);
+
+/// Neurogram similarity in [0, 1] between two spectrograms (truncated to the
+/// shorter of the two).
+double nsim(const Spectrogram& reference, const Spectrogram& degraded);
+
+/// Maps NSIM to the 1–5 MOS-LQO scale.
+double nsim_to_mos(double nsim_value);
+
+/// Full pipeline. Signals should be loudness-normalized and time-aligned
+/// first (media/audio.h helpers).
+double mos_lqo(const AudioSignal& reference, const AudioSignal& degraded);
+
+}  // namespace vc::media::qoe

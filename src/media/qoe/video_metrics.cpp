@@ -1,0 +1,211 @@
+#include "media/qoe/video_metrics.h"
+
+#include <algorithm>
+#include <cmath>
+#include <stdexcept>
+#include <vector>
+
+namespace vc::media::qoe {
+namespace {
+
+void require_same_size(const Frame& a, const Frame& b) {
+  if (a.width() != b.width() || a.height() != b.height() || a.empty()) {
+    throw std::invalid_argument{"metric inputs must be equal-size, non-empty frames"};
+  }
+}
+
+// Double-precision image plane used by SSIM/VIFp internals.
+struct DImage {
+  int w = 0;
+  int h = 0;
+  std::vector<double> px;
+
+  DImage() = default;
+  DImage(int w_, int h_) : w(w_), h(h_), px(static_cast<std::size_t>(w_) * h_, 0.0) {}
+  explicit DImage(const Frame& f) : DImage(f.width(), f.height()) {
+    for (std::size_t i = 0; i < px.size(); ++i) px[i] = static_cast<double>(f.data()[i]);
+  }
+  double at(int x, int y) const { return px[static_cast<std::size_t>(y) * w + x]; }
+  double& at(int x, int y) { return px[static_cast<std::size_t>(y) * w + x]; }
+};
+
+DImage multiply(const DImage& a, const DImage& b) {
+  DImage out{a.w, a.h};
+  for (std::size_t i = 0; i < out.px.size(); ++i) out.px[i] = a.px[i] * b.px[i];
+  return out;
+}
+
+std::vector<double> gaussian_kernel(int n, double sd) {
+  std::vector<double> k(static_cast<std::size_t>(n));
+  const int c = n / 2;
+  double sum = 0.0;
+  for (int i = 0; i < n; ++i) {
+    const double d = i - c;
+    k[static_cast<std::size_t>(i)] = std::exp(-d * d / (2.0 * sd * sd));
+    sum += k[static_cast<std::size_t>(i)];
+  }
+  for (auto& v : k) v /= sum;
+  return k;
+}
+
+// Separable "valid"-region convolution: output shrinks by n-1 per axis,
+// matching MATLAB filter2(..., 'valid') used in the reference VIFp code.
+DImage filter_valid(const DImage& in, const std::vector<double>& k) {
+  const int n = static_cast<int>(k.size());
+  const int ow = in.w - n + 1;
+  const int oh = in.h - n + 1;
+  if (ow <= 0 || oh <= 0) return DImage{};
+  DImage tmp{ow, in.h};
+  for (int y = 0; y < in.h; ++y) {
+    for (int x = 0; x < ow; ++x) {
+      double acc = 0.0;
+      for (int i = 0; i < n; ++i) acc += k[static_cast<std::size_t>(i)] * in.at(x + i, y);
+      tmp.at(x, y) = acc;
+    }
+  }
+  DImage out{ow, oh};
+  for (int y = 0; y < oh; ++y) {
+    for (int x = 0; x < ow; ++x) {
+      double acc = 0.0;
+      for (int i = 0; i < n; ++i) acc += k[static_cast<std::size_t>(i)] * tmp.at(x, y + i);
+      out.at(x, y) = acc;
+    }
+  }
+  return out;
+}
+
+DImage downsample2(const DImage& in) {
+  DImage out{(in.w + 1) / 2, (in.h + 1) / 2};
+  for (int y = 0; y < out.h; ++y) {
+    for (int x = 0; x < out.w; ++x) out.at(x, y) = in.at(x * 2, y * 2);
+  }
+  return out;
+}
+
+}  // namespace
+
+double psnr(const Frame& reference, const Frame& distorted, double cap) {
+  require_same_size(reference, distorted);
+  const double mse = reference.mse(distorted);
+  if (mse <= 1e-12) return cap;
+  return std::min(cap, 10.0 * std::log10(255.0 * 255.0 / mse));
+}
+
+double ssim(const Frame& reference, const Frame& distorted) {
+  require_same_size(reference, distorted);
+  constexpr int kWin = 8;
+  constexpr double kC1 = (0.01 * 255) * (0.01 * 255);
+  constexpr double kC2 = (0.03 * 255) * (0.03 * 255);
+  const int w = reference.width();
+  const int h = reference.height();
+  if (w < kWin || h < kWin) throw std::invalid_argument{"frame smaller than SSIM window"};
+
+  double total = 0.0;
+  std::int64_t windows = 0;
+  for (int y0 = 0; y0 + kWin <= h; y0 += 2) {       // stride 2: dense enough,
+    for (int x0 = 0; x0 + kWin <= w; x0 += 2) {     // 4x cheaper than stride 1
+      double sum_a = 0, sum_b = 0, sum_aa = 0, sum_bb = 0, sum_ab = 0;
+      for (int y = 0; y < kWin; ++y) {
+        for (int x = 0; x < kWin; ++x) {
+          const double a = reference.at(x0 + x, y0 + y);
+          const double b = distorted.at(x0 + x, y0 + y);
+          sum_a += a;
+          sum_b += b;
+          sum_aa += a * a;
+          sum_bb += b * b;
+          sum_ab += a * b;
+        }
+      }
+      constexpr double kN = kWin * kWin;
+      const double mu_a = sum_a / kN;
+      const double mu_b = sum_b / kN;
+      const double var_a = sum_aa / kN - mu_a * mu_a;
+      const double var_b = sum_bb / kN - mu_b * mu_b;
+      const double cov = sum_ab / kN - mu_a * mu_b;
+      const double s = ((2 * mu_a * mu_b + kC1) * (2 * cov + kC2)) /
+                       ((mu_a * mu_a + mu_b * mu_b + kC1) * (var_a + var_b + kC2));
+      total += s;
+      ++windows;
+    }
+  }
+  return windows > 0 ? total / static_cast<double>(windows) : 0.0;
+}
+
+double vifp(const Frame& reference, const Frame& distorted) {
+  require_same_size(reference, distorted);
+  constexpr double kSigmaNsq = 2.0;  // HVS internal neural noise variance
+
+  DImage ref{reference};
+  DImage dist{distorted};
+  double num = 0.0;
+  double den = 0.0;
+
+  for (int scale = 1; scale <= 4; ++scale) {
+    const int n = (1 << (4 - scale + 1)) + 1;  // 17, 9, 5, 3
+    const auto kernel = gaussian_kernel(n, static_cast<double>(n) / 5.0);
+    if (scale > 1) {
+      ref = downsample2(filter_valid(ref, kernel));
+      dist = downsample2(filter_valid(dist, kernel));
+      if (ref.w < n || ref.h < n) break;
+    }
+    const DImage mu1 = filter_valid(ref, kernel);
+    const DImage mu2 = filter_valid(dist, kernel);
+    const DImage rr = filter_valid(multiply(ref, ref), kernel);
+    const DImage dd = filter_valid(multiply(dist, dist), kernel);
+    const DImage rd = filter_valid(multiply(ref, dist), kernel);
+
+    for (std::size_t i = 0; i < mu1.px.size(); ++i) {
+      const double m1 = mu1.px[i];
+      const double m2 = mu2.px[i];
+      double sigma1_sq = rr.px[i] - m1 * m1;
+      double sigma2_sq = dd.px[i] - m2 * m2;
+      double sigma12 = rd.px[i] - m1 * m2;
+      sigma1_sq = std::max(sigma1_sq, 0.0);
+      sigma2_sq = std::max(sigma2_sq, 0.0);
+
+      double g = sigma12 / (sigma1_sq + 1e-10);
+      double sv_sq = sigma2_sq - g * sigma12;
+      // Reference implementation's edge-case handling:
+      if (sigma1_sq < 1e-10) {
+        g = 0.0;
+        sv_sq = sigma2_sq;
+        sigma1_sq = 0.0;
+      }
+      if (sigma2_sq < 1e-10) {
+        g = 0.0;
+        sv_sq = 0.0;
+      }
+      if (g < 0.0) {
+        sv_sq = sigma2_sq;
+        g = 0.0;
+      }
+      sv_sq = std::max(sv_sq, 1e-10);
+      num += std::log10(1.0 + g * g * sigma1_sq / (sv_sq + kSigmaNsq));
+      den += std::log10(1.0 + sigma1_sq / kSigmaNsq);
+    }
+  }
+  if (den <= 1e-12) return 1.0;  // blank reference: no information to lose
+  return std::clamp(num / den, 0.0, 1.0);
+}
+
+VideoQoe video_qoe(const Frame& reference, const Frame& distorted) {
+  return VideoQoe{psnr(reference, distorted), ssim(reference, distorted),
+                  vifp(reference, distorted)};
+}
+
+VideoQoe mean_video_qoe(const std::vector<Frame>& reference, const std::vector<Frame>& distorted) {
+  if (reference.size() != distorted.size() || reference.empty()) {
+    throw std::invalid_argument{"sequences must be non-empty and equal length"};
+  }
+  VideoQoe acc;
+  for (std::size_t i = 0; i < reference.size(); ++i) {
+    const VideoQoe q = video_qoe(reference[i], distorted[i]);
+    acc.psnr += q.psnr;
+    acc.ssim += q.ssim;
+    acc.vifp += q.vifp;
+  }
+  const auto n = static_cast<double>(reference.size());
+  return VideoQoe{acc.psnr / n, acc.ssim / n, acc.vifp / n};
+}
+
+}  // namespace vc::media::qoe

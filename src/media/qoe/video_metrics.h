@@ -1,0 +1,39 @@
+// Full-reference video quality metrics, as computed by the VQMT tool used in
+// the paper (Section 4.3): PSNR, SSIM (Wang et al. 2004) and pixel-domain
+// VIF (Sheikh & Bovik 2006). Each is a per-frame-pair score; session QoE is
+// the mean over frames.
+#pragma once
+
+#include <vector>
+
+#include "media/frame.h"
+
+namespace vc::media::qoe {
+
+/// Peak signal-to-noise ratio in dB. Identical frames map to `cap` (VQMT
+/// caps at a large finite value rather than infinity).
+double psnr(const Frame& reference, const Frame& distorted, double cap = 100.0);
+
+/// Structural similarity index, mean over 8×8 windows, standard constants
+/// (K1=0.01, K2=0.03, L=255). Range (-1, 1], 1 for identical.
+double ssim(const Frame& reference, const Frame& distorted);
+
+/// Pixel-domain Visual Information Fidelity (VIFp): a 4-scale pyramid; at
+/// each scale, mutual-information ratios between perceived reference and
+/// perceived distorted signals under a Gaussian channel model.
+/// Range [0, 1] typically; 1 for identical.
+double vifp(const Frame& reference, const Frame& distorted);
+
+/// All three at once (shared setup), plus helpers for sequences.
+struct VideoQoe {
+  double psnr = 0.0;
+  double ssim = 0.0;
+  double vifp = 0.0;
+};
+
+VideoQoe video_qoe(const Frame& reference, const Frame& distorted);
+
+/// Mean QoE across aligned frame pairs (sequences must be equal length).
+VideoQoe mean_video_qoe(const std::vector<Frame>& reference, const std::vector<Frame>& distorted);
+
+}  // namespace vc::media::qoe

@@ -1,0 +1,112 @@
+// Toy block-transform video codec.
+//
+// This is a real codec, not a size model: frames are split into 8×8 blocks,
+// predicted (intra flat / inter from the previous *reconstructed* frame),
+// DCT-transformed, quantized, and entropy-sized; the decoder inverts the
+// pipeline bit-exactly from the quantized coefficients. It shares the two
+// properties of production codecs that the paper's QoE findings rest on:
+//   1. low-motion content costs far fewer bits at equal quality (Finding 3),
+//   2. quality degrades smoothly as rate control raises the quantizer to meet
+//      a bitrate target, and collapses when frames are lost (Figs 12, 17).
+//
+// The encoded byte size is an entropy estimate over the quantized
+// coefficients rather than a literal bitstream; packetization uses that size
+// on the wire, while decoding uses the coefficients carried alongside.
+#pragma once
+
+#include <cstdint>
+#include <memory>
+#include <vector>
+
+#include "common/units.h"
+#include "media/frame.h"
+#include "net/packet.h"
+
+namespace vc::media {
+
+inline constexpr int kBlock = 8;
+
+/// Per-block prediction mode.
+enum class BlockMode : std::uint8_t { kIntra = 0, kInter = 1 };
+
+/// A compressed frame. Immutable after encoding; shared between fan-out
+/// copies when a relay forwards the stream to multiple receivers.
+struct EncodedFrame final : public net::PacketPayload {
+  int width = 0;
+  int height = 0;
+  bool keyframe = false;
+  double qstep = 0.0;
+  /// Modeled compressed size of the quality payload.
+  std::int64_t bytes = 0;
+  /// Size on the wire including FEC/redundancy padding added by the sending
+  /// client (>= bytes). Real VCA streams are near-CBR at the policy rate:
+  /// the codec payload is only part of it.
+  std::int64_t wire_bytes = 0;
+  /// Display sequence number assigned by the encoder.
+  std::int64_t sequence = 0;
+  std::vector<std::int16_t> coeffs;   // block-major, 64 per block
+  std::vector<BlockMode> modes;       // one per block
+};
+
+class VideoEncoder {
+ public:
+  struct Config {
+    DataRate target_bitrate = DataRate::kbps(800);
+    double fps = 15.0;
+    /// A keyframe every this many frames (and at stream start).
+    int keyframe_interval = 60;
+    double min_qstep = 0.1;
+    double max_qstep = 160.0;
+  };
+
+  VideoEncoder(int width, int height, Config cfg);
+
+  /// Changes the bitrate target mid-stream (rate adaptation).
+  void set_target_bitrate(DataRate rate);
+  DataRate target_bitrate() const { return cfg_.target_bitrate; }
+
+  /// Encodes the next frame in display order. (Mutable so the sending
+  /// client can stamp wire_bytes; treat as immutable once transmitted.)
+  std::shared_ptr<EncodedFrame> encode(const Frame& frame);
+
+  /// The encoder's own reconstruction of the last frame (what a decoder
+  /// with no losses would show).
+  const Frame& last_reconstructed() const { return recon_; }
+  double current_qstep() const { return qstep_; }
+
+ private:
+  struct EncodeResult {
+    std::int64_t bits = 0;
+  };
+  EncodeResult encode_pass(const Frame& frame, bool keyframe, double qstep, EncodedFrame* out,
+                           Frame* recon) const;
+
+  int width_;
+  int height_;
+  Config cfg_;
+  Frame recon_;           // closed-loop reference
+  double qstep_ = 10.0;
+  std::int64_t next_seq_ = 0;
+  double buffer_bits_ = 0.0;  // virtual buffer fullness for rate control
+};
+
+class VideoDecoder {
+ public:
+  VideoDecoder(int width, int height);
+
+  /// Decodes a frame. The decoder tolerates gaps: a missing frame is simply
+  /// never passed in, and the previously decoded frame stays on screen
+  /// (freeze) — callers render current() at display times.
+  const Frame& decode(const EncodedFrame& frame);
+
+  const Frame& current() const { return current_; }
+  std::int64_t frames_decoded() const { return frames_decoded_; }
+
+ private:
+  int width_;
+  int height_;
+  Frame current_;
+  std::int64_t frames_decoded_ = 0;
+};
+
+}  // namespace vc::media

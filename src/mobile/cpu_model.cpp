@@ -1,0 +1,81 @@
+#include "mobile/cpu_model.h"
+
+#include <algorithm>
+#include <cmath>
+#include <stdexcept>
+
+namespace vc::mobile {
+
+const CpuCoefficients& cpu_coefficients(platform::PlatformId id) {
+  // Calibrated against Fig 19a: on the S10, Zoom/Webex sit near 150–175%
+  // while Meet adds ~50%; Webex barely benefits from gallery and keeps
+  // ~125% with the screen off, while Zoom/Meet drop to 25–50%.
+  static const CpuCoefficients kZoom{
+      .base = 35.0,
+      .decode_per_mbps = 95.0,
+      .render = 45.0,
+      .gallery_overhead = 0.0,
+      .screen_off_base = 30.0,
+      .encode_per_mp = 10.0,
+  };
+  static const CpuCoefficients kWebex{
+      .base = 60.0,
+      .decode_per_mbps = 40.0,
+      .render = 50.0,
+      .gallery_overhead = 6.0,   // per-tile: gallery *raises* CPU slightly
+      .screen_off_base = 105.0,  // keeps decoding with the screen off
+      .encode_per_mp = 10.0,
+  };
+  static const CpuCoefficients kMeet{
+      .base = 100.0,  // heavier web pipeline
+      .decode_per_mbps = 30.0,
+      .render = 60.0,
+      .gallery_overhead = 0.0,
+      .screen_off_base = 40.0,
+      .encode_per_mp = 10.0,
+  };
+  switch (id) {
+    case platform::PlatformId::kZoom: return kZoom;
+    case platform::PlatformId::kWebex: return kWebex;
+    case platform::PlatformId::kMeet: return kMeet;
+  }
+  throw std::invalid_argument{"unknown platform"};
+}
+
+CpuModel::CpuModel(platform::PlatformId platform, const DeviceProfile& device, std::uint64_t seed)
+    : c_(cpu_coefficients(platform)), device_(device), rng_(seed) {}
+
+double CpuModel::expected(const WorkloadState& w) const {
+  double demand = 0.0;
+  if (w.screen_on) {
+    demand += c_.base + c_.render;
+    // Gallery tiles are quarter-resolution streams: decoding them costs
+    // less per megabit than one full-screen stream (Table 4: Zoom's gallery
+    // rate doubles with N while its CPU stays flat).
+    const double decode_eff = w.view == platform::ViewMode::kGallery ? 0.55 : 1.0;
+    demand += c_.decode_per_mbps * w.download_mbps * decode_eff;
+    if (w.view == platform::ViewMode::kGallery) {
+      demand += c_.gallery_overhead * static_cast<double>(std::max(1, w.visible_tiles));
+    }
+  } else {
+    demand += c_.screen_off_base;
+    // Webex's screen-off residual still includes stream decode.
+    demand += 0.2 * c_.decode_per_mbps * w.download_mbps;
+  }
+  if (w.camera_on) demand += c_.encode_per_mp * device_.camera_mp + 20.0 * w.upload_mbps;
+  // Slower cores cost more cumulative CPU; saturation near the ceiling.
+  demand *= device_.perf_cost;
+  if (demand > device_.cpu_ceiling) {
+    demand = device_.cpu_ceiling + 0.05 * (demand - device_.cpu_ceiling);
+  }
+  return demand;
+}
+
+double CpuModel::sample(const WorkloadState& w) {
+  const double mean = expected(w);
+  // Scheduler/measurement noise: heavier-tailed upward than downward.
+  const double noisy = mean * std::exp(rng_.normal(0.0, 0.07));
+  return std::clamp(noisy, 0.0, static_cast<double>(device_.cores) * 100.0);
+}
+
+}  // namespace vc::mobile

@@ -1,0 +1,54 @@
+// Mobile CPU usage model (Fig 19a, Table 4).
+//
+// CPU demand is built from first principles — app/UI base + per-Mbps decode
+// cost + composition/render when the screen is on + camera encode when the
+// camera is on — with per-client coefficients reflecting the paper's
+// observations (Meet's heavier pipeline, Webex's screen-off waste and
+// gallery inefficiency, Zoom's gallery savings arriving via its lower
+// gallery data rate). Low-end devices scale demand by their slower cores and
+// saturate near two full cores.
+#pragma once
+
+#include "common/rng.h"
+#include "mobile/device.h"
+
+namespace vc::mobile {
+
+/// Instantaneous workload facts the model converts to CPU%.
+struct WorkloadState {
+  double download_mbps = 0.0;  // decoded/displayed incoming video
+  double upload_mbps = 0.0;    // camera encode output
+  bool screen_on = true;
+  bool camera_on = false;
+  platform::ViewMode view = platform::ViewMode::kFullScreen;
+  int visible_tiles = 1;  // streams currently composited
+};
+
+/// Per-client-app coefficients (in S10-class cumulative CPU percent).
+struct CpuCoefficients {
+  double base = 40.0;             // app/UI overhead, screen on
+  double decode_per_mbps = 60.0;  // video decode + color conversion
+  double render = 50.0;           // composition to display
+  double gallery_overhead = 0.0;  // extra per-tile composition cost
+  double screen_off_base = 30.0;  // residual with screen off
+  double encode_per_mp = 10.0;    // camera pipeline, per megapixel
+};
+
+const CpuCoefficients& cpu_coefficients(platform::PlatformId id);
+
+class CpuModel {
+ public:
+  CpuModel(platform::PlatformId platform, const DeviceProfile& device, std::uint64_t seed);
+
+  /// Expected CPU% for a workload (no noise) — used by tests/ablation.
+  double expected(const WorkloadState& w) const;
+  /// One 3-second sample with measurement noise.
+  double sample(const WorkloadState& w);
+
+ private:
+  const CpuCoefficients& c_;
+  DeviceProfile device_;
+  Rng rng_;
+};
+
+}  // namespace vc::mobile

@@ -1,0 +1,62 @@
+#include "mobile/device.h"
+
+#include <stdexcept>
+
+namespace vc::mobile {
+
+const DeviceProfile& galaxy_s10() {
+  static const DeviceProfile kS10{
+      .name = "S10",
+      .cores = 8,
+      .perf_cost = 1.0,
+      .cpu_ceiling = 780.0,
+      .camera_mp = 10.0,
+      .camera_rate = DataRate::kbps(1200),
+      .battery_mah = 3400.0,
+      .device_class = platform::DeviceClass::kMobileHighEnd,
+  };
+  return kS10;
+}
+
+const DeviceProfile& galaxy_j3() {
+  static const DeviceProfile kJ3{
+      .name = "J3",
+      .cores = 4,
+      .perf_cost = 1.25,
+      .cpu_ceiling = 215.0,  // saturates near two full cores
+      .camera_mp = 5.0,
+      .camera_rate = DataRate::kbps(700),  // lower-quality sensor, dim lab
+      .battery_mah = 2600.0,
+      .device_class = platform::DeviceClass::kMobileLowEnd,
+  };
+  return kJ3;
+}
+
+std::string_view scenario_name(MobileScenario s) {
+  switch (s) {
+    case MobileScenario::kLM: return "LM";
+    case MobileScenario::kHM: return "HM";
+    case MobileScenario::kLMView: return "LM-View";
+    case MobileScenario::kLMVideoView: return "LM-Video-View";
+    case MobileScenario::kLMOff: return "LM-Off";
+  }
+  return "?";
+}
+
+ScenarioSettings scenario_settings(MobileScenario s) {
+  switch (s) {
+    case MobileScenario::kLM:
+      return {platform::ViewMode::kFullScreen, false, true, false};
+    case MobileScenario::kHM:
+      return {platform::ViewMode::kFullScreen, false, true, true};
+    case MobileScenario::kLMView:
+      return {platform::ViewMode::kGallery, false, true, false};
+    case MobileScenario::kLMVideoView:
+      return {platform::ViewMode::kGallery, true, true, false};
+    case MobileScenario::kLMOff:
+      return {platform::ViewMode::kAudioOnly, false, false, false};
+  }
+  throw std::invalid_argument{"unknown scenario"};
+}
+
+}  // namespace vc::mobile

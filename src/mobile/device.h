@@ -1,0 +1,54 @@
+// Android device profiles and the device/UI scenarios of Section 5.
+//
+// The testbed's two phones (Table 2): Samsung Galaxy S10 (high-end,
+// octa-core, 8 GB) and Galaxy J3 (low-end, quad-core, 2 GB, removable
+// 2600 mAh battery wired to a Monsoon power meter).
+#pragma once
+
+#include <string>
+#include <string_view>
+
+#include "platform/platform.h"
+
+namespace vc::mobile {
+
+struct DeviceProfile {
+  std::string name;
+  int cores = 4;
+  /// Relative cost multiplier of running the same work on this device's
+  /// slower cores (1.0 = S10 class).
+  double perf_cost = 1.0;
+  /// Sustainable CPU ceiling, in cumulative percent (100% = one core).
+  /// Low-end devices saturate near two full cores under thermal/scheduler
+  /// pressure, which is why all three clients converge near 200% on the J3.
+  double cpu_ceiling = 780.0;
+  /// Camera sensor megapixels (drives encode cost when the camera is on).
+  double camera_mp = 10.0;
+  /// Camera upload rate the device's encoder produces.
+  DataRate camera_rate = DataRate::kbps(1200);
+  double battery_mah = 3400.0;
+  platform::DeviceClass device_class = platform::DeviceClass::kMobileHighEnd;
+};
+
+/// Samsung Galaxy S10 (Android 11, octa-core, 1440x3040).
+const DeviceProfile& galaxy_s10();
+/// Samsung Galaxy J3 (Android 8, quad-core, 2 GB, 720x1280, 2600 mAh).
+const DeviceProfile& galaxy_j3();
+
+/// The five device/UI settings of Fig 19 (Section 5): incoming low-motion /
+/// high-motion in full screen, gallery view, gallery + camera on, and
+/// screen-off (audio only, "driving scenario").
+enum class MobileScenario { kLM, kHM, kLMView, kLMVideoView, kLMOff };
+
+std::string_view scenario_name(MobileScenario s);
+
+/// UI/config mapping for a scenario.
+struct ScenarioSettings {
+  platform::ViewMode view = platform::ViewMode::kFullScreen;
+  bool camera_on = false;
+  bool screen_on = true;
+  bool high_motion = false;
+};
+ScenarioSettings scenario_settings(MobileScenario s);
+
+}  // namespace vc::mobile

@@ -1,0 +1,16 @@
+#include "mobile/power_model.h"
+
+namespace vc::mobile {
+
+PowerModel::PowerModel(PowerCoefficients c) : c_(c) {}
+
+double PowerModel::current_ma(double cpu_pct, const WorkloadState& w) const {
+  double ma = c_.base_ma + c_.cpu_ma_per_pct * cpu_pct;
+  if (w.screen_on) ma += c_.screen_ma;
+  const double mbps = w.download_mbps + w.upload_mbps;
+  ma += c_.radio_ma + c_.radio_ma_per_mbps * mbps;
+  if (w.camera_on) ma += c_.camera_ma;
+  return ma;
+}
+
+}  // namespace vc::mobile

@@ -1,0 +1,87 @@
+#include "mobile/resource_monitor.h"
+
+#include <algorithm>
+
+namespace vc::mobile {
+namespace {
+constexpr auto kSampleInterval = seconds(3);
+}
+
+ResourceMonitor::ResourceMonitor(client::VcaClient& client, const DeviceProfile& device,
+                                 MobileScenario scenario, std::uint64_t seed)
+    : client_(client),
+      device_(device),
+      scenario_(scenario),
+      capture_(client.host()),
+      cpu_model_(client.platform().traits().id, device, seed),
+      power_model_(),
+      meter_(device) {}
+
+void ResourceMonitor::start(SimDuration duration) {
+  window_start_ = client_.host().network().now();
+  end_ = window_start_ + duration;
+  running_ = true;
+  last_record_index_ = capture_.size();
+  client_.host().network().loop().schedule_after(kSampleInterval, [this] { tick(); });
+}
+
+WorkloadState ResourceMonitor::current_workload() const {
+  const ScenarioSettings s = scenario_settings(scenario_);
+  WorkloadState w;
+  w.screen_on = s.screen_on;
+  w.camera_on = s.camera_on;
+  // The client's live view, not the scenario default — Table 4 overrides it.
+  // A gallery request on a platform without gallery support (Meet) changes
+  // nothing on screen, so it changes nothing in the workload either.
+  w.view = client_.view_mode();
+  if (w.view == platform::ViewMode::kGallery &&
+      !client_.platform().traits().supports_gallery) {
+    w.view = platform::ViewMode::kFullScreen;
+  }
+  w.visible_tiles = std::min(4, std::max(1, client_.active_video_streams()));
+  return w;
+}
+
+void ResourceMonitor::tick() {
+  if (!running_) return;
+  // Window rates from the capture delta since the last sample.
+  const auto trace = capture_.trace();
+  std::int64_t down = 0;
+  std::int64_t up = 0;
+  for (std::size_t i = last_record_index_; i < trace.records.size(); ++i) {
+    if (trace.records[i].dir == net::Direction::kIncoming) {
+      down += trace.records[i].l7_len;
+    } else {
+      up += trace.records[i].l7_len;
+    }
+  }
+  last_record_index_ = trace.records.size();
+
+  WorkloadState w = current_workload();
+  w.download_mbps = static_cast<double>(down) * 8.0 / kSampleInterval.seconds() / 1e6;
+  w.upload_mbps = static_cast<double>(up) * 8.0 / kSampleInterval.seconds() / 1e6;
+
+  const double cpu = cpu_model_.sample(w);
+  cpu_samples_.push_back(cpu);
+  meter_.add_sample(power_model_.current_ma(cpu, w), kSampleInterval);
+
+  if (client_.host().network().now() >= end_) {
+    running_ = false;
+    return;
+  }
+  client_.host().network().loop().schedule_after(kSampleInterval, [this] { tick(); });
+}
+
+DataRate ResourceMonitor::download_rate() const {
+  const auto trace = capture_.trace();
+  const capture::RateAnalyzer analyzer{trace};
+  return analyzer.average(window_start_).download;
+}
+
+DataRate ResourceMonitor::upload_rate() const {
+  const auto trace = capture_.trace();
+  const capture::RateAnalyzer analyzer{trace};
+  return analyzer.average(window_start_).upload;
+}
+
+}  // namespace vc::mobile

@@ -1,0 +1,62 @@
+// Addressing primitives for the simulated internet: synthetic IPv4-style
+// addresses and (address, port) endpoints — the unit of "service endpoint"
+// discovery in the paper (Fig 3).
+#pragma once
+
+#include <compare>
+#include <cstdint>
+#include <functional>
+#include <string>
+
+namespace vc::net {
+
+/// A synthetic IPv4-style address. Value 0 is "unspecified".
+class IpAddr {
+ public:
+  constexpr IpAddr() = default;
+  constexpr explicit IpAddr(std::uint32_t v) : v_(v) {}
+
+  constexpr std::uint32_t value() const { return v_; }
+  constexpr bool is_unspecified() const { return v_ == 0; }
+
+  friend constexpr auto operator<=>(IpAddr, IpAddr) = default;
+
+  std::string to_string() const {
+    return std::to_string((v_ >> 24) & 0xFF) + "." + std::to_string((v_ >> 16) & 0xFF) + "." +
+           std::to_string((v_ >> 8) & 0xFF) + "." + std::to_string(v_ & 0xFF);
+  }
+
+ private:
+  std::uint32_t v_ = 0;
+};
+
+/// Transport protocol of a packet. The paper's platforms stream over UDP with
+/// platform-specific fixed ports; TCP appears only as fallback/control.
+enum class Protocol : std::uint8_t { kUdp = 0, kTcp = 1 };
+
+/// A transport endpoint.
+struct Endpoint {
+  IpAddr ip;
+  std::uint16_t port = 0;
+
+  friend constexpr auto operator<=>(const Endpoint&, const Endpoint&) = default;
+
+  std::string to_string() const { return ip.to_string() + ":" + std::to_string(port); }
+};
+
+}  // namespace vc::net
+
+// Hash support so endpoints can key the flow tables and relay maps.
+template <>
+struct std::hash<vc::net::IpAddr> {
+  std::size_t operator()(const vc::net::IpAddr& a) const noexcept {
+    return std::hash<std::uint32_t>{}(a.value());
+  }
+};
+
+template <>
+struct std::hash<vc::net::Endpoint> {
+  std::size_t operator()(const vc::net::Endpoint& e) const noexcept {
+    return std::hash<std::uint64_t>{}((static_cast<std::uint64_t>(e.ip.value()) << 16) | e.port);
+  }
+};

@@ -1,0 +1,47 @@
+#include "net/event_loop.h"
+
+#include <stdexcept>
+#include <utility>
+
+namespace vc::net {
+
+EventId EventLoop::schedule_at(SimTime at, std::function<void()> fn) {
+  if (!fn) throw std::invalid_argument{"null event callback"};
+  if (at < now_) at = now_;
+  const EventId id = next_id_++;
+  queue_.push(Entry{at, id});
+  callbacks_.emplace(id, std::move(fn));
+  return id;
+}
+
+EventId EventLoop::schedule_after(SimDuration delay, std::function<void()> fn) {
+  return schedule_at(now_ + delay, std::move(fn));
+}
+
+void EventLoop::cancel(EventId id) {
+  if (callbacks_.erase(id) > 0) cancelled_.insert(id);
+}
+
+void EventLoop::execute_ready(SimTime until) {
+  while (!queue_.empty() && queue_.top().at <= until) {
+    const Entry e = queue_.top();
+    queue_.pop();
+    if (cancelled_.erase(e.id) > 0) continue;
+    auto it = callbacks_.find(e.id);
+    if (it == callbacks_.end()) continue;
+    auto fn = std::move(it->second);
+    callbacks_.erase(it);
+    now_ = e.at;
+    ++executed_;
+    fn();
+  }
+}
+
+void EventLoop::run() { execute_ready(SimTime::infinity()); }
+
+void EventLoop::run_until(SimTime until) {
+  execute_ready(until);
+  if (now_ < until) now_ = until;
+}
+
+}  // namespace vc::net

@@ -1,0 +1,67 @@
+// Discrete-event scheduler driving the whole simulation.
+//
+// Events at equal timestamps run in scheduling order (stable), which makes
+// simulations deterministic given deterministic callbacks and RNG seeds.
+#pragma once
+
+#include <cstdint>
+#include <functional>
+#include <queue>
+#include <unordered_map>
+#include <unordered_set>
+#include <vector>
+
+#include "common/time.h"
+
+namespace vc::net {
+
+/// Handle for cancelling a scheduled event.
+using EventId = std::uint64_t;
+
+class EventLoop {
+ public:
+  EventLoop() = default;
+  EventLoop(const EventLoop&) = delete;
+  EventLoop& operator=(const EventLoop&) = delete;
+
+  /// Current simulated time.
+  SimTime now() const { return now_; }
+
+  /// Schedules `fn` to run at absolute time `at` (clamped to now).
+  EventId schedule_at(SimTime at, std::function<void()> fn);
+  /// Schedules `fn` to run after `delay`.
+  EventId schedule_after(SimDuration delay, std::function<void()> fn);
+  /// Cancels a pending event. Cancelling an already-run event is a no-op.
+  void cancel(EventId id);
+
+  /// Runs events until the queue is empty.
+  void run();
+  /// Runs events with timestamp <= `until`, then advances the clock to
+  /// `until` even if idle.
+  void run_until(SimTime until);
+
+  std::size_t pending() const { return queue_.size() - cancelled_.size(); }
+  std::uint64_t events_executed() const { return executed_; }
+
+ private:
+  struct Entry {
+    SimTime at;
+    EventId id;
+    // Ordered as a min-heap on (at, id): FIFO among simultaneous events.
+    bool operator>(const Entry& o) const {
+      if (at != o.at) return at > o.at;
+      return id > o.id;
+    }
+  };
+
+  void execute_ready(SimTime until);
+
+  SimTime now_ = SimTime::zero();
+  EventId next_id_ = 1;
+  std::uint64_t executed_ = 0;
+  std::priority_queue<Entry, std::vector<Entry>, std::greater<>> queue_;
+  std::unordered_map<EventId, std::function<void()>> callbacks_;
+  std::unordered_set<EventId> cancelled_;
+};
+
+}  // namespace vc::net

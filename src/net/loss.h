@@ -1,0 +1,98 @@
+// Packet-loss models.
+//
+// The paper's cloud paths are effectively loss-free; its Limitations section
+// calls out that realistic last-mile links (broadband, WiFi) are not. These
+// models drive the last-mile extension experiments: independent (Bernoulli)
+// loss and bursty (Gilbert–Elliott) loss with the same average rate behave
+// very differently against a codec whose frames span multiple packets.
+#pragma once
+
+#include <memory>
+#include <stdexcept>
+
+#include "common/rng.h"
+
+namespace vc::net {
+
+class LossModel {
+ public:
+  virtual ~LossModel() = default;
+  /// Decides the fate of one packet. Stateful models advance their state.
+  virtual bool should_drop(Rng& rng) = 0;
+  /// Long-run average loss probability (for reporting).
+  virtual double average_loss() const = 0;
+};
+
+/// Independent per-packet loss.
+class BernoulliLoss final : public LossModel {
+ public:
+  explicit BernoulliLoss(double p) : p_(p) {
+    if (p < 0.0 || p > 1.0) throw std::invalid_argument{"loss probability out of [0,1]"};
+  }
+  bool should_drop(Rng& rng) override { return rng.chance(p_); }
+  double average_loss() const override { return p_; }
+
+ private:
+  double p_;
+};
+
+/// Two-state Gilbert–Elliott channel: a good state with negligible loss and
+/// a bad (burst) state with heavy loss.
+class GilbertElliottLoss final : public LossModel {
+ public:
+  struct Params {
+    double p_good_to_bad = 0.005;  // per packet
+    double p_bad_to_good = 0.20;
+    double loss_good = 0.0;
+    double loss_bad = 0.5;
+  };
+
+  GilbertElliottLoss();  // defaults
+  explicit GilbertElliottLoss(Params p) : p_(p) {}
+
+  /// Constructs parameters that yield a target average loss with a given
+  /// mean burst length (in packets).
+  static GilbertElliottLoss with_average(double average_loss, double mean_burst_packets);
+
+  bool should_drop(Rng& rng) override {
+    if (bad_) {
+      if (rng.chance(p_.p_bad_to_good)) bad_ = false;
+    } else {
+      if (rng.chance(p_.p_good_to_bad)) bad_ = true;
+    }
+    return rng.chance(bad_ ? p_.loss_bad : p_.loss_good);
+  }
+
+  double average_loss() const override {
+    // Stationary distribution of the two-state chain.
+    const double pi_bad = p_.p_good_to_bad / (p_.p_good_to_bad + p_.p_bad_to_good);
+    return pi_bad * p_.loss_bad + (1.0 - pi_bad) * p_.loss_good;
+  }
+
+  bool in_bad_state() const { return bad_; }
+  const Params& params() const { return p_; }
+
+ private:
+  Params p_;
+  bool bad_ = false;
+};
+
+inline GilbertElliottLoss::GilbertElliottLoss() : p_(Params{}) {}
+
+inline GilbertElliottLoss GilbertElliottLoss::with_average(double average_loss,
+                                                           double mean_burst_packets) {
+  if (average_loss <= 0.0 || average_loss >= 1.0 || mean_burst_packets < 1.0) {
+    throw std::invalid_argument{"bad Gilbert-Elliott target"};
+  }
+  Params p;
+  p.loss_good = 0.0;
+  p.loss_bad = 0.6;
+  p.p_bad_to_good = 1.0 / mean_burst_packets;
+  // pi_bad * loss_bad = average  →  solve for p_good_to_bad.
+  const double pi_bad = average_loss / p.loss_bad;
+  if (pi_bad >= 1.0) throw std::invalid_argument{"average loss unreachable"};
+  p.p_good_to_bad = pi_bad * p.p_bad_to_good / (1.0 - pi_bad);
+  return GilbertElliottLoss{p};
+}
+
+}  // namespace vc::net

@@ -1,0 +1,51 @@
+#include "net/network.h"
+
+#include <utility>
+
+#include "common/log.h"
+
+namespace vc::net {
+
+Network::Network(std::unique_ptr<LatencyModel> latency, std::uint64_t seed)
+    : latency_(std::move(latency)), rng_(seed) {
+  if (!latency_) throw std::invalid_argument{"network needs a latency model"};
+}
+
+Host& Network::add_host(std::string name, GeoPoint location) {
+  const IpAddr ip{next_ip_++};
+  auto host = std::make_unique<Host>(*this, std::move(name), location, ip);
+  Host& ref = *host;
+  by_ip_.emplace(ip, host.get());
+  hosts_.push_back(std::move(host));
+  return ref;
+}
+
+Host* Network::host(IpAddr ip) {
+  auto it = by_ip_.find(ip);
+  return it == by_ip_.end() ? nullptr : it->second;
+}
+
+void Network::send(Host& from, Packet pkt) {
+  pkt.sent_at = now();
+  ++stats_.packets_sent;
+  stats_.bytes_sent += pkt.wire_len();
+  from.notify_sent(pkt);
+
+  Host* dst = host(pkt.dst.ip);
+  if (dst == nullptr) {
+    ++stats_.packets_unroutable;
+    VC_LOG(kDebug) << from.name() << ": no route to " << pkt.dst.to_string();
+    return;
+  }
+  if (loss_ && loss_->should_drop(rng_)) {
+    ++stats_.packets_lost;
+    return;
+  }
+  const SimDuration delay = latency_->one_way(from.location(), dst->location(), rng_);
+  loop_.schedule_after(delay, [this, dst, p = std::move(pkt)]() mutable {
+    ++stats_.packets_delivered;
+    dst->deliver(std::move(p));
+  });
+}
+
+}  // namespace vc::net

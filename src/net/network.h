@@ -1,0 +1,71 @@
+// The simulated internet: hosts + a latency model + loss.
+//
+// There are no modeled core-link bandwidth constraints — the paper's cloud
+// VMs have multi-Gbps connectivity, so the bottlenecks that matter are the
+// artificial ingress caps (Section 4.4), modeled per-host by shapers.
+#pragma once
+
+#include <cstdint>
+#include <memory>
+#include <string>
+#include <unordered_map>
+#include <vector>
+
+#include "common/rng.h"
+#include "net/event_loop.h"
+#include "net/host.h"
+#include "net/latency.h"
+#include "net/loss.h"
+#include "net/packet.h"
+
+namespace vc::net {
+
+class Network {
+ public:
+  struct Stats {
+    std::int64_t packets_sent = 0;
+    std::int64_t packets_delivered = 0;
+    std::int64_t packets_lost = 0;
+    std::int64_t packets_unroutable = 0;
+    std::int64_t bytes_sent = 0;
+  };
+
+  Network(std::unique_ptr<LatencyModel> latency, std::uint64_t seed);
+
+  EventLoop& loop() { return loop_; }
+  const EventLoop& loop() const { return loop_; }
+  SimTime now() const { return loop_.now(); }
+  const LatencyModel& latency() const { return *latency_; }
+  Rng& rng() { return rng_; }
+
+  /// Creates a host with an auto-assigned 10.x.x.x address.
+  Host& add_host(std::string name, GeoPoint location);
+  Host* host(IpAddr ip);
+  const std::vector<std::unique_ptr<Host>>& hosts() const { return hosts_; }
+
+  /// Global independent packet-loss probability (0 by default: the paper's
+  /// cloud paths are clean; loss experiments set this explicitly).
+  void set_loss_probability(double p) {
+    loss_ = p > 0.0 ? std::make_unique<BernoulliLoss>(p) : nullptr;
+  }
+  /// Arbitrary core loss model (e.g. Gilbert–Elliott bursts).
+  void set_loss_model(std::unique_ptr<LossModel> model) { loss_ = std::move(model); }
+  double loss_probability() const { return loss_ ? loss_->average_loss() : 0.0; }
+
+  /// Injects a packet from `from` into the network. Called by UdpSocket.
+  void send(Host& from, Packet pkt);
+
+  const Stats& stats() const { return stats_; }
+
+ private:
+  EventLoop loop_;
+  std::unique_ptr<LatencyModel> latency_;
+  Rng rng_;
+  std::unique_ptr<LossModel> loss_;
+  std::vector<std::unique_ptr<Host>> hosts_;
+  std::unordered_map<IpAddr, Host*> by_ip_;
+  std::uint32_t next_ip_ = 0x0A000001;  // 10.0.0.1
+  Stats stats_;
+};
+
+}  // namespace vc::net

@@ -1,0 +1,65 @@
+// The simulated datagram.
+//
+// Packets carry a size (what the wire and pcap see) plus an optional typed
+// payload pointer so receivers can decode media. The measurement path
+// (src/capture) is forbidden from dereferencing the payload: it sees only
+// what tcpdump would see — timestamps, addresses, and lengths. This keeps the
+// reproduction honest about the paper's black-box methodology.
+#pragma once
+
+#include <cstdint>
+#include <memory>
+
+#include "common/time.h"
+#include "net/endpoint.h"
+
+namespace vc::net {
+
+/// Base class for typed packet payloads (e.g. encoded media chunks).
+/// Payloads are immutable and shared between fan-out copies of a packet.
+class PacketPayload {
+ public:
+  virtual ~PacketPayload() = default;
+};
+
+/// Coarse classification stamped by the *sender* for bookkeeping. Capture
+/// analyzers must not rely on it (a real pcap has no such field); it exists
+/// for ground-truth validation in tests and ablations.
+enum class StreamKind : std::uint8_t {
+  kUnknown = 0,
+  kVideo,
+  kAudio,
+  kControl,
+  kProbe,
+  kProbeReply,
+};
+
+/// IPv4+UDP header overhead added to L7 payload length to get wire length.
+inline constexpr std::int64_t kUdpHeaderBytes = 28;   // 20 IP + 8 UDP
+inline constexpr std::int64_t kTcpHeaderBytes = 40;   // 20 IP + 20 TCP
+
+struct Packet {
+  Endpoint src;
+  Endpoint dst;
+  Protocol protocol = Protocol::kUdp;
+  /// Application payload length in bytes (Layer-7, as in Fig 15's rates).
+  std::int64_t l7_len = 0;
+  /// Time the packet left the sending host.
+  SimTime sent_at{};
+
+  // --- sender-side ground truth (not visible to capture analyzers) ---
+  StreamKind kind = StreamKind::kUnknown;
+  /// Identifier of the media source participant, 0 if n/a.
+  std::uint32_t origin_id = 0;
+  /// Frame sequence number for media, probe id for probes.
+  std::uint64_t seq = 0;
+  /// Decodable payload, if any.
+  std::shared_ptr<const PacketPayload> payload;
+
+  /// Bytes on the wire (headers included) — what pcap reports as length.
+  std::int64_t wire_len() const {
+    return l7_len + (protocol == Protocol::kUdp ? kUdpHeaderBytes : kTcpHeaderBytes);
+  }
+};
+
+}  // namespace vc::net

@@ -1,0 +1,108 @@
+// Shared meeting/membership bookkeeping for the three platforms; concrete
+// subclasses implement only relay selection and routing (assign_routes).
+#pragma once
+
+#include <functional>
+#include <unordered_map>
+#include <vector>
+
+#include "platform/infrastructure.h"
+#include "platform/platform.h"
+#include "platform/rate_policy.h"
+
+namespace vc::platform {
+
+class BasePlatform : public VcaPlatform {
+ public:
+  BasePlatform(net::Network& network, PlatformTraits traits, std::uint64_t seed);
+
+  const PlatformTraits& traits() const override { return traits_; }
+
+  MeetingId create_meeting(const ClientRef& host,
+                           std::function<void(RouteInfo)> on_route) override;
+  ParticipantId join(MeetingId meeting, const ClientRef& client,
+                     std::function<void(RouteInfo)> on_route) override;
+  void leave(MeetingId meeting, ParticipantId participant) override;
+  void end_meeting(MeetingId meeting) override;
+  void set_view_mode(MeetingId meeting, ParticipantId participant, ViewMode view) override;
+  int participant_count(MeetingId meeting) const override;
+
+  RelayAllocator& allocator() { return allocator_; }
+
+ protected:
+  struct Member {
+    ParticipantId id = 0;
+    ClientRef ref;
+    std::function<void(RouteInfo)> on_route;
+    RelayServer* relay = nullptr;
+  };
+  struct Meeting {
+    MeetingId id = 0;
+    std::vector<Member> members;
+    std::vector<RelayServer*> relays;
+    bool p2p = false;
+    ParticipantId next_participant = 1;
+  };
+
+  /// Platform-specific: picks relays/front-ends and pushes RouteInfo to
+  /// every member whose routing changed (or to all of them).
+  virtual void assign_routes(Meeting& meeting) = 0;
+
+  /// Recomputes every member's subscriptions from current membership and
+  /// view modes and pushes them to the serving relays.
+  void refresh_subscriptions(Meeting& meeting);
+
+  net::Endpoint client_endpoint(const Member& m) const {
+    return net::Endpoint{m.ref.host->ip(), m.ref.media_port};
+  }
+
+  net::Network& network_;
+  PlatformTraits traits_;
+  RelayAllocator allocator_;
+  std::unordered_map<MeetingId, Meeting> meetings_;
+  MeetingId next_meeting_ = 1;
+};
+
+/// Zoom: one US relay per session near the host's US region (load-balanced
+/// across US regions for non-US hosts); direct P2P for two-party calls.
+class ZoomPlatform final : public BasePlatform {
+ public:
+  explicit ZoomPlatform(net::Network& network, std::uint64_t seed = 11);
+
+ private:
+  void assign_routes(Meeting& meeting) override;
+};
+
+/// Webex subscription tier. The paper's findings hold for the free tier;
+/// with a paid subscription, Webex provisions relays near the meeting
+/// (Section 6: RTTs < 20 ms from US-west and Europe).
+enum class WebexTier { kFree, kPaid };
+
+/// Webex: one relay per session — always US-east on the free tier, nearest
+/// site on the paid tier.
+class WebexPlatform final : public BasePlatform {
+ public:
+  explicit WebexPlatform(net::Network& network, std::uint64_t seed = 22,
+                         WebexTier tier = WebexTier::kFree);
+
+  WebexTier tier() const { return tier_; }
+
+ private:
+  void assign_routes(Meeting& meeting) override;
+  WebexTier tier_;
+};
+
+/// Meet: per-client nearby front-ends, meetings relayed across front-ends.
+class MeetPlatform final : public BasePlatform {
+ public:
+  explicit MeetPlatform(net::Network& network, std::uint64_t seed = 33);
+
+ private:
+  void assign_routes(Meeting& meeting) override;
+};
+
+/// Factory: the platform under test by id.
+std::unique_ptr<BasePlatform> make_platform(PlatformId id, net::Network& network,
+                                            std::uint64_t seed = 7);
+
+}  // namespace vc::platform

@@ -1,0 +1,89 @@
+// Observable streaming-rate behavior of each platform.
+//
+// These profiles are the paper's *measurements* turned into policy: the
+// sender-side encode rates of Fig 15, the per-session variability contrast
+// (Webex virtually constant, Meet highly dynamic, Zoom in between), the
+// subscription scales behind Table 4 and Fig 19b, and the bandwidth
+// adaptation agility behind Figs 17–18. The codec then actually encodes at
+// these targets, so QoE *emerges* from rate + content rather than being
+// dialed in.
+#pragma once
+
+#include <vector>
+
+#include "common/rng.h"
+#include "common/units.h"
+#include "platform/platform.h"
+
+namespace vc::platform {
+
+/// Content motion class of the injected feed (Section 4.3).
+enum class MotionClass { kLowMotion, kHighMotion };
+
+struct RateProfile {
+  // Video send rate for a broadcasting participant (cloud VM scenarios).
+  DataRate video_two_party;        // N == 2 (Zoom: P2P path)
+  DataRate video_multi_party;      // N > 2 (via relay)
+  /// Multiplier applied for low-motion content (≤ 1; Webex ≈ 0.5 — its
+  /// low-motion sessions "almost halve the required downstream bandwidth").
+  double low_motion_factor = 1.0;
+  /// Lognormal sigma of per-session rate variation (Meet ≈ dynamic,
+  /// Webex ≈ 0, Zoom small).
+  double session_sigma = 0.0;
+  /// Within-session rate wobble sigma (slow multiplicative drift).
+  double in_session_sigma = 0.0;
+
+  // Bandwidth adaptation under receiver congestion (Figs 17–18).
+  DataRate min_video_rate;         // floor the platform will adapt down to
+  /// Multiplicative decrease applied per loss-feedback report (0 = none:
+  /// Webex barely adapts and stalls instead).
+  double loss_backoff = 0.0;
+  /// Multiplicative recovery per clean report.
+  double clean_recovery = 0.0;
+
+  // Mobile-receiver subscription behavior (Section 5).
+  /// Rate scale served to a low-end device (Webex 0.5, others 1.0).
+  double low_end_scale = 1.0;
+  /// Scale of one gallery tile relative to a full-screen stream.
+  double gallery_tile_scale = 0.25;
+  /// Whether gallery view reduces rate at all (Meet has no gallery; its
+  /// "approximated" gallery changes nothing — Section 5, footnote 6).
+  bool gallery_effective = true;
+  /// Full-screen still carries small previews of other participants (Meet).
+  double preview_scale = 0.0;
+  /// Full-screen background buffering of undisplayed streams (Zoom keeps a
+  /// trickle of the others to make view switches instant — Table 4).
+  double background_scale = 0.0;
+  /// Rate served to mobile full-screen receivers for the main stream (Meet
+  /// serves mobiles much more than cloud receivers: Fig 19b vs Fig 15).
+  DataRate mobile_main_rate;
+};
+
+/// The measured/derived profile for a platform.
+const RateProfile& rate_profile(PlatformId id);
+
+/// Sender video target rate for a session: draws the per-session component
+/// once (callers keep it for the session) and applies motion class.
+DataRate session_video_rate(PlatformId id, int participants, MotionClass motion, Rng& rng);
+
+/// A participant currently sending video (excluding the receiver itself).
+struct SenderInfo {
+  ParticipantId id = 0;
+  DeviceClass device = DeviceClass::kCloudVm;
+};
+
+/// The subscriptions a receiver gets, given everyone in the meeting.
+/// Encodes each platform's UI/tiling rules:
+///  - all platforms display at most traits().max_tiles streams;
+///  - Zoom full-screen: main stream + background trickle of others;
+///  - Zoom gallery: up to 4 tiles at the low simulcast layer;
+///  - Webex gallery: a fixed total budget split across tiles (the paper's
+///    counter-intuitive rate *decrease* with more participants) — except
+///    when mobile cameras join the gallery, where Webex serves each camera
+///    tile at half rate instead of budgeting (Fig 19b: the J3's download
+///    more than doubles in LM-Video-View);
+///  - Meet: always main + small previews; gallery request is a no-op.
+std::vector<StreamSubscription> subscriptions(PlatformId id, ViewMode view, DeviceClass device,
+                                              const std::vector<SenderInfo>& senders);
+
+}  // namespace vc::platform

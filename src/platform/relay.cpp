@@ -1,0 +1,179 @@
+#include "platform/relay.h"
+
+#include <algorithm>
+#include <cmath>
+
+namespace vc::platform {
+
+RelayServer::RelayServer(net::Network& network, std::string name, GeoPoint location,
+                         std::uint16_t media_port)
+    : RelayServer(network, std::move(name), location, media_port, ForwardingDelay{}) {}
+
+RelayServer::RelayServer(net::Network& network, std::string name, GeoPoint location,
+                         std::uint16_t media_port, ForwardingDelay delay)
+    : network_(network),
+      host_(&network.add_host(std::move(name), location)),
+      media_port_(media_port),
+      delay_(delay) {
+  socket_ = &host_->udp_bind(media_port_);
+  socket_->on_receive([this](const net::Packet& pkt) { on_packet(pkt); });
+}
+
+void RelayServer::send_delayed(net::Packet pkt) {
+  const SimDuration d =
+      delay_.base + millis_f(network_.rng().exponential(delay_.jitter_mean_ms));
+  SimTime departure = network_.now() + d;
+  // FIFO per destination: a later packet never departs before an earlier one.
+  SimTime& floor_time = next_departure_[pkt.dst];
+  if (departure < floor_time) departure = floor_time;
+  floor_time = departure;
+  network_.loop().schedule_at(departure, [this, p = std::move(pkt)]() mutable {
+    socket_->send(std::move(p));
+  });
+}
+
+void RelayServer::add_participant(MeetingId meeting, ParticipantId id,
+                                  net::Endpoint client_endpoint) {
+  Meeting& m = meetings_[meeting];
+  for (const auto& p : m.participants) {
+    if (p.id == id) return;  // idempotent re-registration
+  }
+  m.participants.push_back(Participant{id, client_endpoint, {}});
+  by_sender_[client_endpoint] = {meeting, id};
+}
+
+void RelayServer::remove_participant(MeetingId meeting, ParticipantId id) {
+  auto it = meetings_.find(meeting);
+  if (it == meetings_.end()) return;
+  auto& parts = it->second.participants;
+  for (const auto& p : parts) {
+    if (p.id == id) by_sender_.erase(p.endpoint);
+  }
+  std::erase_if(parts, [id](const Participant& p) { return p.id == id; });
+}
+
+void RelayServer::remove_meeting(MeetingId meeting) {
+  auto it = meetings_.find(meeting);
+  if (it == meetings_.end()) return;
+  for (const auto& p : it->second.participants) by_sender_.erase(p.endpoint);
+  for (RelayServer* peer : it->second.peers) by_peer_.erase(peer->endpoint());
+  // Note: peers unlink us independently via their own remove_meeting.
+  meetings_.erase(it);
+}
+
+void RelayServer::set_subscriptions(MeetingId meeting, ParticipantId receiver,
+                                    std::vector<StreamSubscription> subs) {
+  auto it = meetings_.find(meeting);
+  if (it == meetings_.end()) return;
+  for (auto& p : it->second.participants) {
+    if (p.id != receiver) continue;
+    p.video_scale.clear();
+    for (const auto& s : subs) p.video_scale[s.origin] = s.scale;
+    p.subscriptions_set = true;
+    return;
+  }
+}
+
+void RelayServer::link_peer(MeetingId meeting, RelayServer* peer) {
+  if (peer == nullptr || peer == this) return;
+  Meeting& m = meetings_[meeting];
+  if (std::find(m.peers.begin(), m.peers.end(), peer) != m.peers.end()) return;
+  m.peers.push_back(peer);
+  by_peer_[peer->endpoint()] = meeting;
+}
+
+void RelayServer::unlink_peer(MeetingId meeting, RelayServer* peer) {
+  auto it = meetings_.find(meeting);
+  if (it == meetings_.end() || peer == nullptr) return;
+  std::erase(it->second.peers, peer);
+  by_peer_.erase(peer->endpoint());
+}
+
+void RelayServer::on_packet(const net::Packet& pkt) {
+  // Probes are answered by the infrastructure itself, from any sender.
+  if (pkt.kind == net::StreamKind::kProbe) {
+    net::Packet reply;
+    reply.dst = pkt.src;
+    reply.l7_len = pkt.l7_len;
+    reply.kind = net::StreamKind::kProbeReply;
+    reply.seq = pkt.seq;
+    socket_->send(std::move(reply));
+    ++stats_.probes_answered;
+    return;
+  }
+
+  // Packet from a peer front-end (Meet inter-relay leg)?
+  if (auto peer_it = by_peer_.find(pkt.src); peer_it != by_peer_.end()) {
+    auto m_it = meetings_.find(peer_it->second);
+    if (m_it != meetings_.end()) forward_media(m_it->second, pkt, /*from_peer=*/true);
+    return;
+  }
+
+  // Packet from a registered participant?
+  auto s_it = by_sender_.find(pkt.src);
+  if (s_it == by_sender_.end()) return;  // stray traffic: drop silently
+  auto m_it = meetings_.find(s_it->second.first);
+  if (m_it == meetings_.end()) return;
+  ++stats_.media_in;
+  forward_media(m_it->second, pkt, /*from_peer=*/false);
+}
+
+void RelayServer::forward_media(Meeting& meeting, const net::Packet& pkt, bool from_peer) {
+  // Control packets (e.g. receiver reports) are routed to the participant
+  // the report concerns (pkt.origin_id), not fanned out.
+  if (pkt.kind == net::StreamKind::kControl) {
+    for (const auto& p : meeting.participants) {
+      if (p.id != pkt.origin_id) continue;
+      net::Packet copy = pkt;
+      copy.dst = p.endpoint;
+      send_delayed(std::move(copy));
+      ++stats_.control_forwarded;
+      return;
+    }
+    if (!from_peer) {
+      for (RelayServer* peer : meeting.peers) {
+        net::Packet copy = pkt;
+        copy.dst = peer->endpoint();
+        send_delayed(std::move(copy));
+        ++stats_.control_forwarded;
+      }
+    }
+    return;
+  }
+
+  for (const auto& p : meeting.participants) {
+    if (p.id == pkt.origin_id) continue;  // never echo back to the sender
+    net::Packet copy = pkt;
+    copy.dst = p.endpoint;
+    if (pkt.kind == net::StreamKind::kVideo) {
+      const auto scale_it = p.video_scale.find(pkt.origin_id);
+      const double scale = scale_it != p.video_scale.end() ? scale_it->second
+                           : p.subscriptions_set           ? 0.0
+                                                           : 1.0;
+      if (scale <= 0.0) continue;  // not subscribed
+      if (scale < 1.0) {
+        // Simulcast layer selection: a thinner encoding of the same stream.
+        // The thinned stream is not pixel-decodable (used by the mobile and
+        // gallery scenarios, which measure traffic/resources, not pixels).
+        copy.l7_len = std::max<std::int64_t>(static_cast<std::int64_t>(
+                                                 std::llround(static_cast<double>(pkt.l7_len) * scale)),
+                                             24);
+        copy.payload = nullptr;
+      }
+    }
+    send_delayed(std::move(copy));
+    ++stats_.media_forwarded;
+  }
+
+  // Fan out to peer front-ends exactly once (only for first-hop packets).
+  if (!from_peer) {
+    for (RelayServer* peer : meeting.peers) {
+      net::Packet copy = pkt;
+      copy.dst = peer->endpoint();
+      send_delayed(std::move(copy));
+      ++stats_.media_forwarded;
+    }
+  }
+}
+
+}  // namespace vc::platform

@@ -1,0 +1,104 @@
+// Relay (SFU) servers — the "service endpoints" the paper discovers in
+// traffic (Fig 3).
+//
+// Zoom and Webex use one relay per meeting that every participant streams
+// through; Meet gives each client a nearby front-end and relays meetings
+// across front-ends. A relay:
+//   * forwards each sender's media to the meeting's other participants,
+//     applying per-(receiver, origin) subscription scales (simulcast layer
+//     selection / tiling policy);
+//   * forwards media to peer front-ends (Meet) exactly once, never back;
+//   * answers probe packets (the tcpping analog) — ICMP is "blocked", like
+//     the real infrastructures.
+#pragma once
+
+#include <cstdint>
+#include <string>
+#include <unordered_map>
+#include <vector>
+
+#include "net/network.h"
+#include "platform/platform.h"
+
+namespace vc::platform {
+
+class RelayServer {
+ public:
+  struct Stats {
+    std::int64_t media_in = 0;
+    std::int64_t media_forwarded = 0;
+    std::int64_t probes_answered = 0;
+    std::int64_t control_forwarded = 0;
+  };
+
+  /// Media-plane processing latency added per forwarded packet (ingest,
+  /// decrypt/reencrypt, packetization). The paper's lag floors imply
+  /// platform-specific relay costs: Webex's pipeline is the leanest, Meet's
+  /// front-ends add noticeably more (and more variable) latency — the
+  /// paper's "worst lag despite the lowest RTTs" observation.
+  struct ForwardingDelay {
+    SimDuration base = millis(6);
+    double jitter_mean_ms = 2.0;  // exponential
+  };
+
+  RelayServer(net::Network& network, std::string name, GeoPoint location,
+              std::uint16_t media_port);  // default forwarding delay
+  RelayServer(net::Network& network, std::string name, GeoPoint location,
+              std::uint16_t media_port, ForwardingDelay delay);
+
+  net::Host& host() { return *host_; }
+  net::Endpoint endpoint() const { return net::Endpoint{host_->ip(), media_port_}; }
+  const Stats& stats() const { return stats_; }
+
+  void add_participant(MeetingId meeting, ParticipantId id, net::Endpoint client_endpoint);
+  void remove_participant(MeetingId meeting, ParticipantId id);
+  void remove_meeting(MeetingId meeting);
+
+  /// Replaces the receiver's video subscriptions (empty = receive nothing).
+  void set_subscriptions(MeetingId meeting, ParticipantId receiver,
+                         std::vector<StreamSubscription> subs);
+
+  /// Links a peer front-end for a meeting (Meet). One direction; callers
+  /// link both ways.
+  void link_peer(MeetingId meeting, RelayServer* peer);
+  void unlink_peer(MeetingId meeting, RelayServer* peer);
+
+ private:
+  struct Participant {
+    ParticipantId id = 0;
+    net::Endpoint endpoint;
+    /// origin participant → forwarding scale for video.
+    std::unordered_map<ParticipantId, double> video_scale;
+    /// Until the control plane pushes subscriptions, forward everything;
+    /// afterwards, an origin absent from the map means "not subscribed"
+    /// (this is what makes audio-only/screen-off stop video entirely).
+    bool subscriptions_set = false;
+  };
+  struct Meeting {
+    std::vector<Participant> participants;
+    std::vector<RelayServer*> peers;
+  };
+
+  void on_packet(const net::Packet& pkt);
+  void forward_media(Meeting& meeting, const net::Packet& pkt, bool from_peer);
+
+  /// Sends a packet from the relay after the processing delay.
+  void send_delayed(net::Packet pkt);
+
+  net::Network& network_;
+  net::Host* host_;
+  std::uint16_t media_port_;
+  ForwardingDelay delay_;
+  net::UdpSocket* socket_;
+  std::unordered_map<MeetingId, Meeting> meetings_;
+  /// sender endpoint → (meeting, participant) for packet classification.
+  std::unordered_map<net::Endpoint, std::pair<MeetingId, ParticipantId>> by_sender_;
+  /// peer relay endpoint → meeting id.
+  std::unordered_map<net::Endpoint, MeetingId> by_peer_;
+  /// Per-destination earliest next departure: the media pipeline is FIFO per
+  /// flow, so jittered processing delays never reorder a stream.
+  std::unordered_map<net::Endpoint, SimTime> next_departure_;
+  Stats stats_;
+};
+
+}  // namespace vc::platform

@@ -1,0 +1,54 @@
+#include "testbed/locations.h"
+
+#include <stdexcept>
+
+namespace vc::testbed {
+
+const std::vector<VmSite>& table3_sites() {
+  static const std::vector<VmSite> kSites = {
+      {"US-Central", "US", {41.59, -93.62}, 1},    // Iowa
+      {"US-NCentral", "US", {41.88, -87.63}, 1},   // Illinois
+      {"US-SCentral", "US", {29.42, -98.49}, 1},   // Texas
+      {"US-East", "US", {38.90, -77.45}, 2},       // Virginia
+      {"US-West", "US", {37.78, -122.40}, 2},      // California
+      {"CH", "Europe", {47.38, 8.54}, 1},          // Switzerland
+      {"DE", "Europe", {50.11, 8.68}, 1},          // Germany (Frankfurt)
+      {"IE", "Europe", {53.33, -6.25}, 1},         // Ireland
+      {"NL", "Europe", {52.37, 4.90}, 1},          // Netherlands
+      {"FR", "Europe", {48.86, 2.35}, 1},          // France
+      {"UK-South", "Europe", {51.51, -0.13}, 1},   // London
+      {"UK-West", "Europe", {51.48, -3.18}, 1},    // Cardiff
+  };
+  return kSites;
+}
+
+std::vector<VmSite> us_sites() {
+  std::vector<VmSite> out;
+  for (const auto& s : table3_sites()) {
+    if (s.region == "US") out.push_back(s);
+  }
+  return out;
+}
+
+std::vector<VmSite> europe_sites() {
+  std::vector<VmSite> out;
+  for (const auto& s : table3_sites()) {
+    if (s.region == "Europe") out.push_back(s);
+  }
+  return out;
+}
+
+const VmSite& site_by_name(const std::string& name) {
+  for (const auto& s : table3_sites()) {
+    if (s.name == name) return s;
+  }
+  if (name == residential_us_east().name) return residential_us_east();
+  throw std::invalid_argument{"unknown site: " + name};
+}
+
+const VmSite& residential_us_east() {
+  static const VmSite kHome{"Residential-US-East", "US", {40.34, -74.07}, 1};  // NJ shore
+  return kHome;
+}
+
+}  // namespace vc::testbed

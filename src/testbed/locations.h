@@ -1,0 +1,31 @@
+// The benchmark's vantage points: the 12 Azure VM sites of Table 3 plus the
+// residential east-coast site hosting the two Android phones (Section 5).
+#pragma once
+
+#include <string>
+#include <vector>
+
+#include "common/geo.h"
+
+namespace vc::testbed {
+
+struct VmSite {
+  std::string name;      // Table 3 "Name" column, e.g. "US-East"
+  std::string region;    // "US" or "Europe"
+  GeoPoint geo;
+  int count = 1;         // Table 3 "Count" column
+};
+
+/// All 12 sites of Table 3.
+const std::vector<VmSite>& table3_sites();
+
+/// Convenience subsets.
+std::vector<VmSite> us_sites();
+std::vector<VmSite> europe_sites();
+const VmSite& site_by_name(const std::string& name);
+
+/// The residential access network on the US east coast where the phones and
+/// their Raspberry-Pi WiFi bridge live.
+const VmSite& residential_us_east();
+
+}  // namespace vc::testbed

@@ -1,0 +1,51 @@
+#include "testbed/orchestrator.h"
+
+#include <stdexcept>
+
+namespace vc::testbed {
+
+SessionOrchestrator::SessionOrchestrator(Plan plan) : plan_(std::move(plan)) {
+  if (plan_.host == nullptr) throw std::invalid_argument{"session needs a host client"};
+}
+
+void SessionOrchestrator::start() {
+  host_controller_ = std::make_unique<client::ClientController>(*plan_.host);
+  host_controller_->start_host([this](platform::MeetingId id) { on_meeting_created(id); });
+}
+
+void SessionOrchestrator::on_meeting_created(platform::MeetingId id) {
+  meeting_ = id;
+  if (plan_.participants.empty()) {
+    begin_media_phase();
+    return;
+  }
+  auto& loop = plan_.host->host().network().loop();
+  SimDuration delay = SimDuration::zero();
+  for (auto* participant : plan_.participants) {
+    auto controller = std::make_unique<client::ClientController>(*participant);
+    client::ClientController* ctl = controller.get();
+    controllers_.push_back(std::move(controller));
+    loop.schedule_after(delay, [this, ctl] {
+      ctl->start_join(meeting_, [this] { on_participant_joined(); });
+    });
+    delay = delay + plan_.join_stagger;
+  }
+}
+
+void SessionOrchestrator::on_participant_joined() {
+  ++joined_;
+  if (joined_ == plan_.participants.size()) begin_media_phase();
+}
+
+void SessionOrchestrator::begin_media_phase() {
+  if (plan_.on_all_joined) plan_.on_all_joined();
+  auto& loop = plan_.host->host().network().loop();
+  loop.schedule_after(plan_.media_duration, [this] {
+    for (auto* p : plan_.participants) p->leave();
+    plan_.host->leave();
+    finished_ = true;
+    if (plan_.on_done) plan_.on_done();
+  });
+}
+
+}  // namespace vc::testbed

@@ -1,0 +1,54 @@
+// Coordinated session orchestration (Section 3.1 "coordinated client
+// deployments"): brings a meeting up across a host and participants via
+// their scripted controllers, fires the media/measurement phase once
+// everyone is in, and tears the session down after the configured duration.
+#pragma once
+
+#include <functional>
+#include <memory>
+#include <vector>
+
+#include "client/controller.h"
+#include "client/vca_client.h"
+
+namespace vc::testbed {
+
+class SessionOrchestrator {
+ public:
+  struct Plan {
+    client::VcaClient* host = nullptr;
+    std::vector<client::VcaClient*> participants;
+    /// Gap between consecutive participant join scripts.
+    SimDuration join_stagger = millis(400);
+    /// Media/measurement phase length once everyone has joined.
+    SimDuration media_duration = seconds(30);
+    /// Fired when the roster is complete (start feeders/recorders here).
+    std::function<void()> on_all_joined;
+    /// Fired after everyone has left.
+    std::function<void()> on_done;
+  };
+
+  explicit SessionOrchestrator(Plan plan);
+  SessionOrchestrator(const SessionOrchestrator&) = delete;
+  SessionOrchestrator& operator=(const SessionOrchestrator&) = delete;
+
+  /// Schedules the whole session; the caller then runs the event loop.
+  void start();
+
+  bool finished() const { return finished_; }
+  platform::MeetingId meeting() const { return meeting_; }
+
+ private:
+  void on_meeting_created(platform::MeetingId id);
+  void on_participant_joined();
+  void begin_media_phase();
+
+  Plan plan_;
+  std::unique_ptr<client::ClientController> host_controller_;
+  std::vector<std::unique_ptr<client::ClientController>> controllers_;
+  platform::MeetingId meeting_ = 0;
+  std::size_t joined_ = 0;
+  bool finished_ = false;
+};
+
+}  // namespace vc::testbed

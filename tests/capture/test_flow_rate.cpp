@@ -1,0 +1,125 @@
+#include <gtest/gtest.h>
+
+#include "capture/flow.h"
+#include "capture/rate_analyzer.h"
+
+namespace vc::capture {
+namespace {
+
+const net::Endpoint kLocal{net::IpAddr{0x0A000001}, 47000};
+const net::Endpoint kRelay{net::IpAddr{0x0A000002}, 8801};
+const net::Endpoint kOther{net::IpAddr{0x0A000003}, 9000};
+
+CaptureRecord rec(SimTime t, net::Direction dir, net::Endpoint remote, std::int64_t l7) {
+  CaptureRecord r;
+  r.timestamp = t;
+  r.dir = dir;
+  if (dir == net::Direction::kIncoming) {
+    r.src = remote;
+    r.dst = kLocal;
+  } else {
+    r.src = kLocal;
+    r.dst = remote;
+  }
+  r.l7_len = l7;
+  r.wire_len = l7 + 28;
+  return r;
+}
+
+TEST(FlowTable, GroupsByRemoteEndpoint) {
+  Trace t;
+  t.records.push_back(rec(SimTime{0}, net::Direction::kIncoming, kRelay, 100));
+  t.records.push_back(rec(SimTime{1000}, net::Direction::kOutgoing, kRelay, 200));
+  t.records.push_back(rec(SimTime{2000}, net::Direction::kIncoming, kOther, 50));
+  const FlowTable table{t};
+  ASSERT_EQ(table.flows().size(), 2u);
+  const auto by_vol = table.by_volume();
+  EXPECT_EQ(by_vol[0].first.remote, kRelay);
+  EXPECT_EQ(by_vol[0].second.l7_bytes(), 300);
+  EXPECT_EQ(by_vol[0].second.packets_in, 1);
+  EXPECT_EQ(by_vol[0].second.packets_out, 1);
+  EXPECT_EQ(by_vol[0].second.l7_bytes_in, 100);
+  EXPECT_EQ(by_vol[0].second.l7_bytes_out, 200);
+  EXPECT_EQ(by_vol[1].second.l7_bytes(), 50);
+}
+
+TEST(FlowTable, TracksTimeBounds) {
+  Trace t;
+  t.records.push_back(rec(SimTime{5000}, net::Direction::kIncoming, kRelay, 10));
+  t.records.push_back(rec(SimTime{1000}, net::Direction::kIncoming, kRelay, 10));
+  t.records.push_back(rec(SimTime{9000}, net::Direction::kIncoming, kRelay, 10));
+  const FlowTable table{t};
+  const auto& stats = table.flows().front().second;
+  EXPECT_EQ(stats.first, SimTime{1000});
+  EXPECT_EQ(stats.last, SimTime{9000});
+  EXPECT_EQ(stats.duration(), micros(8000));
+}
+
+TEST(RecordRemoteLocal, OrientationHelpers) {
+  const auto in = rec(SimTime{0}, net::Direction::kIncoming, kRelay, 1);
+  EXPECT_EQ(in.remote(), kRelay);
+  EXPECT_EQ(in.local(), kLocal);
+  const auto out = rec(SimTime{0}, net::Direction::kOutgoing, kRelay, 1);
+  EXPECT_EQ(out.remote(), kRelay);
+  EXPECT_EQ(out.local(), kLocal);
+}
+
+TEST(RateAnalyzer, ComputesDirectionalL7Rates) {
+  Trace t;
+  // 1 second of traffic: 10 incoming x 1000 B, 5 outgoing x 500 B.
+  for (int i = 0; i < 10; ++i) {
+    t.records.push_back(rec(SimTime{i * 100'000}, net::Direction::kIncoming, kRelay, 1000));
+  }
+  for (int i = 0; i < 5; ++i) {
+    t.records.push_back(rec(SimTime{i * 200'000 + 1'000'000}, net::Direction::kOutgoing, kRelay, 500));
+  }
+  const RateAnalyzer analyzer{t};
+  const RateReport rep = analyzer.average();
+  EXPECT_EQ(rep.l7_bytes_down, 10'000);
+  EXPECT_EQ(rep.l7_bytes_up, 2'500);
+  // Span = 1.8 s (first to last record).
+  EXPECT_NEAR(rep.download.as_kbps(), 10'000 * 8 / 1.8 / 1000, 1.0);
+}
+
+TEST(RateAnalyzer, WindowFilter) {
+  Trace t;
+  for (int i = 0; i < 10; ++i) {
+    t.records.push_back(rec(SimTime{i * 1'000'000}, net::Direction::kIncoming, kRelay, 1000));
+  }
+  const RateAnalyzer analyzer{t};
+  const auto rep = analyzer.average(SimTime{5'000'000}, SimTime{8'000'000});
+  EXPECT_EQ(rep.l7_bytes_down, 4000);  // records at 5,6,7,8 s
+}
+
+TEST(RateAnalyzer, RemoteFilter) {
+  Trace t;
+  t.records.push_back(rec(SimTime{0}, net::Direction::kIncoming, kRelay, 1000));
+  t.records.push_back(rec(SimTime{1'000'000}, net::Direction::kIncoming, kOther, 9999));
+  t.records.push_back(rec(SimTime{2'000'000}, net::Direction::kIncoming, kRelay, 1000));
+  const RateAnalyzer analyzer{t};
+  const auto rep = analyzer.average(std::nullopt, std::nullopt, kRelay);
+  EXPECT_EQ(rep.l7_bytes_down, 2000);
+}
+
+TEST(RateAnalyzer, EmptyTraceYieldsZero) {
+  Trace t;
+  const RateAnalyzer analyzer{t};
+  EXPECT_EQ(analyzer.average().download, DataRate::zero());
+  EXPECT_TRUE(analyzer.download_kbps_series(millis(100)).empty());
+}
+
+TEST(RateAnalyzer, SeriesCapturesVariation) {
+  Trace t;
+  // 0–1 s: heavy; 1–2 s: light.
+  for (int i = 0; i < 10; ++i) {
+    t.records.push_back(rec(SimTime{i * 100'000}, net::Direction::kIncoming, kRelay, 2000));
+  }
+  t.records.push_back(rec(SimTime{1'500'000}, net::Direction::kIncoming, kRelay, 100));
+  const RateAnalyzer analyzer{t};
+  const auto series = analyzer.download_kbps_series(millis(500));
+  ASSERT_GE(series.size(), 3u);
+  EXPECT_GT(series[0], series[2]);
+}
+
+}  // namespace
+}  // namespace vc::capture

@@ -1,0 +1,169 @@
+#include <gtest/gtest.h>
+
+#include "capture/endpoint_discovery.h"
+#include "capture/lag_detector.h"
+#include "capture/timeline.h"
+
+namespace vc::capture {
+namespace {
+
+const net::Endpoint kLocal{net::IpAddr{0x0A000001}, 47000};
+const net::Endpoint kRelay{net::IpAddr{0x0A000002}, 8801};
+
+CaptureRecord rec(std::int64_t t_us, net::Direction dir, std::int64_t l7,
+                  net::Endpoint remote = kRelay) {
+  CaptureRecord r;
+  r.timestamp = SimTime{t_us};
+  r.dir = dir;
+  if (dir == net::Direction::kIncoming) {
+    r.src = remote;
+    r.dst = kLocal;
+  } else {
+    r.src = kLocal;
+    r.dst = remote;
+  }
+  r.l7_len = l7;
+  r.wire_len = l7 + 28;
+  return r;
+}
+
+// A trace mimicking the flash feed: small keepalives plus periodic bursts of
+// big packets every 2 s starting at `first_burst_us`.
+Trace flash_trace(net::Direction dir, std::int64_t first_burst_us, int flashes) {
+  Trace t;
+  for (int f = 0; f < flashes; ++f) {
+    const std::int64_t burst = first_burst_us + f * 2'000'000;
+    // Background keepalives, all small.
+    for (int k = 1; k <= 18; ++k) {
+      t.records.push_back(rec(burst - 2'000'000 + k * 100'000, dir, 40));
+    }
+    for (int j = 0; j < 4; ++j) t.records.push_back(rec(burst + j * 7'000, dir, 1100));
+  }
+  return t;
+}
+
+TEST(LagDetector, FindsOneEventPerFlash) {
+  const Trace t = flash_trace(net::Direction::kOutgoing, 2'000'000, 5);
+  const auto events = detect_flash_events(t, net::Direction::kOutgoing);
+  ASSERT_EQ(events.size(), 5u);
+  EXPECT_EQ(events[0].at, SimTime{2'000'000});
+  EXPECT_EQ(events[1].at, SimTime{4'000'000});
+  EXPECT_GT(events[0].trigger_len, 200);
+}
+
+TEST(LagDetector, IgnoresWrongDirection) {
+  const Trace t = flash_trace(net::Direction::kOutgoing, 2'000'000, 3);
+  EXPECT_TRUE(detect_flash_events(t, net::Direction::kIncoming).empty());
+}
+
+TEST(LagDetector, SmallPacketsNeverTrigger) {
+  Trace t;
+  for (int i = 0; i < 100; ++i) t.records.push_back(rec(i * 50'000, net::Direction::kIncoming, 150));
+  EXPECT_TRUE(detect_flash_events(t, net::Direction::kIncoming).empty());
+}
+
+TEST(LagDetector, BigPacketWithoutQuiescenceNotAnEvent) {
+  Trace t;
+  // Continuous big packets: only the first (after silence) is an event.
+  for (int i = 0; i < 50; ++i) t.records.push_back(rec(i * 100'000, net::Direction::kIncoming, 900));
+  const auto events = detect_flash_events(t, net::Direction::kIncoming);
+  EXPECT_EQ(events.size(), 1u);
+}
+
+TEST(LagDetector, MatchesLagsWithKnownShift) {
+  const Trace tx = flash_trace(net::Direction::kOutgoing, 2'000'000, 10);
+  const Trace rx = flash_trace(net::Direction::kIncoming, 2'037'000, 10);  // 37 ms lag
+  const auto lags = measure_streaming_lag_ms(tx, rx);
+  ASSERT_EQ(lags.size(), 10u);
+  for (double l : lags) EXPECT_NEAR(l, 37.0, 0.001);
+}
+
+TEST(LagDetector, ToleratesSmallClockSkew) {
+  // Receiver clock 1 ms behind: receiver event appears 1 ms *before* sender.
+  const Trace tx = flash_trace(net::Direction::kOutgoing, 2'000'000, 5);
+  const Trace rx = flash_trace(net::Direction::kIncoming, 1'999'000, 5);
+  const auto lags = measure_streaming_lag_ms(tx, rx);
+  ASSERT_EQ(lags.size(), 5u);
+  for (double l : lags) EXPECT_NEAR(l, -1.0, 0.001);
+}
+
+TEST(LagDetector, DiscardsImplausiblyLateMatches) {
+  // Receiver sees the flash 1.2 s later: beyond half the 2 s period.
+  const Trace tx = flash_trace(net::Direction::kOutgoing, 2'000'000, 5);
+  const Trace rx = flash_trace(net::Direction::kIncoming, 3'200'000, 5);
+  const auto lags = measure_streaming_lag_ms(tx, rx);
+  EXPECT_TRUE(lags.empty());
+}
+
+TEST(LagDetector, MissedFlashProducesFewerSamples) {
+  const Trace tx = flash_trace(net::Direction::kOutgoing, 2'000'000, 10);
+  Trace rx = flash_trace(net::Direction::kIncoming, 2'030'000, 10);
+  // Drop the receiver's 3rd burst entirely (packets 2*18..+4 window).
+  std::erase_if(rx.records, [](const CaptureRecord& r) {
+    return r.l7_len > 200 && r.timestamp >= SimTime{6'000'000} && r.timestamp < SimTime{6'100'000};
+  });
+  const auto lags = measure_streaming_lag_ms(tx, rx);
+  EXPECT_EQ(lags.size(), 9u);
+}
+
+TEST(EndpointDiscovery, FindsHeavyFlow) {
+  Trace t = flash_trace(net::Direction::kIncoming, 2'000'000, 20);
+  DiscoveryConfig cfg;
+  cfg.min_l7_bytes = 10'000;
+  cfg.min_packets = 20;
+  const auto endpoints = discover_endpoints(t, cfg);
+  ASSERT_EQ(endpoints.size(), 1u);
+  EXPECT_EQ(endpoints[0].endpoint, kRelay);
+}
+
+TEST(EndpointDiscovery, FiltersLightFlows) {
+  Trace t;
+  const net::Endpoint dns{net::IpAddr{0x08080808}, 53};
+  for (int i = 0; i < 5; ++i) t.records.push_back(rec(i * 1000, net::Direction::kIncoming, 80, dns));
+  EXPECT_TRUE(discover_endpoints(t).empty());
+}
+
+TEST(EndpointDiscovery, DominantPortAcrossTraces) {
+  std::vector<Trace> traces;
+  for (int s = 0; s < 3; ++s) traces.push_back(flash_trace(net::Direction::kIncoming, 2'000'000, 20));
+  DiscoveryConfig cfg;
+  cfg.min_l7_bytes = 10'000;
+  cfg.min_packets = 20;
+  EXPECT_EQ(dominant_media_port(traces, cfg), 8801);
+}
+
+TEST(EndpointDiscovery, CountsDistinctIpsAcrossSessions) {
+  std::vector<Trace> traces;
+  for (int s = 0; s < 4; ++s) {
+    // Two sessions on relay A, two on relay B.
+    const net::Endpoint relay{net::IpAddr{0x0A000002u + (s / 2)}, 8801};
+    Trace t;
+    for (int i = 0; i < 100; ++i) {
+      t.records.push_back(rec(i * 10'000, net::Direction::kIncoming, 1100, relay));
+    }
+    traces.push_back(std::move(t));
+  }
+  DiscoveryConfig cfg;
+  cfg.min_l7_bytes = 10'000;
+  cfg.min_packets = 20;
+  EXPECT_EQ(distinct_endpoint_ips(traces, cfg), 2u);
+}
+
+TEST(Timeline, ExtractsPointsRebased) {
+  const Trace t = flash_trace(net::Direction::kIncoming, 2'000'000, 2);
+  const auto pts = timeline_points(t, net::Direction::kIncoming);
+  ASSERT_FALSE(pts.empty());
+  EXPECT_DOUBLE_EQ(pts.front().t_sec, 0.0);
+}
+
+TEST(Timeline, AsciiMarksBigPackets) {
+  const Trace t = flash_trace(net::Direction::kIncoming, 2'000'000, 3);
+  const auto pts = timeline_points(t, net::Direction::kIncoming);
+  const std::string row = render_ascii_timeline(pts, 6.0, 60);
+  EXPECT_NE(row.find('#'), std::string::npos);
+  EXPECT_NE(row.find('.'), std::string::npos);
+  EXPECT_EQ(row.size(), 60u);
+}
+
+}  // namespace
+}  // namespace vc::capture

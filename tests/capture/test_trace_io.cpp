@@ -1,0 +1,88 @@
+#include <gtest/gtest.h>
+
+#include <sstream>
+
+#include "capture/trace_io.h"
+
+namespace vc::capture {
+namespace {
+
+Trace sample_trace() {
+  Trace t;
+  t.host_name = "US-East";
+  t.host_ip = net::IpAddr{0x0A000001};
+  t.clock_offset = micros(250);
+  for (int i = 0; i < 10; ++i) {
+    CaptureRecord r;
+    r.timestamp = SimTime{1000 * i};
+    r.dir = i % 2 == 0 ? net::Direction::kIncoming : net::Direction::kOutgoing;
+    r.src = {net::IpAddr{0x0A000002}, 8801};
+    r.dst = {net::IpAddr{0x0A000001}, 47000};
+    r.protocol = net::Protocol::kUdp;
+    r.wire_len = 1000 + i;
+    r.l7_len = 972 + i;
+    t.records.push_back(r);
+  }
+  return t;
+}
+
+TEST(TraceIo, RoundTrip) {
+  const Trace original = sample_trace();
+  std::stringstream buf;
+  write_trace(buf, original);
+  const Trace loaded = read_trace(buf);
+  EXPECT_EQ(loaded.host_name, original.host_name);
+  EXPECT_EQ(loaded.host_ip, original.host_ip);
+  EXPECT_EQ(loaded.clock_offset, original.clock_offset);
+  ASSERT_EQ(loaded.records.size(), original.records.size());
+  for (std::size_t i = 0; i < loaded.records.size(); ++i) {
+    EXPECT_EQ(loaded.records[i].timestamp, original.records[i].timestamp);
+    EXPECT_EQ(loaded.records[i].dir, original.records[i].dir);
+    EXPECT_EQ(loaded.records[i].src, original.records[i].src);
+    EXPECT_EQ(loaded.records[i].dst, original.records[i].dst);
+    EXPECT_EQ(loaded.records[i].wire_len, original.records[i].wire_len);
+    EXPECT_EQ(loaded.records[i].l7_len, original.records[i].l7_len);
+  }
+}
+
+TEST(TraceIo, EmptyTraceRoundTrips) {
+  Trace t;
+  t.host_name = "empty";
+  std::stringstream buf;
+  write_trace(buf, t);
+  const Trace loaded = read_trace(buf);
+  EXPECT_EQ(loaded.host_name, "empty");
+  EXPECT_TRUE(loaded.empty());
+}
+
+TEST(TraceIo, RejectsBadMagic) {
+  std::stringstream buf;
+  buf.write("XXXXYYYYZZZZ", 12);
+  EXPECT_THROW(read_trace(buf), std::runtime_error);
+}
+
+TEST(TraceIo, RejectsTruncated) {
+  const Trace original = sample_trace();
+  std::stringstream buf;
+  write_trace(buf, original);
+  std::string data = buf.str();
+  data.resize(data.size() / 2);
+  std::stringstream cut{data};
+  EXPECT_THROW(read_trace(cut), std::runtime_error);
+}
+
+TEST(TraceIo, FileRoundTrip) {
+  const Trace original = sample_trace();
+  const std::string path = ::testing::TempDir() + "/trace_test.vctr";
+  write_trace_file(path, original);
+  const Trace loaded = read_trace_file(path);
+  EXPECT_EQ(loaded.records.size(), original.records.size());
+  EXPECT_EQ(loaded.host_name, original.host_name);
+}
+
+TEST(TraceIo, MissingFileThrows) {
+  EXPECT_THROW(read_trace_file("/nonexistent/path/trace.vctr"), std::runtime_error);
+}
+
+}  // namespace
+}  // namespace vc::capture

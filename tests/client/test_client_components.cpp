@@ -1,0 +1,118 @@
+#include <gtest/gtest.h>
+
+#include <memory>
+
+#include "client/loopback.h"
+#include "client/media_feeder.h"
+#include "client/rtt_prober.h"
+#include "media/feeds.h"
+#include "net/network.h"
+
+namespace vc::client {
+namespace {
+
+TEST(VideoLoopback, HoldsLatestFrame) {
+  VideoLoopbackDevice dev;
+  EXPECT_FALSE(dev.latest().has_value());
+  dev.write_frame(media::Frame{16, 16, 1});
+  dev.write_frame(media::Frame{16, 16, 2});
+  ASSERT_TRUE(dev.latest().has_value());
+  EXPECT_EQ(dev.latest()->at(0, 0), 2);
+  EXPECT_EQ(dev.frames_written(), 2);
+}
+
+TEST(AudioLoopback, AppendsAndReadsWithSilenceFill) {
+  AudioLoopbackDevice dev{16'000};
+  dev.write_samples({1.0F, 2.0F, 3.0F});
+  const auto out = dev.read(1, 4);
+  ASSERT_EQ(out.size(), 4u);
+  EXPECT_FLOAT_EQ(out[0], 2.0F);
+  EXPECT_FLOAT_EQ(out[1], 3.0F);
+  EXPECT_FLOAT_EQ(out[2], 0.0F);  // not yet written: silence
+  EXPECT_EQ(dev.samples_written(), 3u);
+}
+
+TEST(MediaFeeder, ReplaysVideoAtFeedRate) {
+  net::EventLoop loop;
+  VideoLoopbackDevice video;
+  AudioLoopbackDevice audio;
+  MediaFeeder feeder{loop, video, audio};
+  auto feed = std::make_shared<media::BlankFeed>(media::FeedParams{32, 32, 10.0, 1});
+  feeder.play_video(feed, seconds(2));
+  loop.run();
+  // 10 fps for 2 s → 20 frames (the tick at t=2 s stops).
+  EXPECT_EQ(video.frames_written(), 20);
+  EXPECT_FALSE(feeder.video_active());
+}
+
+TEST(MediaFeeder, ReplaysAudioInChunks) {
+  net::EventLoop loop;
+  VideoLoopbackDevice video;
+  AudioLoopbackDevice audio;
+  MediaFeeder feeder{loop, video, audio};
+  media::AudioSignal sig;
+  sig.sample_rate = 16'000;
+  sig.samples.assign(16'000, 0.5F);  // 1 s
+  feeder.play_audio(sig);
+  loop.run();
+  EXPECT_EQ(audio.samples_written(), 16'000u);
+}
+
+TEST(MediaFeeder, StopHalts) {
+  net::EventLoop loop;
+  VideoLoopbackDevice video;
+  AudioLoopbackDevice audio;
+  MediaFeeder feeder{loop, video, audio};
+  auto feed = std::make_shared<media::BlankFeed>(media::FeedParams{32, 32, 10.0, 1});
+  feeder.play_video(feed, seconds(10));
+  loop.schedule_after(millis(450), [&] { feeder.stop(); });
+  loop.run();
+  EXPECT_LE(video.frames_written(), 6);
+}
+
+TEST(MediaFeeder, NullFeedThrows) {
+  net::EventLoop loop;
+  VideoLoopbackDevice video;
+  AudioLoopbackDevice audio;
+  MediaFeeder feeder{loop, video, audio};
+  EXPECT_THROW(feeder.play_video(nullptr, seconds(1)), std::invalid_argument);
+}
+
+TEST(RttProber, MeasuresRoundTrip) {
+  net::Network net{std::make_unique<net::FixedLatencyModel>(millis(15)), 1};
+  net::Host& client = net.add_host("client", GeoPoint{40, -74});
+  net::Host& server = net.add_host("server", GeoPoint{38, -77});
+  auto& server_sock = server.udp_bind(8801);
+  server_sock.on_receive([&](const net::Packet& p) {
+    if (p.kind != net::StreamKind::kProbe) return;
+    net::Packet reply;
+    reply.dst = p.src;
+    reply.l7_len = p.l7_len;
+    reply.kind = net::StreamKind::kProbeReply;
+    reply.seq = p.seq;
+    server_sock.send(std::move(reply));
+  });
+  RttProber prober{client};
+  prober.start({server.ip(), 8801}, millis(100), 10);
+  net.loop().run();
+  EXPECT_EQ(prober.sent(), 10);
+  ASSERT_EQ(prober.rtts_ms().size(), 10u);
+  EXPECT_NEAR(prober.average_ms(), 30.0, 0.1);
+  EXPECT_TRUE(prober.done());
+}
+
+TEST(RttProber, UnansweredProbesYieldNoSamples) {
+  net::Network net{std::make_unique<net::FixedLatencyModel>(millis(5)), 1};
+  net::Host& client = net.add_host("client", GeoPoint{40, -74});
+  net::Host& server = net.add_host("server", GeoPoint{38, -77});
+  server.udp_bind(8801);  // bound but mute
+  RttProber prober{client};
+  prober.start({server.ip(), 8801}, millis(50), 5);
+  net.loop().run();
+  EXPECT_EQ(prober.sent(), 5);
+  EXPECT_TRUE(prober.rtts_ms().empty());
+  EXPECT_EQ(prober.average_ms(), 0.0);
+}
+
+}  // namespace
+}  // namespace vc::client

@@ -1,0 +1,229 @@
+// End-to-end client tests: two or three emulated clients streaming through a
+// simulated platform.
+#include <gtest/gtest.h>
+
+#include <memory>
+
+#include "client/media_feeder.h"
+#include "client/monitor.h"
+#include "client/recorder.h"
+#include "client/vca_client.h"
+#include "media/feeds.h"
+#include "media/qoe/video_metrics.h"
+#include "platform/base_platform.h"
+
+namespace vc::client {
+namespace {
+
+const GeoPoint kVirginia{38.9, -77.4};
+const GeoPoint kCalifornia{37.8, -122.4};
+
+struct ClientFixture : public ::testing::Test {
+  ClientFixture() : net(std::make_unique<net::GeoLatencyModel>(), 1) {}
+
+  VcaClient::Config sender_cfg(int w = 128, int h = 96) {
+    VcaClient::Config c;
+    c.video_width = w;
+    c.video_height = h;
+    c.fps = 10.0;
+    c.send_audio = true;
+    c.ui_border = 8;
+    return c;
+  }
+
+  VcaClient::Config receiver_cfg(int w = 128, int h = 96) {
+    VcaClient::Config c = sender_cfg(w, h);
+    c.send_video = false;
+    c.send_audio = false;
+    return c;
+  }
+
+  net::Network net;
+};
+
+TEST_F(ClientFixture, MediaFlowsThroughRelayAndDecodes) {
+  platform::WebexPlatform webex{net};
+  net::Host& host_vm = net.add_host("host", kVirginia);
+  net::Host& rx_vm = net.add_host("rx", kCalifornia);
+  VcaClient host{host_vm, webex, sender_cfg()};
+  VcaClient rx{rx_vm, webex, receiver_cfg()};
+  MediaFeeder feeder{net.loop(), host.video_device(), host.audio_device()};
+
+  const auto meeting = host.create_meeting();
+  rx.join(meeting);
+  auto feed = std::make_shared<media::TourGuideFeed>(media::FeedParams{128, 96, 10.0, 3});
+  feeder.play_video(feed, seconds(5));
+  feeder.play_audio(media::synthesize_voice(5.0, 9));
+  net.loop().run_until(SimTime::zero() + seconds(6));
+
+  EXPECT_GT(host.stats().video_frames_sent, 30);
+  EXPECT_GT(rx.stats().video_frames_completed, 25);
+  EXPECT_GT(rx.stats().audio_frames_received, 100);
+  EXPECT_GT(rx.active_video_streams(), 0);
+  // The receiver's rendered screen shows real decoded content.
+  const media::Frame screen = rx.render_screen();
+  media::Frame dark{128, 96, 12};
+  EXPECT_GT(screen.mse(dark), 500.0);
+  rx.leave();
+  host.leave();
+  net.loop().run();
+}
+
+TEST_F(ClientFixture, ZoomP2pStreamsDirectly) {
+  platform::ZoomPlatform zoom{net};
+  net::Host& a_vm = net.add_host("a", kVirginia);
+  net::Host& b_vm = net.add_host("b", kCalifornia);
+  VcaClient a{a_vm, zoom, sender_cfg()};
+  VcaClient b{b_vm, zoom, receiver_cfg()};
+  MediaFeeder feeder{net.loop(), a.video_device(), a.audio_device()};
+
+  const auto meeting = a.create_meeting();
+  b.join(meeting);
+  auto feed = std::make_shared<media::TalkingHeadFeed>(media::FeedParams{128, 96, 10.0, 3});
+  feeder.play_video(feed, seconds(3));
+  net.loop().run_until(SimTime::zero() + seconds(4));
+
+  EXPECT_GT(b.stats().video_frames_completed, 15);
+  // No relay was provisioned: nothing listens on 8801 anywhere.
+  for (const auto& h : net.hosts()) {
+    EXPECT_EQ(h->udp_socket(8801), nullptr) << h->name();
+  }
+  b.leave();
+  a.leave();
+  net.loop().run();
+}
+
+TEST_F(ClientFixture, ReceiverReportsDriveAdaptationUnderShaping) {
+  platform::MeetPlatform meet{net};
+  net::Host& host_vm = net.add_host("host", kVirginia);
+  net::Host& rx_vm = net.add_host("rx", kVirginia);
+  // Choke the receiver hard: Meet should back off toward its floor.
+  rx_vm.set_ingress_shaper(std::make_unique<net::TokenBucketShaper>(
+      net.loop(), DataRate::kbps(300), 16'000, 60));
+  VcaClient host{host_vm, meet, sender_cfg()};
+  VcaClient rx{rx_vm, meet, receiver_cfg()};
+  MediaFeeder feeder{net.loop(), host.video_device(), host.audio_device()};
+
+  const auto meeting = host.create_meeting();
+  rx.join(meeting);
+  auto feed = std::make_shared<media::TourGuideFeed>(media::FeedParams{128, 96, 10.0, 3});
+  feeder.play_video(feed, seconds(10));
+  net.loop().run_until(SimTime::zero() + seconds(11));
+
+  EXPECT_GT(rx.stats().loss_reports_sent, 0);
+  EXPECT_LT(host.current_video_target().as_kbps(), host.session_base_rate().as_kbps());
+  rx.leave();
+  host.leave();
+  net.loop().run();
+  rx_vm.set_ingress_shaper(nullptr);
+}
+
+TEST_F(ClientFixture, AudioOnlyViewRendersBlack) {
+  platform::WebexPlatform webex{net};
+  net::Host& host_vm = net.add_host("host", kVirginia);
+  net::Host& rx_vm = net.add_host("rx", kCalifornia);
+  VcaClient host{host_vm, webex, sender_cfg()};
+  auto rc = receiver_cfg();
+  rc.view = platform::ViewMode::kAudioOnly;
+  VcaClient rx{rx_vm, webex, rc};
+  MediaFeeder feeder{net.loop(), host.video_device(), host.audio_device()};
+  const auto meeting = host.create_meeting();
+  rx.join(meeting);
+  auto feed = std::make_shared<media::TourGuideFeed>(media::FeedParams{128, 96, 10.0, 3});
+  feeder.play_video(feed, seconds(3));
+  net.loop().run_until(SimTime::zero() + seconds(4));
+  // Subscriptions are empty in audio-only: no video arrives at all.
+  EXPECT_EQ(rx.stats().video_frames_completed, 0);
+  EXPECT_EQ(rx.active_video_streams(), 0);
+  rx.leave();
+  host.leave();
+  net.loop().run();
+}
+
+TEST_F(ClientFixture, DesktopRecorderCapturesFreezesAndContent) {
+  platform::WebexPlatform webex{net};
+  net::Host& host_vm = net.add_host("host", kVirginia);
+  net::Host& rx_vm = net.add_host("rx", kVirginia);
+  VcaClient host{host_vm, webex, sender_cfg()};
+  VcaClient rx{rx_vm, webex, receiver_cfg()};
+  MediaFeeder feeder{net.loop(), host.video_device(), host.audio_device()};
+  DesktopRecorder recorder{rx, 10.0};
+  const auto meeting = host.create_meeting();
+  rx.join(meeting);
+  auto feed = std::make_shared<media::TourGuideFeed>(media::FeedParams{128, 96, 10.0, 3});
+  feeder.play_video(feed, seconds(4));
+  recorder.start(seconds(4));
+  net.loop().run_until(SimTime::zero() + seconds(5));
+  EXPECT_NEAR(static_cast<double>(recorder.video().frames.size()), 40.0, 2.0);
+  EXPECT_FALSE(recorder.recording());
+  rx.leave();
+  host.leave();
+  net.loop().run();
+}
+
+TEST_F(ClientFixture, MonitorDiscoversEndpointAndProbes) {
+  platform::WebexPlatform webex{net};
+  net::Host& host_vm = net.add_host("host", kVirginia);
+  net::Host& rx_vm = net.add_host("rx", kCalifornia);
+  VcaClient host{host_vm, webex, sender_cfg()};
+  VcaClient rx{rx_vm, webex, receiver_cfg()};
+  MediaFeeder feeder{net.loop(), host.video_device(), host.audio_device()};
+  ClientMonitor::Config mc;
+  mc.probe_count = 8;
+  ClientMonitor monitor{rx_vm, mc};
+  const auto meeting = host.create_meeting();
+  rx.join(meeting);
+  auto feed = std::make_shared<media::TourGuideFeed>(media::FeedParams{128, 96, 10.0, 3});
+  feeder.play_video(feed, seconds(15));
+  monitor.start_active_probing();
+  net.loop().run_until(SimTime::zero() + seconds(16));
+  ASSERT_TRUE(monitor.media_endpoint().has_value());
+  EXPECT_EQ(monitor.media_endpoint()->port, 9000);
+  EXPECT_EQ(monitor.prober().rtts_ms().size(), 8u);
+  // Webex relay is in US-east: the west-coast client sees a large RTT.
+  EXPECT_GT(monitor.prober().average_ms(), 30.0);
+  rx.leave();
+  host.leave();
+  net.loop().run();
+}
+
+TEST_F(ClientFixture, DoubleJoinThrows) {
+  platform::WebexPlatform webex{net};
+  net::Host& vm = net.add_host("host", kVirginia);
+  VcaClient c{vm, webex, sender_cfg()};
+  c.create_meeting();
+  EXPECT_THROW(c.create_meeting(), std::logic_error);
+  c.leave();
+  net.loop().run();
+}
+
+TEST_F(ClientFixture, GalleryRenderComposesTiles) {
+  platform::ZoomPlatform zoom{net};
+  net::Host& a_vm = net.add_host("a", kVirginia);
+  net::Host& b_vm = net.add_host("b", kVirginia);
+  net::Host& c_vm = net.add_host("c", kCalifornia);
+  VcaClient a{a_vm, zoom, sender_cfg()};
+  VcaClient b{b_vm, zoom, sender_cfg()};
+  auto cc = receiver_cfg();
+  cc.view = platform::ViewMode::kGallery;
+  VcaClient c{c_vm, zoom, cc};
+  MediaFeeder feeder_a{net.loop(), a.video_device(), a.audio_device()};
+  MediaFeeder feeder_b{net.loop(), b.video_device(), b.audio_device()};
+  const auto meeting = a.create_meeting();
+  b.join(meeting);
+  c.join(meeting);
+  auto feed = std::make_shared<media::TourGuideFeed>(media::FeedParams{128, 96, 10.0, 3});
+  feeder_a.play_video(feed, seconds(3));
+  feeder_b.play_video(feed, seconds(3));
+  net.loop().run_until(SimTime::zero() + seconds(4));
+  // Gallery tiles are thinned (scale < 1) → not decodable; receiver sees
+  // traffic but decodes nothing — render shows the dark gallery canvas.
+  EXPECT_GT(c.active_video_streams(), 0);
+  c.leave();
+  b.leave();
+  a.leave();
+  net.loop().run();
+}
+
+}  // namespace
+}  // namespace vc::client

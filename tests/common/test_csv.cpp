@@ -1,0 +1,47 @@
+#include <gtest/gtest.h>
+
+#include <sstream>
+
+#include "common/csv.h"
+
+namespace vc {
+namespace {
+
+TEST(Csv, PlainRows) {
+  std::ostringstream out;
+  CsvWriter csv{out};
+  csv.row({"a", "b", "c"});
+  csv.row({"1", "2", "3"});
+  EXPECT_EQ(out.str(), "a,b,c\n1,2,3\n");
+  EXPECT_EQ(csv.rows_written(), 2u);
+}
+
+TEST(Csv, QuotesSpecialCharacters) {
+  std::ostringstream out;
+  CsvWriter csv{out};
+  csv.row({"plain", "with,comma", "with\"quote", "with\nnewline"});
+  EXPECT_EQ(out.str(), "plain,\"with,comma\",\"with\"\"quote\",\"with\nnewline\"\n");
+}
+
+TEST(Csv, EmptyCellsAndRow) {
+  std::ostringstream out;
+  CsvWriter csv{out};
+  csv.row({"", "x", ""});
+  csv.row({});
+  EXPECT_EQ(out.str(), ",x,\n\n");
+}
+
+TEST(Csv, NumRoundTrips) {
+  const double v = 36.578123456789;
+  EXPECT_DOUBLE_EQ(std::stod(CsvWriter::num(v)), v);
+}
+
+TEST(Csv, InitializerListOverload) {
+  std::ostringstream out;
+  CsvWriter csv{out};
+  csv.row({std::string("x"), CsvWriter::num(1.5)});
+  EXPECT_EQ(out.str(), "x,1.5\n");
+}
+
+}  // namespace
+}  // namespace vc

@@ -1,0 +1,69 @@
+#include <gtest/gtest.h>
+
+#include "common/geo.h"
+#include "common/table.h"
+
+namespace vc {
+namespace {
+
+// Approximate city coordinates.
+const GeoPoint kNewYork{40.71, -74.01};
+const GeoPoint kLondon{51.51, -0.13};
+const GeoPoint kSanFrancisco{37.77, -122.42};
+
+TEST(Geo, ZeroDistanceToSelf) {
+  EXPECT_NEAR(great_circle_km(kNewYork, kNewYork), 0.0, 1e-6);
+}
+
+TEST(Geo, KnownDistances) {
+  // NY–London ≈ 5570 km; NY–SF ≈ 4130 km.
+  EXPECT_NEAR(great_circle_km(kNewYork, kLondon), 5570.0, 60.0);
+  EXPECT_NEAR(great_circle_km(kNewYork, kSanFrancisco), 4130.0, 60.0);
+}
+
+TEST(Geo, Symmetric) {
+  EXPECT_DOUBLE_EQ(great_circle_km(kNewYork, kLondon), great_circle_km(kLondon, kNewYork));
+}
+
+TEST(Geo, PropagationDelayScalesWithDistance) {
+  const SimDuration near = propagation_delay(kNewYork, kSanFrancisco);
+  const SimDuration far = propagation_delay(kNewYork, kLondon);
+  EXPECT_GT(far, near);
+  // Base-only at zero distance.
+  EXPECT_EQ(propagation_delay(kNewYork, kNewYork, 1.8, millis(1)), millis(1));
+}
+
+TEST(Geo, TransatlanticOneWayPlausible) {
+  // Measured internet one-way NY–London is roughly 35–40 ms; our model with
+  // default inflation should land in that ballpark.
+  const double ms = propagation_delay(kNewYork, kLondon).millis();
+  EXPECT_GT(ms, 25.0);
+  EXPECT_LT(ms, 60.0);
+}
+
+TEST(TextTable, RendersAligned) {
+  TextTable t{{"name", "value"}};
+  t.add_row({"alpha", "1"});
+  t.add_row({"b", "22"});
+  const std::string out = t.render();
+  EXPECT_NE(out.find("name"), std::string::npos);
+  EXPECT_NE(out.find("alpha"), std::string::npos);
+  EXPECT_NE(out.find("---"), std::string::npos);
+  // Column alignment: "value" starts at the same offset in each row.
+  const auto header_pos = out.find("value");
+  const auto row_pos = out.find("1");
+  EXPECT_EQ(header_pos % (out.find('\n') + 1), row_pos % (out.find('\n') + 1));
+}
+
+TEST(TextTable, RejectsMismatchedRow) {
+  TextTable t{{"a", "b"}};
+  EXPECT_THROW(t.add_row({"only-one"}), std::invalid_argument);
+}
+
+TEST(TextTable, NumFormatting) {
+  EXPECT_EQ(TextTable::num(3.14159, 2), "3.14");
+  EXPECT_EQ(TextTable::num(2.0, 0), "2");
+}
+
+}  // namespace
+}  // namespace vc

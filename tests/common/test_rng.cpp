@@ -1,0 +1,105 @@
+#include <gtest/gtest.h>
+
+#include "common/rng.h"
+#include "common/stats.h"
+
+namespace vc {
+namespace {
+
+TEST(Rng, DeterministicForSeed) {
+  Rng a{123};
+  Rng b{123};
+  for (int i = 0; i < 100; ++i) EXPECT_EQ(a.next_u64(), b.next_u64());
+}
+
+TEST(Rng, DifferentSeedsDiffer) {
+  Rng a{1};
+  Rng b{2};
+  int same = 0;
+  for (int i = 0; i < 64; ++i) {
+    if (a.next_u64() == b.next_u64()) ++same;
+  }
+  EXPECT_EQ(same, 0);
+}
+
+TEST(Rng, ForkIndependentOfParentConsumption) {
+  Rng parent{7};
+  Rng child1 = parent.fork(42);
+  const std::uint64_t first = child1.next_u64();
+  // Forking again without consuming the parent yields the same child stream.
+  Rng child2 = parent.fork(42);
+  EXPECT_EQ(child2.next_u64(), first);
+  // Different salt → different stream.
+  Rng child3 = parent.fork(43);
+  EXPECT_NE(child3.next_u64(), first);
+}
+
+TEST(Rng, ForkByLabel) {
+  Rng parent{7};
+  Rng a = parent.fork("alpha");
+  Rng b = parent.fork("beta");
+  Rng a2 = parent.fork("alpha");
+  EXPECT_EQ(a.next_u64(), a2.next_u64());
+  EXPECT_NE(a.next_u64(), b.next_u64());
+}
+
+TEST(Rng, UniformRange) {
+  Rng rng{5};
+  for (int i = 0; i < 1000; ++i) {
+    const double v = rng.uniform(2.0, 3.0);
+    EXPECT_GE(v, 2.0);
+    EXPECT_LT(v, 3.0);
+  }
+}
+
+TEST(Rng, UniformIntInclusive) {
+  Rng rng{5};
+  bool saw_lo = false;
+  bool saw_hi = false;
+  for (int i = 0; i < 2000; ++i) {
+    const auto v = rng.uniform_int(1, 6);
+    EXPECT_GE(v, 1);
+    EXPECT_LE(v, 6);
+    saw_lo |= v == 1;
+    saw_hi |= v == 6;
+  }
+  EXPECT_TRUE(saw_lo);
+  EXPECT_TRUE(saw_hi);
+}
+
+TEST(Rng, NormalMoments) {
+  Rng rng{11};
+  RunningStats stats;
+  for (int i = 0; i < 20'000; ++i) stats.add(rng.normal(10.0, 2.0));
+  EXPECT_NEAR(stats.mean(), 10.0, 0.1);
+  EXPECT_NEAR(stats.stddev(), 2.0, 0.1);
+}
+
+TEST(Rng, ExponentialMean) {
+  Rng rng{13};
+  RunningStats stats;
+  for (int i = 0; i < 20'000; ++i) stats.add(rng.exponential(3.0));
+  EXPECT_NEAR(stats.mean(), 3.0, 0.15);
+  EXPECT_GE(stats.min(), 0.0);
+}
+
+TEST(Rng, LognormalPositive) {
+  Rng rng{17};
+  for (int i = 0; i < 1000; ++i) EXPECT_GT(rng.lognormal(0.0, 0.5), 0.0);
+}
+
+TEST(Rng, ChanceProbability) {
+  Rng rng{19};
+  int hits = 0;
+  for (int i = 0; i < 10'000; ++i) hits += rng.chance(0.3) ? 1 : 0;
+  EXPECT_NEAR(static_cast<double>(hits) / 10'000.0, 0.3, 0.03);
+}
+
+TEST(Rng, IndexBounds) {
+  Rng rng{23};
+  EXPECT_EQ(rng.index(0), 0u);
+  for (int i = 0; i < 200; ++i) EXPECT_LT(rng.index(7), 7u);
+}
+
+}  // namespace
+}  // namespace vc

@@ -1,0 +1,134 @@
+#include <gtest/gtest.h>
+
+#include <stdexcept>
+#include <vector>
+
+#include "common/stats.h"
+
+namespace vc {
+namespace {
+
+TEST(RunningStats, Basics) {
+  RunningStats s;
+  EXPECT_TRUE(s.empty());
+  for (double v : {2.0, 4.0, 4.0, 4.0, 5.0, 5.0, 7.0, 9.0}) s.add(v);
+  EXPECT_EQ(s.count(), 8u);
+  EXPECT_DOUBLE_EQ(s.mean(), 5.0);
+  EXPECT_NEAR(s.stddev(), 2.138, 1e-3);  // sample stddev
+  EXPECT_DOUBLE_EQ(s.min(), 2.0);
+  EXPECT_DOUBLE_EQ(s.max(), 9.0);
+  EXPECT_DOUBLE_EQ(s.sum(), 40.0);
+}
+
+TEST(RunningStats, SingleSampleVarianceZero) {
+  RunningStats s;
+  s.add(3.0);
+  EXPECT_DOUBLE_EQ(s.variance(), 0.0);
+}
+
+TEST(RunningStats, MergeMatchesPooled) {
+  RunningStats a;
+  RunningStats b;
+  RunningStats pooled;
+  for (int i = 0; i < 50; ++i) {
+    const double v = 0.37 * i - 3;
+    (i % 2 == 0 ? a : b).add(v);
+    pooled.add(v);
+  }
+  a.merge(b);
+  EXPECT_EQ(a.count(), pooled.count());
+  EXPECT_NEAR(a.mean(), pooled.mean(), 1e-9);
+  EXPECT_NEAR(a.variance(), pooled.variance(), 1e-9);
+  EXPECT_DOUBLE_EQ(a.min(), pooled.min());
+  EXPECT_DOUBLE_EQ(a.max(), pooled.max());
+}
+
+TEST(RunningStats, MergeWithEmpty) {
+  RunningStats a;
+  a.add(1.0);
+  RunningStats empty;
+  a.merge(empty);
+  EXPECT_EQ(a.count(), 1u);
+  empty.merge(a);
+  EXPECT_EQ(empty.count(), 1u);
+  EXPECT_DOUBLE_EQ(empty.mean(), 1.0);
+}
+
+TEST(Quantile, LinearInterpolation) {
+  const std::vector<double> v = {1, 2, 3, 4};
+  EXPECT_DOUBLE_EQ(quantile(v, 0.0), 1.0);
+  EXPECT_DOUBLE_EQ(quantile(v, 1.0), 4.0);
+  EXPECT_DOUBLE_EQ(quantile(v, 0.5), 2.5);
+  EXPECT_DOUBLE_EQ(quantile(v, 0.25), 1.75);  // numpy type-7
+}
+
+TEST(Quantile, UnsortedInput) {
+  EXPECT_DOUBLE_EQ(quantile({9, 1, 5}, 0.5), 5.0);
+}
+
+TEST(Quantile, Errors) {
+  EXPECT_THROW(quantile({}, 0.5), std::invalid_argument);
+  EXPECT_THROW(quantile({1.0}, 1.5), std::invalid_argument);
+}
+
+TEST(Median, OddAndEven) {
+  EXPECT_DOUBLE_EQ(median({3, 1, 2}), 2.0);
+  EXPECT_DOUBLE_EQ(median({4, 1, 2, 3}), 2.5);
+}
+
+TEST(Boxplot, FiveNumberSummary) {
+  std::vector<double> v;
+  for (int i = 1; i <= 100; ++i) v.push_back(i);
+  v.push_back(1000.0);  // outlier beyond the upper fence
+  const BoxplotSummary s = boxplot(v);
+  EXPECT_NEAR(s.median, 51.0, 1.0);
+  EXPECT_LT(s.q1, s.median);
+  EXPECT_GT(s.q3, s.median);
+  EXPECT_LE(s.whisker_hi, 100.0);  // outlier excluded from whisker
+  EXPECT_DOUBLE_EQ(s.whisker_lo, 1.0);
+  EXPECT_EQ(s.n, 101u);
+}
+
+TEST(EmpiricalCdf, EvaluatesAndInverts) {
+  EmpiricalCdf cdf{{10, 20, 30, 40}};
+  EXPECT_DOUBLE_EQ(cdf.at(5), 0.0);
+  EXPECT_DOUBLE_EQ(cdf.at(10), 0.25);
+  EXPECT_DOUBLE_EQ(cdf.at(25), 0.5);
+  EXPECT_DOUBLE_EQ(cdf.at(100), 1.0);
+  EXPECT_DOUBLE_EQ(cdf.inverse(0.0), 10.0);
+  EXPECT_DOUBLE_EQ(cdf.inverse(1.0), 40.0);
+}
+
+TEST(EmpiricalCdf, Monotone) {
+  EmpiricalCdf cdf{{3, 1, 4, 1, 5, 9, 2, 6}};
+  double prev = -1.0;
+  for (double x = 0; x <= 10; x += 0.25) {
+    const double p = cdf.at(x);
+    EXPECT_GE(p, prev);
+    prev = p;
+  }
+}
+
+TEST(Histogram, BinningAndOverflow) {
+  Histogram h{0.0, 10.0, 5};
+  h.add(-1);   // underflow
+  h.add(0.0);  // bin 0
+  h.add(1.9);  // bin 0
+  h.add(5.0);  // bin 2
+  h.add(10.0); // overflow (hi-exclusive)
+  EXPECT_EQ(h.bin_count(0), 2u);
+  EXPECT_EQ(h.bin_count(2), 1u);
+  EXPECT_EQ(h.underflow(), 1u);
+  EXPECT_EQ(h.overflow(), 1u);
+  EXPECT_EQ(h.total(), 5u);
+  EXPECT_DOUBLE_EQ(h.bin_lo(1), 2.0);
+  EXPECT_DOUBLE_EQ(h.bin_hi(1), 4.0);
+}
+
+TEST(Histogram, RejectsBadBounds) {
+  EXPECT_THROW((Histogram{1.0, 1.0, 4}), std::invalid_argument);
+  EXPECT_THROW((Histogram{0.0, 1.0, 0}), std::invalid_argument);
+}
+
+}  // namespace
+}  // namespace vc

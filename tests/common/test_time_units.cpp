@@ -1,0 +1,84 @@
+#include <gtest/gtest.h>
+
+#include "common/time.h"
+#include "common/units.h"
+
+namespace vc {
+namespace {
+
+TEST(SimTime, DefaultIsZero) {
+  EXPECT_EQ(SimTime{}.micros(), 0);
+  EXPECT_EQ(SimTime::zero(), SimTime{});
+}
+
+TEST(SimTime, Arithmetic) {
+  const SimTime t = SimTime::zero() + seconds(2);
+  EXPECT_EQ(t.micros(), 2'000'000);
+  EXPECT_EQ((t - millis(500)).micros(), 1'500'000);
+  EXPECT_EQ((t - SimTime::zero()).micros(), 2'000'000);
+}
+
+TEST(SimTime, Comparisons) {
+  EXPECT_LT(SimTime{1}, SimTime{2});
+  EXPECT_LE(SimTime{2}, SimTime{2});
+  EXPECT_GT(SimTime::infinity(), SimTime{1'000'000'000});
+}
+
+TEST(SimTime, Conversions) {
+  const SimTime t{1'500'000};
+  EXPECT_DOUBLE_EQ(t.seconds(), 1.5);
+  EXPECT_DOUBLE_EQ(t.millis(), 1500.0);
+}
+
+TEST(SimDuration, FractionalConstructorsRound) {
+  EXPECT_EQ(millis_f(0.0015).micros(), 2);  // rounds to nearest microsecond
+  EXPECT_EQ(seconds_f(1.0 / 3.0).micros(), 333'333);
+  EXPECT_EQ(millis_f(-1.5).micros(), -1500);
+}
+
+TEST(SimDuration, ScalarOps) {
+  EXPECT_EQ((millis(10) * 3).micros(), 30'000);
+  EXPECT_EQ((3 * millis(10)).micros(), 30'000);
+  EXPECT_EQ((seconds(1) / 4).micros(), 250'000);
+  EXPECT_EQ((millis(5) + millis(7)).micros(), 12'000);
+  EXPECT_EQ((millis(5) - millis(7)).micros(), -2'000);
+}
+
+TEST(SimDuration, ToString) {
+  EXPECT_EQ(micros(500).to_string(), "500 us");
+  EXPECT_EQ(millis(2).to_string(), "2.00 ms");
+  EXPECT_EQ(seconds(3).to_string(), "3.00 s");
+}
+
+TEST(DataRate, Construction) {
+  EXPECT_EQ(DataRate::kbps(500).bits_per_second(), 500'000);
+  EXPECT_EQ(DataRate::mbps(2.5).bits_per_second(), 2'500'000);
+  EXPECT_DOUBLE_EQ(DataRate::mbps(1.0).as_kbps(), 1000.0);
+  EXPECT_TRUE(DataRate::unlimited().is_unlimited());
+  EXPECT_FALSE(DataRate::mbps(100).is_unlimited());
+}
+
+TEST(DataRate, TransmissionTime) {
+  // 1500 bytes at 1 Mbps = 12 ms.
+  EXPECT_EQ(DataRate::mbps(1.0).transmission_time(1500).micros(), 12'000);
+  EXPECT_EQ(DataRate::unlimited().transmission_time(1'000'000).micros(), 0);
+}
+
+TEST(DataRate, BytesIn) {
+  EXPECT_EQ(DataRate::mbps(8.0).bytes_in(seconds(1)), 1'000'000);
+  EXPECT_EQ(DataRate::kbps(80).bytes_in(millis(100)), 1'000);
+}
+
+TEST(DataRate, Scaling) {
+  EXPECT_EQ((DataRate::mbps(2.0) * 0.5).bits_per_second(), 1'000'000);
+  EXPECT_EQ((DataRate::kbps(300) + DataRate::kbps(200)).bits_per_second(), 500'000);
+}
+
+TEST(DataRate, ToString) {
+  EXPECT_EQ(DataRate::kbps(500).to_string(), "500 Kbps");
+  EXPECT_EQ(DataRate::mbps(2.5).to_string(), "2.50 Mbps");
+  EXPECT_EQ(DataRate::unlimited().to_string(), "unlimited");
+}
+
+}  // namespace
+}  // namespace vc

@@ -1,0 +1,163 @@
+#include <gtest/gtest.h>
+
+#include "common/stats.h"
+#include "mobile/cpu_model.h"
+#include "mobile/device.h"
+#include "mobile/power_model.h"
+
+namespace vc::mobile {
+namespace {
+
+WorkloadState typical_hm(double mbps) {
+  WorkloadState w;
+  w.download_mbps = mbps;
+  w.screen_on = true;
+  return w;
+}
+
+TEST(Devices, ProfilesMatchTable2) {
+  EXPECT_EQ(galaxy_s10().cores, 8);
+  EXPECT_EQ(galaxy_j3().cores, 4);
+  EXPECT_DOUBLE_EQ(galaxy_j3().battery_mah, 2600.0);
+  EXPECT_GT(galaxy_s10().camera_mp, galaxy_j3().camera_mp);
+  EXPECT_EQ(galaxy_s10().device_class, platform::DeviceClass::kMobileHighEnd);
+  EXPECT_EQ(galaxy_j3().device_class, platform::DeviceClass::kMobileLowEnd);
+}
+
+TEST(Scenarios, SettingsMapping) {
+  EXPECT_TRUE(scenario_settings(MobileScenario::kHM).high_motion);
+  EXPECT_FALSE(scenario_settings(MobileScenario::kLM).high_motion);
+  EXPECT_EQ(scenario_settings(MobileScenario::kLMView).view, platform::ViewMode::kGallery);
+  EXPECT_TRUE(scenario_settings(MobileScenario::kLMVideoView).camera_on);
+  EXPECT_FALSE(scenario_settings(MobileScenario::kLMOff).screen_on);
+  EXPECT_EQ(scenario_name(MobileScenario::kLMVideoView), "LM-Video-View");
+}
+
+TEST(CpuModel, MeetHeaviestOnHighEnd) {
+  // Fig 19a: on the S10, Meet adds ~50% over Zoom/Webex.
+  const CpuModel zoom{platform::PlatformId::kZoom, galaxy_s10(), 1};
+  const CpuModel webex{platform::PlatformId::kWebex, galaxy_s10(), 1};
+  const CpuModel meet{platform::PlatformId::kMeet, galaxy_s10(), 1};
+  const double z = zoom.expected(typical_hm(0.75));
+  const double w = webex.expected(typical_hm(1.76));
+  const double m = meet.expected(typical_hm(2.1));
+  EXPECT_NEAR(z, 160, 30);
+  EXPECT_NEAR(w, 180, 30);
+  EXPECT_GT(m, z + 35);
+  EXPECT_GT(m, w + 30);
+}
+
+TEST(CpuModel, J3SaturatesNearTwoCores) {
+  // Fig 19a: on the J3 all three clients converge around 200%.
+  for (const auto id :
+       {platform::PlatformId::kZoom, platform::PlatformId::kWebex, platform::PlatformId::kMeet}) {
+    const CpuModel model{id, galaxy_j3(), 1};
+    const double rate = id == platform::PlatformId::kMeet ? 2.1
+                        : id == platform::PlatformId::kWebex ? 0.88
+                                                             : 0.75;
+    const double cpu = model.expected(typical_hm(rate));
+    EXPECT_GT(cpu, 150.0) << platform_name(id);
+    EXPECT_LT(cpu, 240.0) << platform_name(id);
+  }
+}
+
+TEST(CpuModel, CameraAddsEncodeCost) {
+  const CpuModel model{platform::PlatformId::kZoom, galaxy_s10(), 1};
+  WorkloadState base = typical_hm(0.75);
+  WorkloadState with_cam = base;
+  with_cam.camera_on = true;
+  with_cam.upload_mbps = 1.2;
+  // S10's 10 MP camera: ~+100% (Section 5).
+  EXPECT_NEAR(model.expected(with_cam) - model.expected(base), 100.0, 35.0);
+}
+
+TEST(CpuModel, ScreenOffCollapsesExceptWebex) {
+  WorkloadState off;
+  off.screen_on = false;
+  off.download_mbps = 0.1;
+  const CpuModel zoom{platform::PlatformId::kZoom, galaxy_s10(), 1};
+  const CpuModel meet{platform::PlatformId::kMeet, galaxy_s10(), 1};
+  const CpuModel webex{platform::PlatformId::kWebex, galaxy_s10(), 1};
+  EXPECT_LT(zoom.expected(off), 55.0);
+  EXPECT_LT(meet.expected(off), 55.0);
+  // Webex keeps working with the screen off (Section 5's inefficiency).
+  WorkloadState webex_off = off;
+  webex_off.download_mbps = 1.76;  // it also keeps the stream flowing
+  EXPECT_GT(webex.expected(webex_off), 100.0);
+}
+
+TEST(CpuModel, WebexGalleryCostsMore) {
+  const CpuModel webex{platform::PlatformId::kWebex, galaxy_s10(), 1};
+  WorkloadState full = typical_hm(0.6);
+  WorkloadState gallery = full;
+  gallery.view = platform::ViewMode::kGallery;
+  gallery.visible_tiles = 4;
+  EXPECT_GT(webex.expected(gallery), webex.expected(full));
+}
+
+TEST(CpuModel, SamplesAreNoisyButCentered) {
+  CpuModel model{platform::PlatformId::kZoom, galaxy_s10(), 42};
+  const WorkloadState w = typical_hm(0.75);
+  RunningStats stats;
+  for (int i = 0; i < 500; ++i) stats.add(model.sample(w));
+  EXPECT_NEAR(stats.mean(), model.expected(w), model.expected(w) * 0.05);
+  EXPECT_GT(stats.stddev(), 1.0);
+  EXPECT_LE(stats.max(), 800.0);  // never beyond 8 cores
+}
+
+TEST(PowerModel, ComponentsAddUp) {
+  const PowerModel model;
+  WorkloadState w = typical_hm(0.75);
+  const double on = model.current_ma(200, w);
+  w.screen_on = false;
+  const double off = model.current_ma(200, w);
+  EXPECT_NEAR(on - off, model.coefficients().screen_ma, 1e-9);
+  WorkloadState cam = typical_hm(0.75);
+  cam.camera_on = true;
+  EXPECT_GT(model.current_ma(200, cam), on);
+}
+
+TEST(PowerModel, PaperScaleBatteryNumbers) {
+  // Fig 19c: ~1 hour of videoconferencing drains up to ~40% of the J3 with
+  // the camera on, and audio-only roughly halves the video drain.
+  const PowerModel model;
+  const CpuModel cpu{platform::PlatformId::kZoom, galaxy_j3(), 1};
+
+  WorkloadState video = typical_hm(0.75);
+  WorkloadState camera = video;
+  camera.camera_on = true;
+  camera.upload_mbps = 0.7;
+  camera.view = platform::ViewMode::kGallery;
+  WorkloadState off;
+  off.screen_on = false;
+  off.download_mbps = 0.1;
+
+  auto pct_per_hour = [&](const WorkloadState& w) {
+    PowerMeter meter{galaxy_j3()};
+    meter.add_sample(model.current_ma(cpu.expected(w), w), seconds(3600));
+    return meter.battery_pct_per_hour();
+  };
+  const double video_drain = pct_per_hour(video);
+  const double camera_drain = pct_per_hour(camera);
+  const double off_drain = pct_per_hour(off);
+  EXPECT_GT(video_drain, 25.0);
+  EXPECT_LT(video_drain, 45.0);
+  EXPECT_GT(camera_drain, video_drain);
+  EXPECT_LT(camera_drain, 50.0);
+  EXPECT_LT(off_drain, 0.6 * video_drain);
+}
+
+TEST(PowerMeter, IntegratesOverTime) {
+  PowerMeter meter{galaxy_j3()};
+  meter.add_sample(520.0, seconds(1800));  // half an hour at 520 mA
+  EXPECT_NEAR(meter.consumed_mah(), 260.0, 1e-6);
+  EXPECT_NEAR(meter.battery_pct_per_hour(), 20.0, 1e-6);
+}
+
+TEST(PowerMeter, EmptyIsZero) {
+  const PowerMeter meter{galaxy_s10()};
+  EXPECT_DOUBLE_EQ(meter.battery_pct_per_hour(), 0.0);
+}
+
+}  // namespace
+}  // namespace vc::mobile

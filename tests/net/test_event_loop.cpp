@@ -1,0 +1,109 @@
+#include <gtest/gtest.h>
+
+#include <vector>
+
+#include "net/event_loop.h"
+
+namespace vc::net {
+namespace {
+
+TEST(EventLoop, RunsEventsInTimeOrder) {
+  EventLoop loop;
+  std::vector<int> order;
+  loop.schedule_at(SimTime{300}, [&] { order.push_back(3); });
+  loop.schedule_at(SimTime{100}, [&] { order.push_back(1); });
+  loop.schedule_at(SimTime{200}, [&] { order.push_back(2); });
+  loop.run();
+  EXPECT_EQ(order, (std::vector<int>{1, 2, 3}));
+  EXPECT_EQ(loop.now(), SimTime{300});
+}
+
+TEST(EventLoop, FifoAmongSimultaneousEvents) {
+  EventLoop loop;
+  std::vector<int> order;
+  for (int i = 0; i < 5; ++i) {
+    loop.schedule_at(SimTime{50}, [&order, i] { order.push_back(i); });
+  }
+  loop.run();
+  EXPECT_EQ(order, (std::vector<int>{0, 1, 2, 3, 4}));
+}
+
+TEST(EventLoop, ScheduleAfterUsesCurrentTime) {
+  EventLoop loop;
+  SimTime fired{};
+  loop.schedule_after(millis(10), [&] {
+    loop.schedule_after(millis(5), [&] { fired = loop.now(); });
+  });
+  loop.run();
+  EXPECT_EQ(fired, SimTime{15'000});
+}
+
+TEST(EventLoop, CancelPreventsExecution) {
+  EventLoop loop;
+  bool ran = false;
+  const EventId id = loop.schedule_after(millis(1), [&] { ran = true; });
+  loop.cancel(id);
+  loop.run();
+  EXPECT_FALSE(ran);
+}
+
+TEST(EventLoop, CancelAfterRunIsNoop) {
+  EventLoop loop;
+  const EventId id = loop.schedule_after(millis(1), [] {});
+  loop.run();
+  loop.cancel(id);  // must not crash or affect anything
+  EXPECT_EQ(loop.pending(), 0u);
+}
+
+TEST(EventLoop, RunUntilStopsAndAdvancesClock) {
+  EventLoop loop;
+  int fired = 0;
+  loop.schedule_at(SimTime{100}, [&] { ++fired; });
+  loop.schedule_at(SimTime{500}, [&] { ++fired; });
+  loop.run_until(SimTime{200});
+  EXPECT_EQ(fired, 1);
+  EXPECT_EQ(loop.now(), SimTime{200});  // idle clock advance
+  loop.run();
+  EXPECT_EQ(fired, 2);
+}
+
+TEST(EventLoop, PastEventsClampToNow) {
+  EventLoop loop;
+  loop.schedule_at(SimTime{100}, [] {});
+  loop.run();
+  SimTime fired{};
+  loop.schedule_at(SimTime{10}, [&] { fired = loop.now(); });  // in the past
+  loop.run();
+  EXPECT_EQ(fired, SimTime{100});
+}
+
+TEST(EventLoop, EventsScheduledDuringRunExecute) {
+  EventLoop loop;
+  int depth = 0;
+  std::function<void()> recurse = [&] {
+    if (++depth < 10) loop.schedule_after(millis(1), recurse);
+  };
+  loop.schedule_after(millis(1), recurse);
+  loop.run();
+  EXPECT_EQ(depth, 10);
+  EXPECT_EQ(loop.events_executed(), 10u);
+}
+
+TEST(EventLoop, NullCallbackRejected) {
+  EventLoop loop;
+  EXPECT_THROW(loop.schedule_at(SimTime{1}, nullptr), std::invalid_argument);
+}
+
+TEST(EventLoop, PendingCount) {
+  EventLoop loop;
+  const EventId a = loop.schedule_after(millis(1), [] {});
+  loop.schedule_after(millis(2), [] {});
+  EXPECT_EQ(loop.pending(), 2u);
+  loop.cancel(a);
+  EXPECT_EQ(loop.pending(), 1u);
+  loop.run();
+  EXPECT_EQ(loop.pending(), 0u);
+}
+
+}  // namespace
+}  // namespace vc::net

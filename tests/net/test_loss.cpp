@@ -1,0 +1,105 @@
+#include <gtest/gtest.h>
+
+#include <memory>
+
+#include "net/loss.h"
+#include "net/network.h"
+
+namespace vc::net {
+namespace {
+
+TEST(BernoulliLoss, MatchesAverage) {
+  BernoulliLoss loss{0.2};
+  EXPECT_DOUBLE_EQ(loss.average_loss(), 0.2);
+  Rng rng{1};
+  int drops = 0;
+  for (int i = 0; i < 20'000; ++i) drops += loss.should_drop(rng) ? 1 : 0;
+  EXPECT_NEAR(drops / 20'000.0, 0.2, 0.015);
+}
+
+TEST(BernoulliLoss, RejectsBadProbability) {
+  EXPECT_THROW(BernoulliLoss{-0.1}, std::invalid_argument);
+  EXPECT_THROW(BernoulliLoss{1.1}, std::invalid_argument);
+}
+
+TEST(GilbertElliott, StationaryAverageMatchesFormula) {
+  auto ge = GilbertElliottLoss::with_average(0.05, 8.0);
+  EXPECT_NEAR(ge.average_loss(), 0.05, 1e-9);
+  Rng rng{2};
+  int drops = 0;
+  const int n = 200'000;
+  for (int i = 0; i < n; ++i) drops += ge.should_drop(rng) ? 1 : 0;
+  EXPECT_NEAR(static_cast<double>(drops) / n, 0.05, 0.01);
+}
+
+TEST(GilbertElliott, LossIsBursty) {
+  // Same average loss, very different clustering: measure the probability
+  // that a drop is immediately followed by another drop.
+  auto burst_follow_prob = [](LossModel& model, std::uint64_t seed) {
+    Rng rng{seed};
+    int drops = 0;
+    int follows = 0;
+    bool prev = false;
+    for (int i = 0; i < 300'000; ++i) {
+      const bool d = model.should_drop(rng);
+      if (prev) {
+        ++drops;
+        follows += d ? 1 : 0;
+      }
+      prev = d;
+    }
+    return drops > 0 ? static_cast<double>(follows) / drops : 0.0;
+  };
+  BernoulliLoss uniform{0.05};
+  auto bursty = GilbertElliottLoss::with_average(0.05, 12.0);
+  const double uniform_follow = burst_follow_prob(uniform, 3);
+  const double bursty_follow = burst_follow_prob(bursty, 3);
+  EXPECT_NEAR(uniform_follow, 0.05, 0.02);
+  EXPECT_GT(bursty_follow, 4.0 * uniform_follow);
+}
+
+TEST(GilbertElliott, RejectsBadTargets) {
+  EXPECT_THROW(GilbertElliottLoss::with_average(0.0, 5.0), std::invalid_argument);
+  EXPECT_THROW(GilbertElliottLoss::with_average(0.7, 2.0), std::invalid_argument);
+  EXPECT_THROW(GilbertElliottLoss::with_average(0.05, 0.5), std::invalid_argument);
+}
+
+TEST(NetworkLoss, CustomModelApplied) {
+  Network net{std::make_unique<FixedLatencyModel>(millis(1)), 1};
+  net.set_loss_model(std::make_unique<BernoulliLoss>(1.0));  // drop everything
+  Host& a = net.add_host("a", GeoPoint{0, 0});
+  Host& b = net.add_host("b", GeoPoint{1, 1});
+  auto& tx = a.udp_bind(100);
+  auto& rx = b.udp_bind(200);
+  int received = 0;
+  rx.on_receive([&](const Packet&) { ++received; });
+  for (int i = 0; i < 50; ++i) tx.send_to(Endpoint{b.ip(), 200}, 10);
+  net.loop().run();
+  EXPECT_EQ(received, 0);
+  EXPECT_EQ(net.stats().packets_lost, 50);
+  EXPECT_DOUBLE_EQ(net.loss_probability(), 1.0);
+}
+
+TEST(NetworkLoss, IngressLossIsPerHost) {
+  Network net{std::make_unique<FixedLatencyModel>(millis(1)), 1};
+  Host& a = net.add_host("a", GeoPoint{0, 0});
+  Host& lossy = net.add_host("lossy", GeoPoint{1, 1});
+  Host& clean = net.add_host("clean", GeoPoint{2, 2});
+  lossy.set_ingress_loss(std::make_unique<BernoulliLoss>(1.0));
+  auto& tx = a.udp_bind(100);
+  int lossy_rx = 0;
+  int clean_rx = 0;
+  lossy.udp_bind(200).on_receive([&](const Packet&) { ++lossy_rx; });
+  clean.udp_bind(200).on_receive([&](const Packet&) { ++clean_rx; });
+  for (int i = 0; i < 20; ++i) {
+    tx.send_to(Endpoint{lossy.ip(), 200}, 10);
+    tx.send_to(Endpoint{clean.ip(), 200}, 10);
+  }
+  net.loop().run();
+  EXPECT_EQ(lossy_rx, 0);
+  EXPECT_EQ(clean_rx, 20);
+  EXPECT_EQ(lossy.ingress_losses(), 20);
+}
+
+}  // namespace
+}  // namespace vc::net

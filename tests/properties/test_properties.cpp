@@ -1,0 +1,191 @@
+// Property-style parameterized sweeps over the core invariants.
+#include <gtest/gtest.h>
+
+#include <memory>
+
+#include "common/rng.h"
+#include "common/stats.h"
+#include "media/feeds.h"
+#include "media/qoe/video_metrics.h"
+#include "media/video_codec.h"
+#include "net/event_loop.h"
+#include "net/shaper.h"
+
+namespace vc {
+namespace {
+
+// ------------------------------------------------------------ codec sweep
+
+class CodecRateSweep : public ::testing::TestWithParam<double> {};
+
+TEST_P(CodecRateSweep, RealizedRateTracksTarget) {
+  const double target_kbps = GetParam();
+  media::TourGuideFeed feed{{128, 96, 10.0, 11}};
+  media::VideoEncoder enc{128, 96,
+                          {.target_bitrate = DataRate::kbps(target_kbps), .fps = 10.0}};
+  std::int64_t bytes = 0;
+  const int frames = 40;
+  media::Frame last{128, 96};
+  for (int i = 0; i < frames; ++i) {
+    last = feed.frame_at(i);
+    bytes += enc.encode(last)->bytes;
+  }
+  const double realized = static_cast<double>(bytes) * 8.0 / (frames / 10.0) / 1000.0;
+  // Never exceeds the target by much...
+  EXPECT_LT(realized, target_kbps * 1.4);
+  // ...and undershoots only when the content is already coded near-lossless
+  // (at 128x96 this feed saturates around ~400 Kbps; larger targets cannot
+  // be "used up", exactly like a real encoder at its quality ceiling).
+  if (realized < target_kbps * 0.6) {
+    EXPECT_GT(media::qoe::psnr(last, enc.last_reconstructed()), 42.0);
+  }
+}
+
+TEST_P(CodecRateSweep, DecoderAlwaysMatchesEncoderReconstruction) {
+  const double target_kbps = GetParam();
+  media::TourGuideFeed feed{{64, 64, 10.0, 13}};
+  media::VideoEncoder enc{64, 64, {.target_bitrate = DataRate::kbps(target_kbps), .fps = 10.0}};
+  media::VideoDecoder dec{64, 64};
+  for (int i = 0; i < 8; ++i) {
+    const auto f = enc.encode(feed.frame_at(i));
+    EXPECT_EQ(dec.decode(*f), enc.last_reconstructed());
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(Rates, CodecRateSweep,
+                         ::testing::Values(100.0, 250.0, 500.0, 1000.0, 2000.0, 4000.0));
+
+// ------------------------------------------------------- quality monotone
+
+class CodecQualitySweep
+    : public ::testing::TestWithParam<std::pair<double, double>> {};
+
+TEST_P(CodecQualitySweep, MoreBitsNeverHurt) {
+  const auto [low_kbps, high_kbps] = GetParam();
+  media::TalkingHeadFeed feed{{128, 96, 10.0, 17}};
+  auto mean_ssim = [&](double kbps) {
+    media::VideoEncoder enc{128, 96, {.target_bitrate = DataRate::kbps(kbps), .fps = 10.0}};
+    media::VideoDecoder dec{128, 96};
+    double acc = 0;
+    for (int i = 0; i < 8; ++i) {
+      const media::Frame original = feed.frame_at(i);
+      dec.decode(*enc.encode(original));
+      acc += media::qoe::ssim(original, dec.current());
+    }
+    return acc / 8;
+  };
+  EXPECT_LE(mean_ssim(low_kbps), mean_ssim(high_kbps) + 0.02);
+}
+
+INSTANTIATE_TEST_SUITE_P(Pairs, CodecQualitySweep,
+                         ::testing::Values(std::make_pair(80.0, 400.0),
+                                           std::make_pair(200.0, 1000.0),
+                                           std::make_pair(400.0, 3000.0)));
+
+// ------------------------------------------------------------ shaper sweep
+
+class ShaperConformanceSweep : public ::testing::TestWithParam<double> {};
+
+TEST_P(ShaperConformanceSweep, LongRunThroughputBelowRate) {
+  const double rate_kbps = GetParam();
+  net::EventLoop loop;
+  net::TokenBucketShaper shaper{loop, DataRate::kbps(rate_kbps), 8'000, 64};
+  std::int64_t delivered_bytes = 0;
+  SimTime last_delivery{};
+  // Offer 3x the configured rate for 10 seconds.
+  const std::int64_t offered_per_100ms =
+      DataRate::kbps(rate_kbps * 3).bytes_in(millis(100));
+  for (int tick = 0; tick < 100; ++tick) {
+    loop.schedule_at(SimTime{tick * 100'000}, [&, tick] {
+      std::int64_t remaining = offered_per_100ms;
+      while (remaining > 0) {
+        net::Packet p;
+        p.l7_len = std::min<std::int64_t>(remaining, 1172);
+        remaining -= p.l7_len + 28;
+        shaper.submit(std::move(p), [&](net::Packet q) {
+          delivered_bytes += q.wire_len();
+          last_delivery = loop.now();
+        });
+      }
+    });
+  }
+  loop.run();
+  const double seconds_elapsed = std::max(last_delivery.seconds(), 10.0);
+  const double throughput_kbps = delivered_bytes * 8.0 / seconds_elapsed / 1000.0;
+  EXPECT_LE(throughput_kbps, rate_kbps * 1.10);   // never above the cap
+  EXPECT_GE(throughput_kbps, rate_kbps * 0.80);   // but fully utilized
+  EXPECT_GT(shaper.stats().dropped_packets, 0);   // overload did drop
+}
+
+INSTANTIATE_TEST_SUITE_P(Rates, ShaperConformanceSweep,
+                         ::testing::Values(250.0, 500.0, 1000.0, 2000.0, 5000.0));
+
+// --------------------------------------------------------------- CDF sweep
+
+class CdfPropertySweep : public ::testing::TestWithParam<std::uint64_t> {};
+
+TEST_P(CdfPropertySweep, QuantileAndCdfAreInverse) {
+  Rng rng{GetParam()};
+  std::vector<double> samples;
+  for (int i = 0; i < 500; ++i) samples.push_back(rng.lognormal(2.0, 0.8));
+  EmpiricalCdf cdf{samples};
+  for (double q : {0.1, 0.25, 0.5, 0.75, 0.9}) {
+    const double x = cdf.inverse(q);
+    // P(X <= inverse(q)) must be at least q (within one sample's mass).
+    EXPECT_GE(cdf.at(x) + 1.0 / 500.0, q);
+  }
+  // Quantiles are monotone.
+  double prev = cdf.inverse(0.0);
+  for (double q = 0.05; q <= 1.0; q += 0.05) {
+    const double x = cdf.inverse(q);
+    EXPECT_GE(x, prev);
+    prev = x;
+  }
+}
+
+TEST_P(CdfPropertySweep, BoxplotOrderingInvariant) {
+  Rng rng{GetParam() ^ 0xB0B};
+  std::vector<double> samples;
+  for (int i = 0; i < 200; ++i) samples.push_back(rng.normal(50.0, 15.0));
+  const BoxplotSummary b = boxplot(samples);
+  EXPECT_LE(b.whisker_lo, b.q1);
+  EXPECT_LE(b.q1, b.median);
+  EXPECT_LE(b.median, b.q3);
+  EXPECT_LE(b.q3, b.whisker_hi);
+}
+
+INSTANTIATE_TEST_SUITE_P(Seeds, CdfPropertySweep, ::testing::Values(1u, 7u, 42u, 1337u));
+
+// --------------------------------------------------------- metric identity
+
+class MetricIdentitySweep : public ::testing::TestWithParam<std::uint64_t> {};
+
+TEST_P(MetricIdentitySweep, SelfComparisonIsPerfect) {
+  media::TourGuideFeed feed{{64, 64, 10.0, GetParam()}};
+  const media::Frame f = feed.frame_at(static_cast<std::int64_t>(GetParam() % 20));
+  EXPECT_DOUBLE_EQ(media::qoe::psnr(f, f), 100.0);
+  EXPECT_NEAR(media::qoe::ssim(f, f), 1.0, 1e-9);
+  EXPECT_NEAR(media::qoe::vifp(f, f), 1.0, 1e-6);
+}
+
+TEST_P(MetricIdentitySweep, MetricsAreSymmetricInNoiseDirection) {
+  // Adding +d or -d uniformly must yield identical PSNR.
+  media::TourGuideFeed feed{{64, 64, 10.0, GetParam()}};
+  media::Frame f = feed.frame_at(0);
+  // Keep away from clipping.
+  for (std::size_t i = 0; i < f.size(); ++i) {
+    f.data()[i] = static_cast<std::uint8_t>(64 + (f.data()[i] % 128));
+  }
+  media::Frame up = f;
+  media::Frame down = f;
+  for (std::size_t i = 0; i < f.size(); ++i) {
+    up.data()[i] = static_cast<std::uint8_t>(up.data()[i] + 5);
+    down.data()[i] = static_cast<std::uint8_t>(down.data()[i] - 5);
+  }
+  EXPECT_DOUBLE_EQ(media::qoe::psnr(f, up), media::qoe::psnr(f, down));
+}
+
+INSTANTIATE_TEST_SUITE_P(Seeds, MetricIdentitySweep, ::testing::Values(3u, 9u, 27u, 81u));
+
+}  // namespace
+}  // namespace vc
