@@ -13,8 +13,15 @@
 //      ordering).
 //  E3. Dynamic bandwidth: an oscillating cap vs a static cap with the same
 //      time average; adaptation lag makes oscillation strictly worse.
+//
+// All nine conditions run as independent session tasks on the parallel
+// experiment runner; the E3 token-bucket shapers report through the
+// per-session MetricsRegistry.
 #include <cstdio>
+#include <functional>
 #include <memory>
+#include <string>
+#include <vector>
 
 #include "bench/bench_util.h"
 #include "capture/rate_analyzer.h"
@@ -26,6 +33,7 @@
 #include "media/qoe/video_metrics.h"
 #include "net/loss.h"
 #include "platform/base_platform.h"
+#include "runner/experiment_runner.h"
 #include "testbed/cloud_testbed.h"
 #include "testbed/orchestrator.h"
 
@@ -40,11 +48,12 @@ struct RunResult {
   double down_kbps = 0;
 };
 
+using Impair = std::function<void(testbed::CloudTestbed&, net::Host&, MetricsRegistry&)>;
+
 // One two-party Zoom session, host US-East → receiver US-East, with optional
 // receiver-side impairments.
 RunResult run_session(std::unique_ptr<net::LossModel> ingress_loss, double jitter_mean_ms,
-                      std::function<void(testbed::CloudTestbed&, net::Host&)> impair,
-                      std::uint64_t seed) {
+                      const Impair& impair, std::uint64_t seed, MetricsRegistry& metrics) {
   testbed::CloudTestbed::Config bed_cfg;
   bed_cfg.seed = seed;
   bed_cfg.latency.jitter_mean_ms = jitter_mean_ms;
@@ -53,7 +62,7 @@ RunResult run_session(std::unique_ptr<net::LossModel> ingress_loss, double jitte
   net::Host& host_vm = bed.create_vm(testbed::site_by_name("US-East"), 0);
   net::Host& rx_vm = bed.create_vm(testbed::site_by_name("US-East"), 1);
   if (ingress_loss) rx_vm.set_ingress_loss(std::move(ingress_loss));
-  if (impair) impair(bed, rx_vm);
+  if (impair) impair(bed, rx_vm, metrics);
 
   const int content_w = 128;
   const int content_h = 96;
@@ -85,6 +94,7 @@ RunResult run_session(std::unique_ptr<net::LossModel> ingress_loss, double jitte
   plan.host = &host;
   plan.participants = {&rx};
   plan.media_duration = duration;
+  plan.metrics = &metrics;
   plan.on_all_joined = [&] {
     feeder.play_video(padded, duration);
     recorder.start(duration);
@@ -121,36 +131,115 @@ RunResult run_session(std::unique_ptr<net::LossModel> ingress_loss, double jitte
   return out;
 }
 
+struct Condition {
+  std::string section;  // "E1", "E2", "E3"
+  std::string label;
+  std::function<std::unique_ptr<net::LossModel>()> loss;  // null = lossless
+  double jitter_mean_ms = 0.3;
+  Impair impair;  // null = no shaping
+  std::string key() const { return section + "/" + label; }
+};
+
+Impair static_shaper(int kbps) {
+  return [kbps](testbed::CloudTestbed& bed, net::Host& rx, MetricsRegistry& metrics) {
+    auto shaper = std::make_unique<net::TokenBucketShaper>(bed.loop(), DataRate::kbps(kbps),
+                                                           24'000, 100);
+    shaper->attach_metrics(metrics);
+    rx.set_ingress_shaper(std::move(shaper));
+  };
+}
+
+Impair oscillating_shaper(int hi_kbps, int lo_kbps) {
+  return [hi_kbps, lo_kbps](testbed::CloudTestbed& bed, net::Host& rx, MetricsRegistry& metrics) {
+    auto shaper =
+        std::make_unique<net::TokenBucketShaper>(bed.loop(), DataRate::kbps(hi_kbps), 24'000, 100);
+    shaper->attach_metrics(metrics);
+    net::TokenBucketShaper* raw = shaper.get();
+    rx.set_ingress_shaper(std::move(shaper));
+    // tc-style periodic rate changes, bounded so the loop drains.
+    auto flip = std::make_shared<std::function<void(bool, int)>>();
+    net::EventLoop* loop = &bed.loop();
+    *flip = [loop, raw, flip, hi_kbps, lo_kbps](bool high, int remaining) {
+      raw->set_rate(DataRate::kbps(high ? hi_kbps : lo_kbps));
+      if (remaining > 0) {
+        loop->schedule_after(seconds(3),
+                             [flip, high, remaining] { (*flip)(!high, remaining - 1); });
+      }
+    };
+    loop->schedule_after(seconds(3), [flip] { (*flip)(false, 8); });
+  };
+}
+
 }  // namespace
 
 int main(int argc, char** argv) {
   const bool paper = vcb::paper_scale(argc, argv);
   vcb::banner("Extension — last-mile effects (Zoom, two-party)", paper);
 
+  std::vector<Condition> conditions;
+  auto add = [&conditions](Condition c) { conditions.push_back(std::move(c)); };
+  // E1: loss burstiness at 3% average loss.
+  add({"E1", "lossless", nullptr, 0.3, nullptr});
+  add({"E1", "Bernoulli 3%", [] { return std::make_unique<net::BernoulliLoss>(0.03); }, 0.3,
+       nullptr});
+  add({"E1", "bursts of ~4 pkts",
+       [] {
+         return std::make_unique<net::GilbertElliottLoss>(
+             net::GilbertElliottLoss::with_average(0.03, 4));
+       },
+       0.3, nullptr});
+  add({"E1", "bursts of ~16 pkts",
+       [] {
+         return std::make_unique<net::GilbertElliottLoss>(
+             net::GilbertElliottLoss::with_average(0.03, 16));
+       },
+       0.3, nullptr});
+  // E2: last-mile jitter.
+  for (const double jitter : {0.3, 3.0, 10.0}) {
+    add({"E2", TextTable::num(jitter, 1), nullptr, jitter, nullptr});
+  }
+  // E3: dynamic vs static bandwidth (same ~600 Kbps average).
+  add({"E3", "static 600 Kbps", nullptr, 0.3, static_shaper(600)});
+  add({"E3", "oscillating 1000/200 Kbps", nullptr, 0.3, oscillating_shaper(1000, 200)});
+
+  const auto task = [&conditions](runner::SessionContext& ctx) {
+    const Condition& c = conditions[ctx.task_index];
+    const auto r = run_session(c.loss ? c.loss() : nullptr, c.jitter_mean_ms, c.impair, ctx.seed,
+                               ctx.metrics);
+    ctx.sample(c.key() + ".psnr", r.psnr);
+    ctx.sample(c.key() + ".ssim", r.ssim);
+    ctx.sample(c.key() + ".delivery", r.delivery);
+    ctx.sample(c.key() + ".down_kbps", r.down_kbps);
+  };
+
+  runner::ExperimentRunner::Config rc;
+  rc.base_seed = 211;
+  rc.label = "ext_lastmile";
+  const auto report = runner::ExperimentRunner{rc}.run(conditions.size(), task);
+
+  auto value = [&report](const Condition& c, const char* metric) {
+    const auto* s = report.find_sample(c.key() + "." + metric);
+    return s ? s->mean() : 0.0;
+  };
+
   std::printf("--- E1: loss burstiness at 3%% average loss ---\n");
   {
     TextTable table{{"loss pattern", "PSNR", "SSIM", "frames delivered"}};
-    auto row = [&](const char* label, std::unique_ptr<net::LossModel> loss) {
-      const auto r = run_session(std::move(loss), 0.3, nullptr, 211);
-      table.add_row({label, TextTable::num(r.psnr, 1), TextTable::num(r.ssim, 3),
-                     TextTable::num(r.delivery, 2)});
-    };
-    row("lossless", nullptr);
-    row("Bernoulli 3%", std::make_unique<net::BernoulliLoss>(0.03));
-    row("bursts of ~4 pkts",
-        std::make_unique<net::GilbertElliottLoss>(net::GilbertElliottLoss::with_average(0.03, 4)));
-    row("bursts of ~16 pkts",
-        std::make_unique<net::GilbertElliottLoss>(net::GilbertElliottLoss::with_average(0.03, 16)));
+    for (const auto& c : conditions) {
+      if (c.section != "E1") continue;
+      table.add_row({c.label, TextTable::num(value(c, "psnr"), 1),
+                     TextTable::num(value(c, "ssim"), 3), TextTable::num(value(c, "delivery"), 2)});
+    }
     std::printf("%s\n", table.render().c_str());
   }
 
   std::printf("--- E2: last-mile jitter ---\n");
   {
     TextTable table{{"path jitter (exp mean, ms)", "PSNR", "frames delivered"}};
-    for (const double jitter : {0.3, 3.0, 10.0}) {
-      const auto r = run_session(nullptr, jitter, nullptr, 223);
-      table.add_row({TextTable::num(jitter, 1), TextTable::num(r.psnr, 1),
-                     TextTable::num(r.delivery, 2)});
+    for (const auto& c : conditions) {
+      if (c.section != "E2") continue;
+      table.add_row({c.label, TextTable::num(value(c, "psnr"), 1),
+                     TextTable::num(value(c, "delivery"), 2)});
     }
     std::printf("%s\n", table.render().c_str());
   }
@@ -158,43 +247,26 @@ int main(int argc, char** argv) {
   std::printf("--- E3: dynamic vs static bandwidth (same ~600 Kbps average) ---\n");
   {
     TextTable table{{"bandwidth pattern", "PSNR", "SSIM", "frames delivered"}};
-    // Static 600 Kbps.
-    {
-      const auto r = run_session(nullptr, 0.3,
-                                 [](testbed::CloudTestbed& bed, net::Host& rx) {
-                                   rx.set_ingress_shaper(std::make_unique<net::TokenBucketShaper>(
-                                       bed.loop(), DataRate::kbps(600), 24'000, 100));
-                                 },
-                                 233);
-      table.add_row({"static 600 Kbps", TextTable::num(r.psnr, 1), TextTable::num(r.ssim, 3),
-                     TextTable::num(r.delivery, 2)});
-    }
-    // Oscillating 1000/200 Kbps every 3 s.
-    {
-      const auto r = run_session(
-          nullptr, 0.3,
-          [](testbed::CloudTestbed& bed, net::Host& rx) {
-            auto shaper = std::make_unique<net::TokenBucketShaper>(bed.loop(),
-                                                                   DataRate::kbps(1000), 24'000, 100);
-            net::TokenBucketShaper* raw = shaper.get();
-            rx.set_ingress_shaper(std::move(shaper));
-            // tc-style periodic rate changes, bounded so the loop drains.
-            auto flip = std::make_shared<std::function<void(bool, int)>>();
-            net::EventLoop* loop = &bed.loop();
-            *flip = [loop, raw, flip](bool high, int remaining) {
-              raw->set_rate(high ? DataRate::kbps(1000) : DataRate::kbps(200));
-              if (remaining > 0) {
-                loop->schedule_after(seconds(3),
-                                     [flip, high, remaining] { (*flip)(!high, remaining - 1); });
-              }
-            };
-            loop->schedule_after(seconds(3), [flip] { (*flip)(false, 8); });
-          },
-          233);
-      table.add_row({"oscillating 1000/200 Kbps", TextTable::num(r.psnr, 1),
-                     TextTable::num(r.ssim, 3), TextTable::num(r.delivery, 2)});
+    for (const auto& c : conditions) {
+      if (c.section != "E3") continue;
+      table.add_row({c.label, TextTable::num(value(c, "psnr"), 1),
+                     TextTable::num(value(c, "ssim"), 3), TextTable::num(value(c, "delivery"), 2)});
     }
     std::printf("%s\n", table.render().c_str());
+  }
+
+  std::printf("run: %zu sessions, %zu failures, %.2f s wall on %zu threads\n", report.sessions,
+              report.failures.size(), report.wall_seconds, report.threads);
+  const auto dropped = report.counters.find("shaper.dropped_packets");
+  const auto forwarded = report.counters.find("shaper.forwarded_packets");
+  if (dropped != report.counters.end() && forwarded != report.counters.end()) {
+    std::printf("E3 shapers: %lld packets forwarded, %lld dropped at the token bucket\n",
+                static_cast<long long>(forwarded->second),
+                static_cast<long long>(dropped->second));
+  }
+  const std::string out_path = "bench_ext_lastmile.report.json";
+  if (runner::write_text_file(out_path, report.to_json())) {
+    std::printf("report written to %s\n", out_path.c_str());
   }
   return 0;
 }

@@ -6,44 +6,112 @@
 // bump); gallery doubles 3→6 then plateaus (≤4 tiles); Webex gallery rate
 // *decreases* with more participants; Meet grows ~10% via its always-on
 // previews and caps at four visible streams.
+//
+// The sweep runs on runner::ExperimentRunner: every (platform, N, view,
+// repetition) cell is an independent session task, executed once on one
+// thread and once on eight. The two aggregate reports must be bit-identical
+// (the runner's determinism contract); the wall-clock ratio is the measured
+// parallel speedup on this machine.
 #include <cstdio>
+#include <string>
+#include <vector>
 
 #include "bench/bench_util.h"
 #include "core/mobile_benchmark.h"
+#include "runner/experiment_runner.h"
+
+namespace {
+
+using namespace vc;
+
+struct Cell {
+  platform::PlatformId id{};
+  int n = 0;
+  platform::ViewMode view{};
+  std::string key;  // e.g. "Zoom/n3/full"
+};
+
+double median_or_zero(const std::vector<double>& v) {
+  return v.empty() ? 0.0 : median(v);
+}
+
+}  // namespace
 
 int main(int argc, char** argv) {
-  using namespace vc;
   const bool paper = vcb::paper_scale(argc, argv);
   vcb::banner("Table 4 — data rate and CPU vs videoconference size (S10/J3)", paper);
 
-  TextTable table{{"N", "client", "full rate (Mbps)", "full CPU (%)", "gallery rate (Mbps)",
-                   "gallery CPU (%)"}};
+  const int reps = paper ? 5 : 1;
+  const SimDuration duration = paper ? seconds(300) : seconds(40);
+
+  std::vector<Cell> cells;
   for (const int n : {3, 6, 11}) {
     for (const auto id : vcb::all_platforms()) {
-      core::ScaleBenchmarkConfig cfg;
-      cfg.platform = id;
-      cfg.n_total = n;
-      cfg.repetitions = paper ? 5 : 1;
-      cfg.duration = paper ? seconds(300) : seconds(40);
-      cfg.seed = 901 + static_cast<std::uint64_t>(id) * 43 + static_cast<std::uint64_t>(n);
+      for (const auto view : {platform::ViewMode::kFullScreen, platform::ViewMode::kGallery}) {
+        Cell c;
+        c.id = id;
+        c.n = n;
+        c.view = view;
+        c.key = std::string(platform_name(id)) + "/n" + std::to_string(n) +
+                (view == platform::ViewMode::kGallery ? "/gallery" : "/full");
+        for (int rep = 0; rep < reps; ++rep) cells.push_back(c);
+      }
+    }
+  }
 
-      cfg.phone_view = platform::ViewMode::kFullScreen;
-      const auto full = core::run_scale_benchmark(cfg);
-      cfg.phone_view = platform::ViewMode::kGallery;
-      const auto gallery = core::run_scale_benchmark(cfg);
+  const auto task = [&cells, duration](runner::SessionContext& ctx) {
+    const Cell& c = cells[ctx.task_index];
+    core::ScaleBenchmarkConfig cfg;
+    cfg.platform = c.id;
+    cfg.n_total = c.n;
+    cfg.phone_view = c.view;
+    cfg.duration = duration;
+    const auto s = core::run_scale_session(cfg, ctx.seed);
+    ctx.sample(c.key + ".s10_rate_mbps", s.s10_rate_mbps);
+    ctx.sample(c.key + ".j3_rate_mbps", s.j3_rate_mbps);
+    ctx.sample(c.key + ".s10_cpu_median", median_or_zero(s.s10_cpu));
+    ctx.sample(c.key + ".j3_cpu_median", median_or_zero(s.j3_cpu));
+  };
 
+  runner::ExperimentRunner::Config rc;
+  rc.base_seed = 901;
+  rc.label = "table4_scale";
+  rc.threads = 1;
+  const auto serial = runner::ExperimentRunner{rc}.run(cells.size(), task);
+  rc.threads = 8;
+  const auto report = runner::ExperimentRunner{rc}.run(cells.size(), task);
+
+  TextTable table{{"N", "client", "full rate (Mbps)", "full CPU (%)", "gallery rate (Mbps)",
+                   "gallery CPU (%)"}};
+  auto cell = [&report](const std::string& key, const char* metric, int digits) {
+    const auto* s10 = report.find_sample(key + ".s10_" + metric);
+    const auto* j3 = report.find_sample(key + ".j3_" + metric);
+    if (!s10 || !j3) return std::string{"-"};
+    return TextTable::num(s10->mean(), digits) + "/" + TextTable::num(j3->mean(), digits);
+  };
+  for (const int n : {3, 6, 11}) {
+    for (const auto id : vcb::all_platforms()) {
+      const std::string base = std::string(platform_name(id)) + "/n" + std::to_string(n);
       table.add_row({std::to_string(n), std::string(platform_name(id)),
-                     TextTable::num(full.s10_rate_mbps, 2) + "/" +
-                         TextTable::num(full.j3_rate_mbps, 2),
-                     TextTable::num(full.s10_cpu_median, 0) + "/" +
-                         TextTable::num(full.j3_cpu_median, 0),
-                     TextTable::num(gallery.s10_rate_mbps, 2) + "/" +
-                         TextTable::num(gallery.j3_rate_mbps, 2),
-                     TextTable::num(gallery.s10_cpu_median, 0) + "/" +
-                         TextTable::num(gallery.j3_cpu_median, 0)});
+                     cell(base + "/full", "rate_mbps", 2), cell(base + "/full", "cpu_median", 0),
+                     cell(base + "/gallery", "rate_mbps", 2),
+                     cell(base + "/gallery", "cpu_median", 0)});
     }
   }
   std::printf("%s\n", table.render().c_str());
-  std::printf("cells are S10/J3, as in the paper's Table 4.\n");
-  return 0;
+  std::printf("cells are S10/J3, as in the paper's Table 4.\n\n");
+
+  const bool identical = serial.aggregate_json() == report.aggregate_json();
+  std::printf("sessions: %zu  failures: %zu\n", report.sessions, report.failures.size());
+  std::printf("wall clock: %.2f s at 1 thread, %.2f s at 8 threads — speedup %.2fx\n",
+              serial.wall_seconds, report.wall_seconds,
+              report.wall_seconds > 0 ? serial.wall_seconds / report.wall_seconds : 0.0);
+  std::printf("aggregate reports bit-identical across thread counts: %s\n",
+              identical ? "yes" : "NO — determinism regression!");
+
+  const std::string out_path = "bench_table4_scale.report.json";
+  if (runner::write_text_file(out_path, report.to_json())) {
+    std::printf("report written to %s\n", out_path.c_str());
+  }
+  return identical ? 0 : 1;
 }

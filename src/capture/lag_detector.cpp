@@ -22,9 +22,7 @@ std::vector<FlashEvent> detect_flash_events(const Trace& trace, net::Direction d
 std::vector<double> match_lags_ms(const std::vector<FlashEvent>& sender,
                                   const std::vector<FlashEvent>& receiver,
                                   const LagDetectorConfig& cfg) {
-  // Clock sync across cloud VMs is good to about a millisecond; allow a
-  // receiver timestamp to precede its sender event by that much.
-  const SimDuration tolerance = millis(2);
+  const SimDuration tolerance = cfg.clock_sync_tolerance;
   std::vector<double> lags;
   std::size_t si = 0;
   for (const auto& rx : receiver) {

@@ -24,6 +24,10 @@ struct LagDetectorConfig {
   SimDuration quiescence = millis(1000);
   /// Flash period of the injected feed; used to bound event matching.
   SimDuration flash_period = seconds(2);
+  /// How far a receiver timestamp may precede its sender event and still
+  /// match. Cloud VM clock sync is good to about a millisecond; the default
+  /// of 2 ms gives that error comfortable headroom.
+  SimDuration clock_sync_tolerance = millis(2);
 };
 
 /// One detected flash event (the timestamp of its first big packet).

@@ -16,7 +16,14 @@ struct RateReport {
   DataRate download{};    // L7 bits/s, incoming
   std::int64_t l7_bytes_up = 0;
   std::int64_t l7_bytes_down = 0;
+  /// Denominator used for the rates. Normally last-minus-first matching
+  /// timestamp; for a degenerate window (all matches share one timestamp)
+  /// with both [from, to] bounds given, the queried interval instead.
   SimDuration span{};
+  /// Matching records. 0 means nothing matched: bytes, span and rates are
+  /// all zero. >0 with span zero means a degenerate window whose rate is
+  /// undefined — bytes are still populated; don't divide by span.
+  std::int64_t records = 0;
 };
 
 class RateAnalyzer {

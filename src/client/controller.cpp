@@ -24,15 +24,24 @@ ClientController::ClientController(VcaClient& client)
 
 net::EventLoop& ClientController::loop() { return client_.host().network().loop(); }
 
+void ClientController::abort() {
+  if (state_ == State::kInMeeting || state_ == State::kLeft) return;
+  state_ = State::kAborted;
+}
+
 void ClientController::start_host(std::function<void(platform::MeetingId)> on_created) {
   state_ = State::kLaunching;
   loop().schedule_after(script_.launch, [this, on_created = std::move(on_created)]() mutable {
+    if (state_ == State::kAborted) return;
     state_ = State::kLoggingIn;
     loop().schedule_after(script_.login, [this, on_created = std::move(on_created)]() mutable {
+      if (state_ == State::kAborted) return;
       state_ = State::kCreating;
       loop().schedule_after(script_.join, [this, on_created = std::move(on_created)] {
+        if (state_ == State::kAborted) return;
         const auto id = client_.create_meeting();
         state_ = State::kInMeeting;
+        if (metrics_) metrics_->counter("client.meetings_created").inc();
         if (on_created) on_created(id);
       });
     });
@@ -41,13 +50,23 @@ void ClientController::start_host(std::function<void(platform::MeetingId)> on_cr
 
 void ClientController::start_join(platform::MeetingId meeting, std::function<void()> on_joined) {
   state_ = State::kLaunching;
-  loop().schedule_after(script_.launch, [this, meeting, on_joined = std::move(on_joined)]() mutable {
+  const SimTime started = loop().now();
+  loop().schedule_after(script_.launch,
+                        [this, meeting, started, on_joined = std::move(on_joined)]() mutable {
+    if (state_ == State::kAborted) return;
     state_ = State::kLoggingIn;
-    loop().schedule_after(script_.login, [this, meeting, on_joined = std::move(on_joined)]() mutable {
+    loop().schedule_after(script_.login,
+                          [this, meeting, started, on_joined = std::move(on_joined)]() mutable {
+      if (state_ == State::kAborted) return;
       state_ = State::kJoining;
-      loop().schedule_after(script_.join, [this, meeting, on_joined = std::move(on_joined)] {
+      loop().schedule_after(script_.join, [this, meeting, started, on_joined = std::move(on_joined)] {
+        if (state_ == State::kAborted) return;
         client_.join(meeting);
         state_ = State::kInMeeting;
+        if (metrics_) {
+          metrics_->counter("client.joins").inc();
+          metrics_->histogram("client.join_latency_ms").observe((loop().now() - started).millis());
+        }
         if (on_joined) on_joined();
       });
     });

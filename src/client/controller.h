@@ -7,6 +7,7 @@
 #include <functional>
 
 #include "client/vca_client.h"
+#include "common/metrics.h"
 
 namespace vc::client {
 
@@ -20,13 +21,24 @@ class ClientController {
     SimDuration join = seconds(1);
   };
 
-  enum class State { kIdle, kLaunching, kLoggingIn, kCreating, kJoining, kInMeeting, kLeft };
+  enum class State { kIdle, kLaunching, kLoggingIn, kCreating, kJoining, kInMeeting, kLeft,
+                     kAborted };
 
   ClientController(VcaClient& client, Script script);
   /// Uses per-platform default timings.
   explicit ClientController(VcaClient& client);
 
   State state() const { return state_; }
+
+  /// Records workflow events: `client.meetings_created` / `client.joins`
+  /// counters and a `client.join_latency_ms` histogram (start_join call to
+  /// in-meeting, i.e. the scripted launch+login+join path).
+  void set_metrics(MetricsRegistry* registry) { metrics_ = registry; }
+
+  /// Abandons the scripted workflow: any still-pending step becomes a no-op
+  /// and its callback never fires (used when an orchestrator gives up on a
+  /// session). In-meeting clients are left untouched.
+  void abort();
 
   /// Launch → login → create meeting; invokes `on_created` with the id.
   void start_host(std::function<void(platform::MeetingId)> on_created);
@@ -43,6 +55,7 @@ class ClientController {
   VcaClient& client_;
   Script script_;
   State state_ = State::kIdle;
+  MetricsRegistry* metrics_ = nullptr;
 };
 
 /// Platform-default workflow timings.

@@ -1,0 +1,73 @@
+// Lightweight metrics registry: named counters, gauges, and histogram
+// summaries that simulation components (shapers, relays, client controllers)
+// update inline while a session runs.
+//
+// A registry is per-session state: each simulated session owns exactly one,
+// and nothing here is synchronized. Parallel experiment runs give every
+// session its own registry and merge the snapshots afterwards in a fixed
+// order (see runner::ExperimentRunner), which keeps aggregate reports
+// bit-identical regardless of thread count.
+#pragma once
+
+#include <cstdint>
+#include <map>
+#include <string>
+
+#include "common/stats.h"
+
+namespace vc {
+
+class MetricsRegistry {
+ public:
+  /// Monotonic event count (packets forwarded, joins, timeouts, ...).
+  class Counter {
+   public:
+    void inc() { ++value_; }
+    void add(std::int64_t delta) { value_ += delta; }
+    std::int64_t value() const { return value_; }
+
+   private:
+    std::int64_t value_ = 0;
+  };
+
+  /// Last-written value (backlog depth, current rate target, ...).
+  class Gauge {
+   public:
+    void set(double value) { value_ = value; }
+    double value() const { return value_; }
+
+   private:
+    double value_ = 0.0;
+  };
+
+  /// Streaming summary of observed values (join latency, queue delay, ...).
+  class Histogram {
+   public:
+    void observe(double value) { stats_.add(value); }
+    const RunningStats& stats() const { return stats_; }
+
+   private:
+    RunningStats stats_;
+  };
+
+  /// Looks up (creating on first use) the named instrument. The returned
+  /// reference stays valid for the registry's lifetime, so components can
+  /// resolve names once and update through the pointer on hot paths.
+  Counter& counter(const std::string& name) { return counters_[name]; }
+  Gauge& gauge(const std::string& name) { return gauges_[name]; }
+  Histogram& histogram(const std::string& name) { return histograms_[name]; }
+
+  // Name-ordered iteration, for deterministic report emission.
+  const std::map<std::string, Counter>& counters() const { return counters_; }
+  const std::map<std::string, Gauge>& gauges() const { return gauges_; }
+  const std::map<std::string, Histogram>& histograms() const { return histograms_; }
+
+  bool empty() const { return counters_.empty() && gauges_.empty() && histograms_.empty(); }
+
+ private:
+  std::map<std::string, Counter> counters_;
+  std::map<std::string, Gauge> gauges_;
+  std::map<std::string, Histogram> histograms_;
+};
+
+}  // namespace vc

@@ -44,14 +44,18 @@ double RunningStats::variance() const {
 double RunningStats::stddev() const { return std::sqrt(variance()); }
 
 double quantile(std::vector<double> values, double q) {
-  if (values.empty()) throw std::invalid_argument{"quantile of empty sample"};
-  if (q < 0.0 || q > 1.0) throw std::invalid_argument{"quantile q out of [0,1]"};
   std::sort(values.begin(), values.end());
-  const double pos = q * static_cast<double>(values.size() - 1);
+  return quantile_sorted(values, q);
+}
+
+double quantile_sorted(const std::vector<double>& sorted_values, double q) {
+  if (sorted_values.empty()) throw std::invalid_argument{"quantile of empty sample"};
+  if (q < 0.0 || q > 1.0) throw std::invalid_argument{"quantile q out of [0,1]"};
+  const double pos = q * static_cast<double>(sorted_values.size() - 1);
   const auto lo = static_cast<std::size_t>(pos);
   const double frac = pos - static_cast<double>(lo);
-  if (lo + 1 >= values.size()) return values.back();
-  return values[lo] * (1.0 - frac) + values[lo + 1] * frac;
+  if (lo + 1 >= sorted_values.size()) return sorted_values.back();
+  return sorted_values[lo] * (1.0 - frac) + sorted_values[lo + 1] * frac;
 }
 
 double median(std::vector<double> values) { return quantile(std::move(values), 0.5); }
@@ -61,9 +65,9 @@ BoxplotSummary boxplot(std::vector<double> values) {
   std::sort(values.begin(), values.end());
   BoxplotSummary s;
   s.n = values.size();
-  s.q1 = quantile(values, 0.25);
-  s.median = quantile(values, 0.5);
-  s.q3 = quantile(values, 0.75);
+  s.q1 = quantile_sorted(values, 0.25);
+  s.median = quantile_sorted(values, 0.5);
+  s.q3 = quantile_sorted(values, 0.75);
   const double iqr = s.q3 - s.q1;
   const double lo_fence = s.q1 - 1.5 * iqr;
   const double hi_fence = s.q3 + 1.5 * iqr;
@@ -94,10 +98,7 @@ double EmpiricalCdf::at(double x) const {
   return static_cast<double>(it - sorted_.begin()) / static_cast<double>(sorted_.size());
 }
 
-double EmpiricalCdf::inverse(double q) const {
-  std::vector<double> copy = sorted_;  // already sorted; quantile re-sorts harmlessly
-  return quantile(std::move(copy), q);
-}
+double EmpiricalCdf::inverse(double q) const { return quantile_sorted(sorted_, q); }
 
 Histogram::Histogram(double lo, double hi, std::size_t bins) : lo_(lo), hi_(hi), counts_(bins, 0) {
   if (bins == 0 || !(hi > lo)) throw std::invalid_argument{"bad histogram bounds"};

@@ -36,6 +36,11 @@ class RunningStats {
 /// default). `q` in [0, 1]. The input need not be sorted.
 double quantile(std::vector<double> values, double q);
 
+/// Same quantile, but `sorted_values` must already be ascending; no copy and
+/// no re-sort. Use when the caller keeps a sorted sample around (CDFs,
+/// boxplots, repeated percentile queries).
+double quantile_sorted(const std::vector<double>& sorted_values, double q);
+
 /// Median convenience wrapper.
 double median(std::vector<double> values);
 

@@ -108,6 +108,69 @@ MobileBenchmarkResult run_mobile_benchmark(const MobileBenchmarkConfig& config) 
   return result;
 }
 
+ScaleSessionResult run_scale_session(const ScaleBenchmarkConfig& config, std::uint64_t seed) {
+  const int extra_vms = std::max(0, config.n_total - 3);
+
+  testbed::CloudTestbed bed{seed};
+  auto platform = platform::make_platform(config.platform, bed.network(), seed ^ 0x404);
+
+  net::Host& host_vm = bed.create_vm(testbed::site_by_name("US-East"), 8);
+  net::Host& s10_host = bed.create_vm(testbed::residential_us_east(), 0);
+  net::Host& j3_host = bed.create_vm(testbed::residential_us_east(), 1);
+
+  // Everyone streams high-motion simultaneously (Section 5, Table 4).
+  auto make_vm_sender = [&](net::Host& vm, std::uint64_t s) {
+    client::VcaClient::Config cfg;
+    cfg.send_video = true;
+    cfg.send_audio = false;
+    cfg.decode_video = false;
+    cfg.synthetic_video = true;
+    cfg.motion = platform::MotionClass::kHighMotion;
+    if (config.platform == platform::PlatformId::kMeet) {
+      cfg.rate_override = platform::rate_profile(config.platform).mobile_main_rate;
+    }
+    cfg.seed = s;
+    return std::make_unique<client::VcaClient>(vm, *platform, cfg);
+  };
+
+  auto host_client = make_vm_sender(host_vm, seed);
+  client::MediaFeeder feeder{bed.loop(), host_client->video_device(),
+                             host_client->audio_device()};
+  std::vector<std::unique_ptr<client::VcaClient>> extras;
+  const auto us = testbed::us_sites();
+  for (int i = 0; i < extra_vms; ++i) {
+    net::Host& vm = bed.create_vm(us[static_cast<std::size_t>(i) % us.size()], 20 + i);
+    extras.push_back(make_vm_sender(vm, seed + 100 + static_cast<std::uint64_t>(i)));
+  }
+
+  // Phones use the HM scenario settings with the requested view.
+  PhoneRun s10 = make_phone(s10_host, *platform, mobile::galaxy_s10(),
+                            mobile::MobileScenario::kHM, config.phone_view, true, seed + 1);
+  PhoneRun j3 = make_phone(j3_host, *platform, mobile::galaxy_j3(),
+                           mobile::MobileScenario::kHM, config.phone_view, true, seed + 2);
+
+  testbed::SessionOrchestrator::Plan plan;
+  plan.host = host_client.get();
+  plan.participants = {s10.client.get(), j3.client.get()};
+  for (auto& e : extras) plan.participants.push_back(e.get());
+  plan.media_duration = config.duration;
+  plan.on_all_joined = [&] {
+    feeder.play_audio(media::synthesize_voice(config.duration.seconds(), seed ^ 0xA0D11));
+    s10.monitor->start(config.duration);
+    j3.monitor->start(config.duration);
+  };
+  testbed::SessionOrchestrator orchestrator{std::move(plan)};
+  orchestrator.start();
+  bed.run_all();
+
+  ScaleSessionResult out;
+  out.s10_cpu = s10.monitor->cpu_samples();
+  out.j3_cpu = j3.monitor->cpu_samples();
+  out.s10_rate_mbps = s10.monitor->download_rate().as_mbps();
+  out.j3_rate_mbps = j3.monitor->download_rate().as_mbps();
+  return out;
+}
+
 ScaleBenchmarkResult run_scale_benchmark(const ScaleBenchmarkConfig& config) {
   ScaleBenchmarkResult result;
   result.platform = config.platform;
@@ -119,68 +182,13 @@ ScaleBenchmarkResult run_scale_benchmark(const ScaleBenchmarkConfig& config) {
   RunningStats s10_rate;
   RunningStats j3_rate;
 
-  const int extra_vms = std::max(0, config.n_total - 3);
-
   for (int rep = 0; rep < config.repetitions; ++rep) {
     const std::uint64_t seed = config.seed + static_cast<std::uint64_t>(rep) * 5801;
-    testbed::CloudTestbed bed{seed};
-    auto platform = platform::make_platform(config.platform, bed.network(), seed ^ 0x404);
-
-    net::Host& host_vm = bed.create_vm(testbed::site_by_name("US-East"), 8);
-    net::Host& s10_host = bed.create_vm(testbed::residential_us_east(), 0);
-    net::Host& j3_host = bed.create_vm(testbed::residential_us_east(), 1);
-
-    // Everyone streams high-motion simultaneously (Section 5, Table 4).
-    auto make_vm_sender = [&](net::Host& vm, std::uint64_t s) {
-      client::VcaClient::Config cfg;
-      cfg.send_video = true;
-      cfg.send_audio = false;
-      cfg.decode_video = false;
-      cfg.synthetic_video = true;
-      cfg.motion = platform::MotionClass::kHighMotion;
-      if (config.platform == platform::PlatformId::kMeet) {
-        cfg.rate_override = platform::rate_profile(config.platform).mobile_main_rate;
-      }
-      cfg.seed = s;
-      return std::make_unique<client::VcaClient>(vm, *platform, cfg);
-    };
-
-    auto host_client = make_vm_sender(host_vm, seed);
-    client::MediaFeeder feeder{bed.loop(), host_client->video_device(),
-                               host_client->audio_device()};
-    std::vector<std::unique_ptr<client::VcaClient>> extras;
-    const auto us = testbed::us_sites();
-    for (int i = 0; i < extra_vms; ++i) {
-      net::Host& vm = bed.create_vm(us[static_cast<std::size_t>(i) % us.size()], 20 + i);
-      extras.push_back(make_vm_sender(vm, seed + 100 + static_cast<std::uint64_t>(i)));
-    }
-
-    // Phones use the HM scenario settings with the requested view.
-    PhoneRun s10 = make_phone(s10_host, *platform, mobile::galaxy_s10(),
-                              mobile::MobileScenario::kHM, config.phone_view, true, seed + 1);
-    PhoneRun j3 = make_phone(j3_host, *platform, mobile::galaxy_j3(),
-                             mobile::MobileScenario::kHM, config.phone_view, true, seed + 2);
-
-    testbed::SessionOrchestrator::Plan plan;
-    plan.host = host_client.get();
-    plan.participants = {s10.client.get(), j3.client.get()};
-    for (auto& e : extras) plan.participants.push_back(e.get());
-    plan.media_duration = config.duration;
-    plan.on_all_joined = [&] {
-      feeder.play_audio(media::synthesize_voice(config.duration.seconds(), seed ^ 0xA0D11));
-      s10.monitor->start(config.duration);
-      j3.monitor->start(config.duration);
-    };
-    testbed::SessionOrchestrator orchestrator{std::move(plan)};
-    orchestrator.start();
-    bed.run_all();
-
-    const auto& a = s10.monitor->cpu_samples();
-    const auto& b = j3.monitor->cpu_samples();
-    s10_cpu.insert(s10_cpu.end(), a.begin(), a.end());
-    j3_cpu.insert(j3_cpu.end(), b.begin(), b.end());
-    s10_rate.add(s10.monitor->download_rate().as_mbps());
-    j3_rate.add(j3.monitor->download_rate().as_mbps());
+    const ScaleSessionResult session = run_scale_session(config, seed);
+    s10_cpu.insert(s10_cpu.end(), session.s10_cpu.begin(), session.s10_cpu.end());
+    j3_cpu.insert(j3_cpu.end(), session.j3_cpu.begin(), session.j3_cpu.end());
+    s10_rate.add(session.s10_rate_mbps);
+    j3_rate.add(session.j3_rate_mbps);
   }
 
   result.s10_rate_mbps = s10_rate.mean();

@@ -67,4 +67,17 @@ struct ScaleBenchmarkResult {
 
 ScaleBenchmarkResult run_scale_benchmark(const ScaleBenchmarkConfig& config);
 
+/// One repetition of the scale scenario as a self-contained session: builds
+/// its own testbed/platform world from `seed` (ignoring config.seed /
+/// config.repetitions), so parallel experiment runners can drive it with
+/// per-task seed streams.
+struct ScaleSessionResult {
+  std::vector<double> s10_cpu;
+  std::vector<double> j3_cpu;
+  double s10_rate_mbps = 0.0;
+  double j3_rate_mbps = 0.0;
+};
+
+ScaleSessionResult run_scale_session(const ScaleBenchmarkConfig& config, std::uint64_t seed);
+
 }  // namespace vc::core

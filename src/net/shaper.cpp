@@ -19,6 +19,14 @@ TokenBucketShaper::~TokenBucketShaper() {
   if (drain_scheduled_) loop_.cancel(drain_event_);
 }
 
+void TokenBucketShaper::attach_metrics(MetricsRegistry& registry, const std::string& prefix) {
+  m_forwarded_packets_ = &registry.counter(prefix + ".forwarded_packets");
+  m_forwarded_bytes_ = &registry.counter(prefix + ".forwarded_bytes");
+  m_dropped_packets_ = &registry.counter(prefix + ".dropped_packets");
+  m_dropped_bytes_ = &registry.counter(prefix + ".dropped_bytes");
+  m_queue_delay_ms_ = &registry.histogram(prefix + ".queue_delay_ms");
+}
+
 void TokenBucketShaper::set_rate(DataRate rate) {
   refill();  // settle tokens at the old rate first
   rate_ = rate;
@@ -49,12 +57,21 @@ void TokenBucketShaper::submit(Packet pkt, std::function<void(Packet)> deliver) 
     bucket_bytes_ -= static_cast<double>(size);
     ++stats_.forwarded_packets;
     stats_.forwarded_bytes += size;
+    if (m_forwarded_packets_) {
+      m_forwarded_packets_->inc();
+      m_forwarded_bytes_->add(size);
+      m_queue_delay_ms_->observe(0.0);
+    }
     deliver(std::move(pkt));
     return;
   }
   if (queue_.size() >= queue_limit_packets_) {
     ++stats_.dropped_packets;
     stats_.dropped_bytes += size;
+    if (m_dropped_packets_) {
+      m_dropped_packets_->inc();
+      m_dropped_bytes_->add(size);
+    }
     return;
   }
   queued_bytes_ += size;
@@ -91,6 +108,11 @@ void TokenBucketShaper::drain() {
     ++stats_.forwarded_packets;
     stats_.forwarded_bytes += size;
     stats_.max_queue_delay = std::max(stats_.max_queue_delay, loop_.now() - q.enqueued_at);
+    if (m_forwarded_packets_) {
+      m_forwarded_packets_->inc();
+      m_forwarded_bytes_->add(size);
+      m_queue_delay_ms_->observe((loop_.now() - q.enqueued_at).millis());
+    }
     q.deliver(std::move(q.pkt));
   }
   if (!queue_.empty()) schedule_drain();

@@ -11,6 +11,9 @@
 #include <deque>
 #include <functional>
 
+#include <string>
+
+#include "common/metrics.h"
 #include "common/units.h"
 #include "net/event_loop.h"
 #include "net/packet.h"
@@ -42,6 +45,12 @@ class TokenBucketShaper {
   void set_rate(DataRate rate);
   DataRate rate() const { return rate_; }
   const Stats& stats() const { return stats_; }
+
+  /// Mirrors forward/drop accounting into `<prefix>.forwarded_packets`,
+  /// `<prefix>.forwarded_bytes`, `<prefix>.dropped_packets` and
+  /// `<prefix>.dropped_bytes` counters plus a `<prefix>.queue_delay_ms`
+  /// histogram. The registry must outlive the shaper.
+  void attach_metrics(MetricsRegistry& registry, const std::string& prefix = "shaper");
   std::size_t backlog_packets() const { return queue_.size(); }
   std::int64_t backlog_bytes() const { return queued_bytes_; }
 
@@ -74,6 +83,13 @@ class TokenBucketShaper {
   bool drain_scheduled_ = false;
   EventId drain_event_ = 0;
   Stats stats_;
+  // Optional metrics hooks (resolved once; see MetricsRegistry reference
+  // stability guarantee).
+  MetricsRegistry::Counter* m_forwarded_packets_ = nullptr;
+  MetricsRegistry::Counter* m_forwarded_bytes_ = nullptr;
+  MetricsRegistry::Counter* m_dropped_packets_ = nullptr;
+  MetricsRegistry::Counter* m_dropped_bytes_ = nullptr;
+  MetricsRegistry::Histogram* m_queue_delay_ms_ = nullptr;
 };
 
 }  // namespace vc::net

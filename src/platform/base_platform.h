@@ -29,6 +29,9 @@ class BasePlatform : public VcaPlatform {
 
   RelayAllocator& allocator() { return allocator_; }
 
+  /// Instruments every relay this platform allocates from now on.
+  void set_metrics(MetricsRegistry* registry) { allocator_.set_metrics(registry); }
+
  protected:
   struct Member {
     ParticipantId id = 0;

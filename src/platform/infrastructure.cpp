@@ -72,6 +72,7 @@ RelayServer* RelayAllocator::new_relay(const Site& site) {
                                              site.name + "-r" + std::to_string(relay_counter_++),
                                              site.location, media_port_, delay);
   RelayServer* ptr = relay.get();
+  if (metrics_ != nullptr) ptr->attach_metrics(*metrics_);
   relays_.push_back(std::move(relay));
   return ptr;
 }

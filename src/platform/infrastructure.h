@@ -65,6 +65,11 @@ class RelayAllocator {
 
   std::size_t relays_created() const { return relays_.size(); }
 
+  /// Every relay created from now on reports into `registry` under the
+  /// shared "relay" prefix (so counts aggregate infrastructure-wide). Pass
+  /// nullptr to stop instrumenting new relays.
+  void set_metrics(MetricsRegistry* registry) { metrics_ = registry; }
+
  private:
   RelayServer* new_relay(const Site& site);
   const Site& nearest_site(const GeoPoint& p) const;
@@ -78,6 +83,7 @@ class RelayAllocator {
   /// Meet stickiness: client IP → {primary, secondary} front-ends.
   std::unordered_map<net::IpAddr, std::pair<RelayServer*, RelayServer*>> meet_front_ends_;
   int relay_counter_ = 0;
+  MetricsRegistry* metrics_ = nullptr;
 };
 
 }  // namespace vc::platform

@@ -19,6 +19,14 @@ RelayServer::RelayServer(net::Network& network, std::string name, GeoPoint locat
   socket_->on_receive([this](const net::Packet& pkt) { on_packet(pkt); });
 }
 
+void RelayServer::attach_metrics(MetricsRegistry& registry, const std::string& prefix) {
+  m_media_in_ = &registry.counter(prefix + ".media_in");
+  m_media_forwarded_ = &registry.counter(prefix + ".media_forwarded");
+  m_probes_answered_ = &registry.counter(prefix + ".probes_answered");
+  m_control_forwarded_ = &registry.counter(prefix + ".control_forwarded");
+  m_fan_out_ = &registry.histogram(prefix + ".fan_out");
+}
+
 void RelayServer::send_delayed(net::Packet pkt) {
   const SimDuration d =
       delay_.base + millis_f(network_.rng().exponential(delay_.jitter_mean_ms));
@@ -99,6 +107,7 @@ void RelayServer::on_packet(const net::Packet& pkt) {
     reply.seq = pkt.seq;
     socket_->send(std::move(reply));
     ++stats_.probes_answered;
+    if (m_probes_answered_) m_probes_answered_->inc();
     return;
   }
 
@@ -115,6 +124,7 @@ void RelayServer::on_packet(const net::Packet& pkt) {
   auto m_it = meetings_.find(s_it->second.first);
   if (m_it == meetings_.end()) return;
   ++stats_.media_in;
+  if (m_media_in_) m_media_in_->inc();
   forward_media(m_it->second, pkt, /*from_peer=*/false);
 }
 
@@ -128,6 +138,7 @@ void RelayServer::forward_media(Meeting& meeting, const net::Packet& pkt, bool f
       copy.dst = p.endpoint;
       send_delayed(std::move(copy));
       ++stats_.control_forwarded;
+      if (m_control_forwarded_) m_control_forwarded_->inc();
       return;
     }
     if (!from_peer) {
@@ -136,11 +147,13 @@ void RelayServer::forward_media(Meeting& meeting, const net::Packet& pkt, bool f
         copy.dst = peer->endpoint();
         send_delayed(std::move(copy));
         ++stats_.control_forwarded;
+        if (m_control_forwarded_) m_control_forwarded_->inc();
       }
     }
     return;
   }
 
+  std::int64_t copies = 0;
   for (const auto& p : meeting.participants) {
     if (p.id == pkt.origin_id) continue;  // never echo back to the sender
     net::Packet copy = pkt;
@@ -163,6 +176,7 @@ void RelayServer::forward_media(Meeting& meeting, const net::Packet& pkt, bool f
     }
     send_delayed(std::move(copy));
     ++stats_.media_forwarded;
+    ++copies;
   }
 
   // Fan out to peer front-ends exactly once (only for first-hop packets).
@@ -172,7 +186,12 @@ void RelayServer::forward_media(Meeting& meeting, const net::Packet& pkt, bool f
       copy.dst = peer->endpoint();
       send_delayed(std::move(copy));
       ++stats_.media_forwarded;
+      ++copies;
     }
+  }
+  if (m_media_forwarded_) {
+    m_media_forwarded_->add(copies);
+    m_fan_out_->observe(static_cast<double>(copies));
   }
 }
 

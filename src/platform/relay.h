@@ -17,6 +17,7 @@
 #include <unordered_map>
 #include <vector>
 
+#include "common/metrics.h"
 #include "net/network.h"
 #include "platform/platform.h"
 
@@ -49,6 +50,14 @@ class RelayServer {
   net::Host& host() { return *host_; }
   net::Endpoint endpoint() const { return net::Endpoint{host_->ip(), media_port_}; }
   const Stats& stats() const { return stats_; }
+
+  /// Mirrors the Stats fields into `<prefix>.media_in`,
+  /// `<prefix>.media_forwarded`, `<prefix>.probes_answered` and
+  /// `<prefix>.control_forwarded` counters plus a `<prefix>.fan_out`
+  /// histogram (forwarded copies per ingested media packet). Several relays
+  /// may share one registry: their counts aggregate, which is exactly the
+  /// infrastructure-wide view scalability reports want.
+  void attach_metrics(MetricsRegistry& registry, const std::string& prefix = "relay");
 
   void add_participant(MeetingId meeting, ParticipantId id, net::Endpoint client_endpoint);
   void remove_participant(MeetingId meeting, ParticipantId id);
@@ -99,6 +108,11 @@ class RelayServer {
   /// flow, so jittered processing delays never reorder a stream.
   std::unordered_map<net::Endpoint, SimTime> next_departure_;
   Stats stats_;
+  MetricsRegistry::Counter* m_media_in_ = nullptr;
+  MetricsRegistry::Counter* m_media_forwarded_ = nullptr;
+  MetricsRegistry::Counter* m_probes_answered_ = nullptr;
+  MetricsRegistry::Counter* m_control_forwarded_ = nullptr;
+  MetricsRegistry::Histogram* m_fan_out_ = nullptr;
 };
 
 }  // namespace vc::platform

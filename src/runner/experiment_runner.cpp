@@ -1,0 +1,205 @@
+#include "runner/experiment_runner.h"
+
+#include <atomic>
+#include <chrono>
+#include <cstdio>
+#include <fstream>
+#include <thread>
+
+namespace vc::runner {
+namespace {
+
+// Shortest round-trippable representation: aggregates built from identical
+// doubles render identically, which is all bit-identical reports need.
+std::string json_num(double v) {
+  char buf[32];
+  std::snprintf(buf, sizeof(buf), "%.17g", v);
+  return buf;
+}
+
+std::string json_escape(const std::string& s) {
+  std::string out;
+  out.reserve(s.size());
+  for (char c : s) {
+    if (c == '"' || c == '\\') {
+      out += '\\';
+      out += c;
+    } else if (c == '\n') {
+      out += "\\n";
+    } else {
+      out += c;
+    }
+  }
+  return out;
+}
+
+void append_stats_object(std::string& out, const RunningStats& s) {
+  out += "{\"count\":" + std::to_string(s.count());
+  out += ",\"mean\":" + json_num(s.mean());
+  out += ",\"stddev\":" + json_num(s.stddev());
+  out += ",\"min\":" + json_num(s.min());
+  out += ",\"max\":" + json_num(s.max());
+  out += ",\"sum\":" + json_num(s.sum());
+  out += "}";
+}
+
+void append_stats_map(std::string& out, const char* key,
+                      const std::map<std::string, RunningStats>& m) {
+  out += "\"";
+  out += key;
+  out += "\":{";
+  bool first = true;
+  for (const auto& [name, stats] : m) {
+    if (!first) out += ",";
+    first = false;
+    out += "\"" + json_escape(name) + "\":";
+    append_stats_object(out, stats);
+  }
+  out += "}";
+}
+
+}  // namespace
+
+std::string RunReport::aggregate_json() const {
+  std::string out = "{";
+  out += "\"label\":\"" + json_escape(label) + "\"";
+  out += ",\"base_seed\":" + std::to_string(base_seed);
+  out += ",\"sessions\":" + std::to_string(sessions);
+  out += ",\"failures\":[";
+  for (std::size_t i = 0; i < failures.size(); ++i) {
+    if (i) out += ",";
+    out += "{\"task\":" + std::to_string(failures[i].first) + ",\"error\":\"" +
+           json_escape(failures[i].second) + "\"}";
+  }
+  out += "],";
+  append_stats_map(out, "samples", samples);
+  out += ",\"counters\":{";
+  bool first = true;
+  for (const auto& [name, value] : counters) {
+    if (!first) out += ",";
+    first = false;
+    out += "\"" + json_escape(name) + "\":" + std::to_string(value);
+  }
+  out += "},";
+  append_stats_map(out, "gauges", gauges);
+  out += ",";
+  append_stats_map(out, "histograms", histograms);
+  out += "}";
+  return out;
+}
+
+std::string RunReport::to_json() const {
+  std::string out = "{\"aggregate\":" + aggregate_json();
+  out += ",\"threads\":" + std::to_string(threads);
+  out += ",\"wall_seconds\":" + json_num(wall_seconds);
+  out += "}";
+  return out;
+}
+
+std::string RunReport::to_csv() const {
+  std::string out = "kind,name,count,mean,stddev,min,max,sum\n";
+  auto stats_rows = [&out](const char* kind, const std::map<std::string, RunningStats>& m) {
+    for (const auto& [name, s] : m) {
+      out += std::string(kind) + "," + name + "," + std::to_string(s.count()) + "," +
+             json_num(s.mean()) + "," + json_num(s.stddev()) + "," + json_num(s.min()) + "," +
+             json_num(s.max()) + "," + json_num(s.sum()) + "\n";
+    }
+  };
+  stats_rows("sample", samples);
+  for (const auto& [name, value] : counters) {
+    out += "counter," + name + ",1,,,,," + std::to_string(value) + "\n";
+  }
+  stats_rows("gauge", gauges);
+  stats_rows("histogram", histograms);
+  return out;
+}
+
+const RunningStats* RunReport::find_sample(const std::string& name) const {
+  const auto it = samples.find(name);
+  return it == samples.end() ? nullptr : &it->second;
+}
+
+RunReport ExperimentRunner::run(std::size_t n_sessions, const Task& task) const {
+  struct Outcome {
+    bool ok = false;
+    std::string error;
+    std::vector<std::pair<std::string, double>> samples;
+    MetricsRegistry metrics;
+  };
+  std::vector<Outcome> outcomes(n_sessions);
+
+  std::size_t threads = config_.threads != 0
+                            ? config_.threads
+                            : std::max(1u, std::thread::hardware_concurrency());
+  if (n_sessions > 0) threads = std::min(threads, n_sessions);
+
+  std::atomic<std::size_t> next{0};
+  auto worker = [&] {
+    for (;;) {
+      const std::size_t i = next.fetch_add(1, std::memory_order_relaxed);
+      if (i >= n_sessions) return;
+      SessionContext ctx;
+      ctx.task_index = i;
+      ctx.seed = config_.base_seed ^ static_cast<std::uint64_t>(i);
+      Outcome& out = outcomes[i];
+      try {
+        task(ctx);
+        out.ok = true;
+      } catch (const std::exception& e) {
+        out.error = e.what();
+      } catch (...) {
+        out.error = "unknown exception";
+      }
+      out.samples = std::move(ctx.samples);
+      out.metrics = std::move(ctx.metrics);
+    }
+  };
+
+  const auto t0 = std::chrono::steady_clock::now();
+  if (threads <= 1) {
+    worker();
+  } else {
+    std::vector<std::thread> pool;
+    pool.reserve(threads);
+    for (std::size_t t = 0; t < threads; ++t) pool.emplace_back(worker);
+    for (auto& t : pool) t.join();
+  }
+  const auto t1 = std::chrono::steady_clock::now();
+
+  // Reduce strictly in task-index order: with per-task results fixed, the
+  // merge sequence (and hence every floating-point aggregate) is independent
+  // of how tasks were scheduled across threads.
+  RunReport report;
+  report.label = config_.label;
+  report.base_seed = config_.base_seed;
+  report.sessions = n_sessions;
+  report.threads = threads;
+  report.wall_seconds = std::chrono::duration<double>(t1 - t0).count();
+  for (std::size_t i = 0; i < n_sessions; ++i) {
+    const Outcome& out = outcomes[i];
+    if (!out.ok) {
+      report.failures.emplace_back(i, out.error);
+      continue;
+    }
+    for (const auto& [name, value] : out.samples) report.samples[name].add(value);
+    for (const auto& [name, counter] : out.metrics.counters()) {
+      report.counters[name] += counter.value();
+    }
+    for (const auto& [name, gauge] : out.metrics.gauges()) {
+      report.gauges[name].add(gauge.value());
+    }
+    for (const auto& [name, histo] : out.metrics.histograms()) {
+      report.histograms[name].merge(histo.stats());
+    }
+  }
+  return report;
+}
+
+bool write_text_file(const std::string& path, const std::string& text) {
+  std::ofstream out{path, std::ios::binary};
+  if (!out) return false;
+  out << text;
+  return static_cast<bool>(out);
+}
+
+}  // namespace vc::runner

@@ -1,0 +1,102 @@
+// Parallel multi-session experiment runner.
+//
+// VCA measurement campaigns are embarrassingly parallel across sessions:
+// every sweep point (participant count, bandwidth cap, location, repetition)
+// is an independent simulated session with its own EventLoop, Network and
+// platform instance. The runner executes N such session tasks on a thread
+// pool and reduces their results into one aggregate report.
+//
+// Determinism contract: a task's only inputs are its SessionContext (seed =
+// base_seed ^ task_index) and whatever immutable config the caller captured,
+// and tasks share no mutable state. Results are reduced strictly in
+// task-index order after all tasks finish, so the same base seed produces a
+// bit-identical aggregate report at any thread count.
+#pragma once
+
+#include <cstdint>
+#include <functional>
+#include <map>
+#include <string>
+#include <utility>
+#include <vector>
+
+#include "common/metrics.h"
+#include "common/stats.h"
+
+namespace vc::runner {
+
+/// Handed to each session task. The task builds its whole simulation world
+/// from `seed`, records named scalar observations via sample(), and lets
+/// instrumented components (shapers, relays, controllers) write into
+/// `metrics`.
+struct SessionContext {
+  std::size_t task_index = 0;
+  /// base_seed ^ task_index: a per-task deterministic stream.
+  std::uint64_t seed = 0;
+  MetricsRegistry metrics;
+
+  void sample(const std::string& name, double value) { samples.emplace_back(name, value); }
+
+  std::vector<std::pair<std::string, double>> samples;
+};
+
+/// Aggregate of a whole run. Sample/gauge values aggregate as RunningStats
+/// across sessions; counters sum; histograms merge their streaming moments.
+struct RunReport {
+  std::string label;
+  std::uint64_t base_seed = 0;
+  std::size_t sessions = 0;
+  std::size_t threads = 0;
+  /// (task_index, what()) for tasks that threw; their partial results are
+  /// excluded from the aggregates below.
+  std::vector<std::pair<std::size_t, std::string>> failures;
+
+  std::map<std::string, RunningStats> samples;
+  std::map<std::string, std::int64_t> counters;
+  std::map<std::string, RunningStats> gauges;
+  std::map<std::string, RunningStats> histograms;
+
+  /// Wall-clock of the run. Timing metadata only — deliberately excluded
+  /// from aggregate_json() so reports compare equal across thread counts.
+  double wall_seconds = 0.0;
+
+  /// Deterministic JSON: everything except timing/thread metadata. Two runs
+  /// with the same base seed and task list produce byte-identical strings
+  /// regardless of thread count.
+  std::string aggregate_json() const;
+  /// Full JSON report: aggregate plus {threads, wall_seconds}.
+  std::string to_json() const;
+  /// Flat CSV: kind,name,count,mean,stddev,min,max,sum — counters carry the
+  /// summed value in `sum` with count 1.
+  std::string to_csv() const;
+
+  /// Convenience for rendering tables from a report; nullptr if absent.
+  const RunningStats* find_sample(const std::string& name) const;
+};
+
+class ExperimentRunner {
+ public:
+  struct Config {
+    /// 0 = one thread per hardware core.
+    std::size_t threads = 0;
+    std::uint64_t base_seed = 1;
+    std::string label = "experiment";
+  };
+
+  using Task = std::function<void(SessionContext&)>;
+
+  explicit ExperimentRunner(Config config) : config_(config) {}
+
+  /// Runs `n_sessions` invocations of `task` across the pool. `task` must be
+  /// callable concurrently from several threads (each call gets its own
+  /// context; capture only immutable state).
+  RunReport run(std::size_t n_sessions, const Task& task) const;
+
+ private:
+  Config config_;
+};
+
+/// Writes `text` to `path`; returns false (and logs nothing) on I/O failure.
+bool write_text_file(const std::string& path, const std::string& text);
+
+}  // namespace vc::runner

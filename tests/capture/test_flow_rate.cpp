@@ -108,6 +108,58 @@ TEST(RateAnalyzer, EmptyTraceYieldsZero) {
   EXPECT_TRUE(analyzer.download_kbps_series(millis(100)).empty());
 }
 
+// Regression: a window matching nothing used to compute span from the
+// untouched sentinels (hi=0 - lo=infinity), producing a nonsense negative
+// span. Now it reports records == 0 with everything zeroed.
+TEST(RateAnalyzer, NoMatchingRecordsReportsAllZero) {
+  Trace t;
+  t.records.push_back(rec(SimTime{1'000'000}, net::Direction::kIncoming, kRelay, 1000));
+  const RateAnalyzer analyzer{t};
+  const auto rep = analyzer.average(SimTime{5'000'000}, SimTime{9'000'000});
+  EXPECT_EQ(rep.records, 0);
+  EXPECT_EQ(rep.l7_bytes_down, 0);
+  EXPECT_EQ(rep.l7_bytes_up, 0);
+  EXPECT_EQ(rep.span, SimDuration::zero());
+  EXPECT_EQ(rep.download, DataRate::zero());
+  EXPECT_EQ(rep.upload, DataRate::zero());
+}
+
+// Regression: a single-record (or single-timestamp) window used to divide the
+// byte count by a zero-second span. Without explicit bounds the rate now
+// stays zero and the degenerate case is detectable.
+TEST(RateAnalyzer, SingleRecordWithoutBoundsKeepsRateZero) {
+  Trace t;
+  t.records.push_back(rec(SimTime{3'000'000}, net::Direction::kIncoming, kRelay, 1234));
+  const RateAnalyzer analyzer{t};
+  const auto rep = analyzer.average();
+  EXPECT_EQ(rep.records, 1);
+  EXPECT_EQ(rep.l7_bytes_down, 1234);
+  EXPECT_EQ(rep.span, SimDuration::zero());
+  EXPECT_EQ(rep.download, DataRate::zero());
+}
+
+// With both bounds given, the queried interval is the honest denominator for
+// a degenerate window.
+TEST(RateAnalyzer, SingleRecordWithBoundsUsesQueriedInterval) {
+  Trace t;
+  t.records.push_back(rec(SimTime{3'000'000}, net::Direction::kIncoming, kRelay, 1000));
+  const RateAnalyzer analyzer{t};
+  const auto rep = analyzer.average(SimTime{2'000'000}, SimTime{4'000'000});
+  EXPECT_EQ(rep.records, 1);
+  EXPECT_EQ(rep.span, seconds(2));
+  EXPECT_NEAR(rep.download.as_kbps(), 1000 * 8 / 2.0 / 1000.0, 0.01);
+}
+
+TEST(RateAnalyzer, ReportsMatchingRecordCount) {
+  Trace t;
+  for (int i = 0; i < 7; ++i) {
+    t.records.push_back(rec(SimTime{i * 1'000'000}, net::Direction::kIncoming, kRelay, 100));
+  }
+  const RateAnalyzer analyzer{t};
+  EXPECT_EQ(analyzer.average().records, 7);
+  EXPECT_EQ(analyzer.average(SimTime{2'000'000}, SimTime{4'000'000}).records, 3);
+}
+
 TEST(RateAnalyzer, SeriesCapturesVariation) {
   Trace t;
   // 0–1 s: heavy; 1–2 s: light.

@@ -87,6 +87,31 @@ TEST(LagDetector, ToleratesSmallClockSkew) {
   for (double l : lags) EXPECT_NEAR(l, -1.0, 0.001);
 }
 
+// Regression: the clock-sync tolerance was a hard-coded magic 2 ms inside
+// match_lags_ms (with a comment claiming receivers could never precede
+// senders). It is now LagDetectorConfig::clock_sync_tolerance.
+TEST(LagDetector, ClockSyncToleranceIsConfigurable) {
+  // Receiver clock 4 ms behind the sender's: events appear 4 ms early.
+  const Trace tx = flash_trace(net::Direction::kOutgoing, 2'000'000, 5);
+  const Trace rx = flash_trace(net::Direction::kIncoming, 1'996'000, 5);
+
+  // Default 2 ms tolerance rejects a 4 ms-early receiver.
+  EXPECT_TRUE(measure_streaming_lag_ms(tx, rx).empty());
+
+  // Widening the tolerance admits the matches.
+  LagDetectorConfig wide;
+  wide.clock_sync_tolerance = millis(6);
+  const auto lags = measure_streaming_lag_ms(tx, rx, wide);
+  ASSERT_EQ(lags.size(), 5u);
+  for (double l : lags) EXPECT_NEAR(l, -4.0, 0.001);
+
+  // Zero tolerance rejects even a 1 ms-early receiver.
+  const Trace rx1 = flash_trace(net::Direction::kIncoming, 1'999'000, 5);
+  LagDetectorConfig strict;
+  strict.clock_sync_tolerance = SimDuration::zero();
+  EXPECT_TRUE(measure_streaming_lag_ms(tx, rx1, strict).empty());
+}
+
 TEST(LagDetector, DiscardsImplausiblyLateMatches) {
   // Receiver sees the flash 1.2 s later: beyond half the 2 s period.
   const Trace tx = flash_trace(net::Direction::kOutgoing, 2'000'000, 5);

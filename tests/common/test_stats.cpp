@@ -1,5 +1,6 @@
 #include <gtest/gtest.h>
 
+#include <algorithm>
 #include <stdexcept>
 #include <vector>
 
@@ -69,6 +70,32 @@ TEST(Quantile, UnsortedInput) {
 TEST(Quantile, Errors) {
   EXPECT_THROW(quantile({}, 0.5), std::invalid_argument);
   EXPECT_THROW(quantile({1.0}, 1.5), std::invalid_argument);
+}
+
+// Regression: EmpiricalCdf::inverse used to copy its (already sorted) sample
+// into quantile(), which re-sorted it on every call. quantile_sorted is the
+// no-copy path; it must agree with quantile() on arbitrary input.
+TEST(QuantileSorted, MatchesGeneralQuantile) {
+  std::vector<double> values = {9.5, -2.0, 4.25, 4.25, 0.0, 17.0, 3.1, -8.75, 6.0};
+  std::vector<double> sorted = values;
+  std::sort(sorted.begin(), sorted.end());
+  for (double q : {0.0, 0.01, 0.25, 0.5, 0.75, 0.9, 0.99, 1.0}) {
+    EXPECT_DOUBLE_EQ(quantile_sorted(sorted, q), quantile(values, q)) << "q=" << q;
+  }
+}
+
+TEST(QuantileSorted, Errors) {
+  EXPECT_THROW(quantile_sorted({}, 0.5), std::invalid_argument);
+  EXPECT_THROW(quantile_sorted({1.0}, -0.1), std::invalid_argument);
+  EXPECT_THROW(quantile_sorted({1.0}, 1.5), std::invalid_argument);
+}
+
+TEST(EmpiricalCdf, InverseAgreesWithQuantileOnSample) {
+  const std::vector<double> values = {3, 1, 4, 1, 5, 9, 2, 6, 5, 3, 5};
+  EmpiricalCdf cdf{values};
+  for (double q = 0.0; q <= 1.0; q += 0.05) {
+    EXPECT_DOUBLE_EQ(cdf.inverse(q), quantile(values, q)) << "q=" << q;
+  }
 }
 
 TEST(Median, OddAndEven) {

@@ -108,7 +108,11 @@ TEST_F(OrchestratorFixture, RunsFullSessionLifecycle) {
     EXPECT_TRUE(p2.in_meeting());
     EXPECT_EQ(platform->participant_count(host.meeting_id()), 3);
   };
-  plan.on_done = [&] { done_fired = true; };
+  plan.on_done = [&](const SessionOutcome& outcome) {
+    done_fired = true;
+    EXPECT_TRUE(outcome.ok);
+    EXPECT_TRUE(outcome.missing_participants.empty());
+  };
   SessionOrchestrator orchestrator{std::move(plan)};
   orchestrator.start();
   bed.run_all();
@@ -128,7 +132,7 @@ TEST_F(OrchestratorFixture, HostOnlySessionCompletes) {
   plan.host = &host;
   plan.media_duration = seconds(2);
   bool done = false;
-  plan.on_done = [&] { done = true; };
+  plan.on_done = [&](const SessionOutcome& outcome) { done = outcome.ok; };
   SessionOrchestrator orchestrator{std::move(plan)};
   orchestrator.start();
   bed.run_all();
@@ -138,6 +142,103 @@ TEST_F(OrchestratorFixture, HostOnlySessionCompletes) {
 TEST_F(OrchestratorFixture, RequiresHost) {
   SessionOrchestrator::Plan plan;
   EXPECT_THROW(SessionOrchestrator{std::move(plan)}, std::invalid_argument);
+}
+
+// Regression (join-timeout deadlock): a participant whose join workflow never
+// completes within the timeout used to leave finished_ false forever — the
+// media phase simply never started and on_done never fired. Now the session
+// fails, names the missing participants, and the event loop drains.
+TEST_F(OrchestratorFixture, JoinTimeoutFailsSessionAndReportsMissing) {
+  net::Host& host_vm = bed.create_vm(site_by_name("US-East"), 0);
+  net::Host& p1_vm = bed.create_vm(site_by_name("US-West"), 0);
+  net::Host& p2_vm = bed.create_vm(site_by_name("CH"), 0);
+  client::VcaClient host{host_vm, *platform, cfg(true)};
+  client::VcaClient p1{p1_vm, *platform, cfg(false)};
+  client::VcaClient p2{p2_vm, *platform, cfg(false)};
+
+  // The host's scripted workflow takes ~8.5 s (Webex); give the second
+  // participant a join step that can never beat the timeout — the analog of
+  // a join callback that never fires.
+  client::ClientController::Script script = client::default_script(platform::PlatformId::kWebex);
+
+  MetricsRegistry metrics;
+  bool done_fired = false;
+  bool joined_fired = false;
+  SessionOutcome seen;
+  SessionOrchestrator::Plan plan;
+  plan.host = &host;
+  plan.participants = {&p1, &p2};
+  plan.join_stagger = seconds(30);  // p2's join script starts after the timeout
+  plan.media_duration = seconds(5);
+  plan.join_timeout = seconds(25);
+  plan.script = script;
+  plan.metrics = &metrics;
+  plan.on_all_joined = [&] { joined_fired = true; };
+  plan.on_done = [&](const SessionOutcome& outcome) {
+    done_fired = true;
+    seen = outcome;
+  };
+  SessionOrchestrator orchestrator{std::move(plan)};
+  orchestrator.start();
+  bed.run_all();
+
+  EXPECT_TRUE(done_fired);
+  EXPECT_FALSE(joined_fired);
+  EXPECT_FALSE(seen.ok);
+  ASSERT_EQ(seen.missing_participants.size(), 1u);
+  EXPECT_EQ(seen.missing_participants[0], 1u);  // p2 never made it
+  EXPECT_TRUE(orchestrator.finished());
+  EXPECT_TRUE(orchestrator.timed_out());
+  EXPECT_FALSE(host.in_meeting());
+  EXPECT_FALSE(p1.in_meeting());
+  EXPECT_FALSE(p2.in_meeting());
+  EXPECT_EQ(metrics.counter("session.join_timeouts").value(), 1);
+  EXPECT_EQ(metrics.counter("session.completed").value(), 0);
+}
+
+TEST_F(OrchestratorFixture, JoinTimeoutDisabledKeepsLegacyBehaviour) {
+  net::Host& host_vm = bed.create_vm(site_by_name("US-East"), 0);
+  net::Host& p1_vm = bed.create_vm(site_by_name("US-West"), 0);
+  client::VcaClient host{host_vm, *platform, cfg(true)};
+  client::VcaClient p1{p1_vm, *platform, cfg(false)};
+
+  SessionOrchestrator::Plan plan;
+  plan.host = &host;
+  plan.participants = {&p1};
+  plan.media_duration = seconds(2);
+  plan.join_timeout = SimDuration::zero();
+  bool done = false;
+  plan.on_done = [&](const SessionOutcome& outcome) { done = outcome.ok; };
+  SessionOrchestrator orchestrator{std::move(plan)};
+  orchestrator.start();
+  bed.run_all();
+  EXPECT_TRUE(done);
+  EXPECT_FALSE(orchestrator.timed_out());
+}
+
+TEST_F(OrchestratorFixture, ControllerMetricsRecordJoins) {
+  net::Host& host_vm = bed.create_vm(site_by_name("US-East"), 0);
+  net::Host& p1_vm = bed.create_vm(site_by_name("US-West"), 0);
+  client::VcaClient host{host_vm, *platform, cfg(true)};
+  client::VcaClient p1{p1_vm, *platform, cfg(false)};
+
+  MetricsRegistry metrics;
+  SessionOrchestrator::Plan plan;
+  plan.host = &host;
+  plan.participants = {&p1};
+  plan.media_duration = seconds(2);
+  plan.metrics = &metrics;
+  SessionOrchestrator orchestrator{std::move(plan)};
+  orchestrator.start();
+  bed.run_all();
+
+  EXPECT_EQ(metrics.counter("client.meetings_created").value(), 1);
+  EXPECT_EQ(metrics.counter("client.joins").value(), 1);
+  EXPECT_EQ(metrics.counter("session.completed").value(), 1);
+  const auto& lat = metrics.histogram("client.join_latency_ms").stats();
+  ASSERT_EQ(lat.count(), 1u);
+  // The scripted Webex join path is launch+login+join = 8.5 s.
+  EXPECT_NEAR(lat.mean(), 8500.0, 1.0);
 }
 
 }  // namespace
