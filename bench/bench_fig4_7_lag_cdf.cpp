@@ -5,33 +5,58 @@
 // Paper anchors (Findings 1–2): US lags 20–50 ms (Zoom), 10–70 ms (Webex),
 // 40–70 ms (Meet); Europe lags 90–150 ms (Zoom), 75–90 ms (Webex),
 // 30–40 ms (Meet).
+//
+// Each (figure, platform) pair is one task on the parallel experiment
+// runner; a task runs its whole multi-session lag benchmark (the VMs must
+// persist across that config's sessions for Meet's endpoint stickiness) and
+// samples per-participant lag percentiles into the run report.
 #include <cstdio>
+#include <string>
+#include <unordered_map>
+#include <vector>
 
 #include "bench/bench_util.h"
 #include "core/lag_benchmark.h"
+#include "runner/experiment_runner.h"
 
 namespace {
 
-void run_scenario(const char* figure, const std::string& host, bool europe, bool paper) {
-  using namespace vc;
-  std::printf("--- %s: meeting host in %s ---\n", figure, host.c_str());
-  TextTable table{{"platform", "participant", "p10/p25/p50/p75/p90 lag (ms)", "samples"}};
-  for (const auto id : vcb::all_platforms()) {
-    core::LagBenchmarkConfig cfg;
-    cfg.platform = id;
-    cfg.host_site = host;
-    cfg.participant_sites =
-        europe ? core::europe_participant_sites(host) : core::us_participant_sites(host);
-    cfg.sessions = paper ? 20 : 6;
-    cfg.session_duration = paper ? seconds(120) : seconds(40);
-    cfg.seed = 7 + static_cast<std::uint64_t>(id);
-    const auto result = core::run_lag_benchmark(cfg);
-    for (const auto& p : result.participants) {
-      table.add_row({std::string(platform_name(id)), p.label, vcb::cdf_row(p.lags_ms),
-                     std::to_string(p.lags_ms.size())});
-    }
+using namespace vc;
+
+struct Scenario {
+  const char* figure;
+  const char* host;
+  bool europe;
+};
+
+constexpr Scenario kScenarios[] = {
+    {"Fig 4", "US-East", false},
+    {"Fig 5", "US-West", false},
+    {"Fig 6", "UK-West", true},
+    {"Fig 7", "CH", true},
+};
+
+struct Point {
+  const Scenario* scenario = nullptr;
+  platform::PlatformId id{};
+  std::string key;  // e.g. "Fig 4/Zoom"
+};
+
+constexpr double kQuantiles[] = {0.1, 0.25, 0.5, 0.75, 0.9};
+constexpr const char* kQuantileNames[] = {"p10", "p25", "p50", "p75", "p90"};
+
+/// Participant labels exactly as run_lag_benchmark derives them (site name,
+/// disambiguated with -2, -3... for repeated sites).
+std::vector<std::string> participant_labels(const Scenario& sc) {
+  const auto sites = sc.europe ? core::europe_participant_sites(sc.host)
+                               : core::us_participant_sites(sc.host);
+  std::unordered_map<std::string, int> site_use;
+  std::vector<std::string> labels;
+  for (const auto& site : sites) {
+    const int idx = site_use[site]++;
+    labels.push_back(idx == 0 ? site : site + "-" + std::to_string(idx + 1));
   }
-  std::printf("%s\n", table.render().c_str());
+  return labels;
 }
 
 }  // namespace
@@ -39,13 +64,79 @@ void run_scenario(const char* figure, const std::string& host, bool europe, bool
 int main(int argc, char** argv) {
   const bool paper = vcb::paper_scale(argc, argv);
   vcb::banner("Figs 4-7 — CDFs of streaming lag (percentile summaries)", paper);
-  run_scenario("Fig 4", "US-East", false, paper);
-  run_scenario("Fig 5", "US-West", false, paper);
-  run_scenario("Fig 6", "UK-West", true, paper);
-  run_scenario("Fig 7", "CH", true, paper);
+
+  std::vector<Point> points;
+  for (const auto& sc : kScenarios) {
+    for (const auto id : vcb::all_platforms()) {
+      points.push_back(
+          Point{&sc, id, std::string(sc.figure) + "/" + std::string(platform_name(id))});
+    }
+  }
+
+  const auto task = [&points, paper](runner::SessionContext& ctx) {
+    const Point& p = points[ctx.task_index];
+    core::LagBenchmarkConfig cfg;
+    cfg.platform = p.id;
+    cfg.host_site = p.scenario->host;
+    cfg.participant_sites = p.scenario->europe
+                                ? core::europe_participant_sites(cfg.host_site)
+                                : core::us_participant_sites(cfg.host_site);
+    cfg.sessions = paper ? 20 : 6;
+    cfg.session_duration = paper ? seconds(120) : seconds(40);
+    cfg.seed = ctx.seed;
+    cfg.metrics = &ctx.metrics;
+    const auto result = core::run_lag_benchmark(cfg);
+    for (const auto& part : result.participants) {
+      const std::string base = p.key + "/" + part.label;
+      for (std::size_t q = 0; q < std::size(kQuantiles); ++q) {
+        ctx.sample(base + "." + kQuantileNames[q],
+                   quantile(std::vector<double>(part.lags_ms), kQuantiles[q]));
+      }
+      ctx.sample(base + ".lag_samples", static_cast<double>(part.lags_ms.size()));
+    }
+  };
+
+  runner::ExperimentRunner::Config rc;
+  rc.base_seed = 7;
+  rc.label = "fig4_7_lag_cdf";
+  const auto report = runner::ExperimentRunner{rc}.run(points.size(), task);
+
+  for (const auto& sc : kScenarios) {
+    std::printf("--- %s: meeting host in %s ---\n", sc.figure, sc.host);
+    TextTable table{{"platform", "participant", "p10/p25/p50/p75/p90 lag (ms)", "samples"}};
+    const auto labels = participant_labels(sc);
+    for (const auto id : vcb::all_platforms()) {
+      for (const auto& label : labels) {
+        const std::string base =
+            std::string(sc.figure) + "/" + std::string(platform_name(id)) + "/" + label;
+        const auto* count = report.find_sample(base + ".lag_samples");
+        if (count == nullptr) continue;  // task failed; listed below
+        std::string row;
+        for (std::size_t q = 0; q < std::size(kQuantileNames); ++q) {
+          const auto* v = report.find_sample(base + "." + kQuantileNames[q]);
+          row += TextTable::num(v != nullptr ? v->mean() : 0.0, 1);
+          if (q + 1 < std::size(kQuantileNames)) row += "/";
+        }
+        table.add_row({std::string(platform_name(id)), label, row,
+                       std::to_string(static_cast<std::int64_t>(count->mean()))});
+      }
+    }
+    std::printf("%s\n", table.render().c_str());
+  }
+
   std::printf(
       "expected shapes: lag grows with distance from the host-side relay (Zoom/Webex);\n"
       "Webex relays everything via US-East (west-coast sessions detour); Meet is uniform\n"
-      "and lowest in Europe thanks to its distributed endpoints, but highest in the US.\n");
+      "and lowest in Europe thanks to its distributed endpoints, but highest in the US.\n\n");
+
+  std::printf("run: %zu tasks, %zu failures, %.2f s wall on %zu threads\n", report.sessions,
+              report.failures.size(), report.wall_seconds, report.threads);
+  for (const auto& [idx, what] : report.failures) {
+    std::printf("  task %zu (%s) failed: %s\n", idx, points[idx].key.c_str(), what.c_str());
+  }
+  const std::string out_path = "bench_fig4_7_lag_cdf.report.json";
+  if (runner::write_text_file(out_path, report.to_json())) {
+    std::printf("report written to %s\n", out_path.c_str());
+  }
   return 0;
 }

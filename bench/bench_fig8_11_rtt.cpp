@@ -6,44 +6,55 @@
 // single-digit RTTs and US-West clients ~60-70 ms; Meet RTTs are uniformly
 // low (distributed endpoints); Zoom's Europe RTTs split into three bands
 // ~20/40 ms apart (regional load balancing); Webex's stay trans-Atlantic.
+//
+// Each (figure, platform) pair is one task on the parallel experiment
+// runner; a task runs its whole multi-session lag benchmark (VMs persist
+// across that config's sessions for Meet's endpoint stickiness) and samples
+// every per-session mean probe RTT into the run report, so the table shows
+// each participant's RTT spread across sessions.
 #include <cstdio>
+#include <string>
+#include <unordered_map>
+#include <vector>
 
 #include "bench/bench_util.h"
 #include "core/lag_benchmark.h"
+#include "runner/experiment_runner.h"
 
 namespace {
 
-void run_scenario(const char* figure, const std::string& host, bool europe, bool paper) {
-  using namespace vc;
-  std::printf("--- %s: meeting host in %s ---\n", figure, host.c_str());
-  TextTable table{{"platform", "participant", "per-session mean RTTs (ms)", "min/max (ms)"}};
-  for (const auto id : vcb::all_platforms()) {
-    core::LagBenchmarkConfig cfg;
-    cfg.platform = id;
-    cfg.host_site = host;
-    cfg.participant_sites =
-        europe ? core::europe_participant_sites(host) : core::us_participant_sites(host);
-    cfg.sessions = paper ? 20 : 6;
-    cfg.session_duration = paper ? seconds(120) : seconds(40);
-    cfg.seed = 11 + static_cast<std::uint64_t>(id);
-    const auto result = core::run_lag_benchmark(cfg);
-    for (const auto& p : result.participants) {
-      std::string rtts;
-      double lo = 1e9;
-      double hi = 0;
-      for (std::size_t s = 0; s < p.session_rtt_ms.size(); ++s) {
-        if (s > 0) rtts += " ";
-        rtts += TextTable::num(p.session_rtt_ms[s], 0);
-        lo = std::min(lo, p.session_rtt_ms[s]);
-        hi = std::max(hi, p.session_rtt_ms[s]);
-      }
-      table.add_row({std::string(platform_name(id)), p.label, rtts,
-                     p.session_rtt_ms.empty()
-                         ? "-"
-                         : TextTable::num(lo, 1) + " / " + TextTable::num(hi, 1)});
-    }
+using namespace vc;
+
+struct Scenario {
+  const char* figure;
+  const char* host;
+  bool europe;
+};
+
+constexpr Scenario kScenarios[] = {
+    {"Fig 8", "US-East", false},
+    {"Fig 9", "US-West", false},
+    {"Fig 10", "UK-West", true},
+    {"Fig 11", "CH", true},
+};
+
+struct Point {
+  const Scenario* scenario = nullptr;
+  platform::PlatformId id{};
+  std::string key;  // e.g. "Fig 8/Zoom"
+};
+
+/// Participant labels exactly as run_lag_benchmark derives them.
+std::vector<std::string> participant_labels(const Scenario& sc) {
+  const auto sites = sc.europe ? core::europe_participant_sites(sc.host)
+                               : core::us_participant_sites(sc.host);
+  std::unordered_map<std::string, int> site_use;
+  std::vector<std::string> labels;
+  for (const auto& site : sites) {
+    const int idx = site_use[site]++;
+    labels.push_back(idx == 0 ? site : site + "-" + std::to_string(idx + 1));
   }
-  std::printf("%s\n", table.render().c_str());
+  return labels;
 }
 
 }  // namespace
@@ -51,9 +62,70 @@ void run_scenario(const char* figure, const std::string& host, bool europe, bool
 int main(int argc, char** argv) {
   const bool paper = vcb::paper_scale(argc, argv);
   vcb::banner("Figs 8-11 — service proximity (RTT to discovered endpoints)", paper);
-  run_scenario("Fig 8", "US-East", false, paper);
-  run_scenario("Fig 9", "US-West", false, paper);
-  run_scenario("Fig 10", "UK-West", true, paper);
-  run_scenario("Fig 11", "CH", true, paper);
+
+  std::vector<Point> points;
+  for (const auto& sc : kScenarios) {
+    for (const auto id : vcb::all_platforms()) {
+      points.push_back(
+          Point{&sc, id, std::string(sc.figure) + "/" + std::string(platform_name(id))});
+    }
+  }
+
+  const auto task = [&points, paper](runner::SessionContext& ctx) {
+    const Point& p = points[ctx.task_index];
+    core::LagBenchmarkConfig cfg;
+    cfg.platform = p.id;
+    cfg.host_site = p.scenario->host;
+    cfg.participant_sites = p.scenario->europe
+                                ? core::europe_participant_sites(cfg.host_site)
+                                : core::us_participant_sites(cfg.host_site);
+    cfg.sessions = paper ? 20 : 6;
+    cfg.session_duration = paper ? seconds(120) : seconds(40);
+    cfg.seed = ctx.seed;
+    cfg.metrics = &ctx.metrics;
+    const auto result = core::run_lag_benchmark(cfg);
+    for (const auto& part : result.participants) {
+      const std::string base = p.key + "/" + part.label;
+      for (const double rtt : part.session_rtt_ms) ctx.sample(base + ".rtt_ms", rtt);
+      ctx.sample(base + ".endpoints", static_cast<double>(part.distinct_endpoints));
+    }
+  };
+
+  runner::ExperimentRunner::Config rc;
+  rc.base_seed = 11;
+  rc.label = "fig8_11_rtt";
+  const auto report = runner::ExperimentRunner{rc}.run(points.size(), task);
+
+  for (const auto& sc : kScenarios) {
+    std::printf("--- %s: meeting host in %s ---\n", sc.figure, sc.host);
+    TextTable table{{"platform", "participant", "sessions", "mean RTT (ms)", "min/max (ms)"}};
+    const auto labels = participant_labels(sc);
+    for (const auto id : vcb::all_platforms()) {
+      for (const auto& label : labels) {
+        const std::string base =
+            std::string(sc.figure) + "/" + std::string(platform_name(id)) + "/" + label;
+        const auto* endpoints = report.find_sample(base + ".endpoints");
+        if (endpoints == nullptr) continue;  // task failed; listed below
+        const auto* rtt = report.find_sample(base + ".rtt_ms");
+        table.add_row({std::string(platform_name(id)), label,
+                       std::to_string(rtt != nullptr ? rtt->count() : 0),
+                       rtt != nullptr ? TextTable::num(rtt->mean(), 1) : "-",
+                       rtt != nullptr ? TextTable::num(rtt->min(), 1) + " / " +
+                                            TextTable::num(rtt->max(), 1)
+                                      : "-"});
+      }
+    }
+    std::printf("%s\n", table.render().c_str());
+  }
+
+  std::printf("run: %zu tasks, %zu failures, %.2f s wall on %zu threads\n", report.sessions,
+              report.failures.size(), report.wall_seconds, report.threads);
+  for (const auto& [idx, what] : report.failures) {
+    std::printf("  task %zu (%s) failed: %s\n", idx, points[idx].key.c_str(), what.c_str());
+  }
+  const std::string out_path = "bench_fig8_11_rtt.report.json";
+  if (runner::write_text_file(out_path, report.to_json())) {
+    std::printf("report written to %s\n", out_path.c_str());
+  }
   return 0;
 }

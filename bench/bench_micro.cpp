@@ -1,8 +1,16 @@
 // Microbenchmarks (google-benchmark) for the hot paths of the harness:
-// codec encode/decode, QoE metrics, audio pipeline, event loop, shaper.
+// codec encode/decode, QoE metrics, audio pipeline, event loop, relay
+// fan-out, shaper.
+//
+// The event-loop and fan-out benchmarks below are the perf gate for the
+// discrete-event core: `cmake --build build --target bench-report` (or
+// `make bench-report`) runs them with a JSON reporter and writes
+// build/BENCH_PR2.json; the repo-root BENCH_PR2.json records the measured
+// before/after trajectory of the slab-allocated core.
 #include <benchmark/benchmark.h>
 
 #include <memory>
+#include <vector>
 
 #include "media/audio.h"
 #include "media/feeds.h"
@@ -10,7 +18,10 @@
 #include "media/qoe/video_metrics.h"
 #include "media/video_codec.h"
 #include "net/event_loop.h"
+#include "net/latency.h"
+#include "net/network.h"
 #include "net/shaper.h"
+#include "platform/relay.h"
 
 namespace {
 
@@ -86,6 +97,118 @@ void BM_EventLoopChurn(benchmark::State& state) {
   state.SetItemsProcessed(state.iterations() * 1000);
 }
 BENCHMARK(BM_EventLoopChurn);
+
+// Steady-state scheduling: a fixed population of self-rescheduling timers
+// (the shape of media ticks, probe cadences and feedback loops). Dominated
+// by one schedule + one pop per fired event — the discrete-event hot path.
+void BM_EventLoopSteadyState(benchmark::State& state) {
+  const int timers = static_cast<int>(state.range(0));
+  constexpr int kTicksPerTimer = 200;
+  for (auto _ : state) {
+    net::EventLoop loop;
+    std::int64_t fired = 0;
+    std::vector<std::function<void()>> ticks(static_cast<std::size_t>(timers));
+    for (int i = 0; i < timers; ++i) {
+      ticks[static_cast<std::size_t>(i)] = [&loop, &fired, &tick = ticks[static_cast<std::size_t>(i)],
+                                            timers] {
+        if (++fired < static_cast<std::int64_t>(timers) * kTicksPerTimer) {
+          loop.schedule_after(millis(20), tick);
+        }
+      };
+      loop.schedule_after(millis(20), ticks[static_cast<std::size_t>(i)]);
+    }
+    loop.run();
+    benchmark::DoNotOptimize(fired);
+  }
+  state.SetItemsProcessed(state.iterations() * timers * kTicksPerTimer);
+}
+BENCHMARK(BM_EventLoopSteadyState)->Arg(8)->Arg(64);
+
+// Schedule-then-cancel churn: half the scheduled events are cancelled before
+// they fire (retransmit timers, join timeouts, tick epochs).
+void BM_EventLoopCancelChurn(benchmark::State& state) {
+  constexpr int kEvents = 1000;
+  for (auto _ : state) {
+    net::EventLoop loop;
+    int counter = 0;
+    std::vector<net::EventId> ids;
+    ids.reserve(kEvents);
+    for (int i = 0; i < kEvents; ++i) {
+      ids.push_back(loop.schedule_at(SimTime{i * 100}, [&counter] { ++counter; }));
+    }
+    for (int i = 0; i < kEvents; i += 2) loop.cancel(ids[static_cast<std::size_t>(i)]);
+    loop.run();
+    benchmark::DoNotOptimize(counter);
+  }
+  state.SetItemsProcessed(state.iterations() * kEvents);
+}
+BENCHMARK(BM_EventLoopCancelChurn);
+
+// The relay fan-out path end to end: N participants in one meeting, every
+// ingested media packet forwarded to N-1 receivers through the jittered
+// per-destination departure pipeline, then delivered over the network. This
+// is the profile-dominating loop of every large-N sweep.
+void BM_RelayFanout(benchmark::State& state) {
+  const int n = static_cast<int>(state.range(0));
+  constexpr int kPacketsPerSender = 50;
+  for (auto _ : state) {
+    net::Network net{std::make_unique<net::FixedLatencyModel>(millis(5)), 1};
+    platform::RelayServer relay{net, "relay", GeoPoint{38.9, -77.4}, 8801,
+                                platform::RelayServer::ForwardingDelay{millis(2), 1.0}};
+    std::int64_t received = 0;
+    std::vector<net::Host*> clients;
+    for (int i = 0; i < n; ++i) {
+      net::Host& h = net.add_host("c" + std::to_string(i), GeoPoint{40.0, -75.0});
+      h.udp_bind(100).on_receive([&received](const net::Packet&) { ++received; });
+      relay.add_participant(1, static_cast<platform::ParticipantId>(i + 1), {h.ip(), 100});
+      clients.push_back(&h);
+    }
+    // Everyone streams one frame-sized packet per tick, 20 ms apart.
+    for (int t = 0; t < kPacketsPerSender; ++t) {
+      for (int i = 0; i < n; ++i) {
+        net.loop().schedule_at(SimTime{t * 20'000}, [&relay, &clients, i] {
+          net::Packet p;
+          p.dst = relay.endpoint();
+          p.l7_len = 1100;
+          p.kind = net::StreamKind::kVideo;
+          p.origin_id = static_cast<std::uint32_t>(i + 1);
+          clients[static_cast<std::size_t>(i)]->udp_socket(100)->send(std::move(p));
+        });
+      }
+    }
+    net.loop().run();
+    benchmark::DoNotOptimize(received);
+  }
+  // Copies forwarded per iteration: senders × packets × (n-1) receivers.
+  state.SetItemsProcessed(state.iterations() * n * kPacketsPerSender * (n - 1));
+}
+BENCHMARK(BM_RelayFanout)->Arg(10)->Arg(30);
+
+// Same-destination burst delivery: many packets injected for one receiver at
+// one simulated instant — the best case for batched (dst, tick) delivery.
+void BM_NetworkBurstDelivery(benchmark::State& state) {
+  constexpr int kBurst = 64;
+  constexpr int kBursts = 100;
+  for (auto _ : state) {
+    net::Network net{std::make_unique<net::FixedLatencyModel>(millis(5)), 1};
+    net::Host& src = net.add_host("src", GeoPoint{40.0, -75.0});
+    net::Host& dst = net.add_host("dst", GeoPoint{38.9, -77.4});
+    auto& sock = src.udp_bind(200);
+    std::int64_t received = 0;
+    dst.udp_bind(100).on_receive([&received](const net::Packet&) { ++received; });
+    for (int b = 0; b < kBursts; ++b) {
+      net.loop().schedule_at(SimTime{b * 10'000}, [&sock, &dst] {
+        for (int i = 0; i < kBurst; ++i) {
+          sock.send_to({dst.ip(), 100}, 1100, net::StreamKind::kVideo);
+        }
+      });
+    }
+    net.loop().run();
+    benchmark::DoNotOptimize(received);
+  }
+  state.SetItemsProcessed(state.iterations() * kBurst * kBursts);
+}
+BENCHMARK(BM_NetworkBurstDelivery);
 
 void BM_ShaperThroughput(benchmark::State& state) {
   for (auto _ : state) {

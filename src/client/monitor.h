@@ -32,6 +32,11 @@ class ClientMonitor {
   /// the heaviest streaming endpoint in the capture so far and probes it.
   void start_active_probing();
 
+  /// Forwards to the prober's metrics under `<prefix>.probe.*`.
+  void attach_metrics(MetricsRegistry& registry, const std::string& prefix = "monitor") {
+    prober_.attach_metrics(registry, prefix + ".probe");
+  }
+
   /// The capture so far (the paper dumps this to a file for offline
   /// analysis; see capture::write_trace_file).
   capture::Trace trace() const { return capture_.trace(); }

@@ -10,9 +10,20 @@ RttProber::RttProber(net::Host& host) : host_(host) {
     if (pkt.kind != net::StreamKind::kProbeReply) return;
     auto it = outstanding_.find(pkt.seq);
     if (it == outstanding_.end()) return;
-    rtts_ms_.push_back((host_.network().now() - it->second).millis());
+    const double rtt_ms = (host_.network().now() - it->second).millis();
+    rtts_ms_.push_back(rtt_ms);
+    if (m_answered_ != nullptr) {
+      m_answered_->inc();
+      m_rtt_ms_->observe(rtt_ms);
+    }
     outstanding_.erase(it);
   });
+}
+
+void RttProber::attach_metrics(MetricsRegistry& registry, const std::string& prefix) {
+  m_sent_ = &registry.counter(prefix + ".sent");
+  m_answered_ = &registry.counter(prefix + ".answered");
+  m_rtt_ms_ = &registry.histogram(prefix + ".rtt_ms");
 }
 
 RttProber::~RttProber() { host_.udp_close(socket_->port()); }
@@ -41,6 +52,7 @@ void RttProber::tick() {
   probe.seq = seq;
   socket_->send(std::move(probe));
   ++sent_;
+  if (m_sent_ != nullptr) m_sent_->inc();
   --remaining_;
   host_.network().loop().schedule_after(interval_, [this] { tick(); });
 }

@@ -4,9 +4,11 @@
 #pragma once
 
 #include <cstdint>
+#include <string>
 #include <unordered_map>
 #include <vector>
 
+#include "common/metrics.h"
 #include "common/time.h"
 #include "net/network.h"
 
@@ -22,6 +24,10 @@ class RttProber {
   /// Sends `count` probes to `target`, one every `interval`.
   void start(net::Endpoint target, SimDuration interval, int count);
   void stop();
+
+  /// Mirrors probing into `<prefix>.sent` / `<prefix>.answered` counters and
+  /// a `<prefix>.rtt_ms` histogram (ROADMAP: RTT prober metrics).
+  void attach_metrics(MetricsRegistry& registry, const std::string& prefix = "probe");
 
   const std::vector<double>& rtts_ms() const { return rtts_ms_; }
   double average_ms() const;
@@ -41,6 +47,9 @@ class RttProber {
   std::uint64_t next_seq_ = 1;
   std::unordered_map<std::uint64_t, SimTime> outstanding_;
   std::vector<double> rtts_ms_;
+  MetricsRegistry::Counter* m_sent_ = nullptr;
+  MetricsRegistry::Counter* m_answered_ = nullptr;
+  MetricsRegistry::Histogram* m_rtt_ms_ = nullptr;
 };
 
 }  // namespace vc::client

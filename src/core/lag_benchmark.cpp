@@ -52,6 +52,10 @@ LagBenchmarkResult run_lag_benchmark(const LagBenchmarkConfig& config) {
   } else {
     platform = platform::make_platform(config.platform, bed.network(), config.seed ^ 0xABC);
   }
+  if (config.metrics != nullptr) {
+    bed.network().attach_metrics(*config.metrics);
+    platform->set_metrics(config.metrics);
+  }
 
   // Provision VMs once; they persist across sessions (Meet endpoint
   // stickiness is keyed to the client VM's address).
@@ -104,12 +108,14 @@ LagBenchmarkResult run_lag_benchmark(const LagBenchmarkConfig& config) {
       mon_cfg.clock_offset = bed.clock_offset(*part_vms[i]);
       mon_cfg.probe_count = static_cast<int>(config.session_duration.seconds()) - 20;
       monitors.push_back(std::make_unique<client::ClientMonitor>(*part_vms[i], mon_cfg));
+      if (config.metrics != nullptr) monitors.back()->attach_metrics(*config.metrics);
     }
 
     testbed::SessionOrchestrator::Plan plan;
     plan.host = &host_client;
     for (auto& p : participants) plan.participants.push_back(p.get());
     plan.media_duration = config.session_duration;
+    plan.metrics = config.metrics;
     plan.on_all_joined = [&] {
       feeder.play_video(feed, config.session_duration);
       for (auto& m : monitors) m->start_active_probing();

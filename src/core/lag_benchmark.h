@@ -12,6 +12,7 @@
 #include <vector>
 
 #include "capture/trace.h"
+#include "common/metrics.h"
 #include "common/stats.h"
 #include "platform/base_platform.h"
 
@@ -34,6 +35,10 @@ struct LagBenchmarkConfig {
   int feed_height = 96;
   double fps = 10.0;
   std::uint64_t seed = 1;
+  /// Optional sink for instrumentation: the network/event core, platform,
+  /// session orchestrator and client monitors attach here, so runner-based
+  /// sweeps get event-loop, delivery-batch and RTT-probe metrics per task.
+  MetricsRegistry* metrics = nullptr;
 };
 
 /// Per-participant-VM aggregate across all sessions.

@@ -3,7 +3,6 @@
 #include <algorithm>
 #include <map>
 #include <cmath>
-#include <mutex>
 #include <numbers>
 #include <numeric>
 #include <stdexcept>
@@ -15,12 +14,11 @@ namespace {
 // norm(k) * cos(pi (i+0.5) k / n). O(N^2) transforms with no trig in the
 // inner loop (the naive per-sample std::cos dominated whole benchmark runs).
 const std::vector<std::vector<double>>& dct_basis(std::size_t n) {
-  // Shared across all sessions, including ones running concurrently on an
-  // ExperimentRunner pool — guard it. Returned references stay valid: map
-  // nodes are stable and entries are never erased.
-  static std::mutex mutex;
-  static std::map<std::size_t, std::vector<std::vector<double>>> cache;
-  std::lock_guard<std::mutex> lock{mutex};
+  // Per-thread cache: sessions running concurrently on an ExperimentRunner
+  // pool each rebuild the handful of bases they use instead of contending on
+  // a mutex — this was the last lock on the codec path. Returned references
+  // stay valid: map nodes are stable and entries are never erased.
+  thread_local std::map<std::size_t, std::vector<std::vector<double>>> cache;
   auto it = cache.find(n);
   if (it != cache.end()) return it->second;
   std::vector<std::vector<double>> basis(n, std::vector<double>(n));

@@ -1,39 +1,104 @@
 #include "net/event_loop.h"
 
-#include <stdexcept>
-#include <utility>
+#include <algorithm>
 
 namespace vc::net {
 
-EventId EventLoop::schedule_at(SimTime at, std::function<void()> fn) {
-  if (!fn) throw std::invalid_argument{"null event callback"};
-  if (at < now_) at = now_;
-  const EventId id = next_id_++;
-  queue_.push(Entry{at, id});
-  callbacks_.emplace(id, std::move(fn));
-  return id;
+namespace {
+
+// Min ordering on (at_us, id): ids embed the monotonic schedule counter in
+// their high bits, so the tie-break keeps simultaneous events FIFO. Entries
+// are 16 bytes — four per cache line — which is what keeps deep sifts cheap.
+bool fires_before(const auto& a, const auto& b) {
+  if (a.at_us != b.at_us) return a.at_us < b.at_us;
+  return a.id < b.id;
 }
 
-EventId EventLoop::schedule_after(SimDuration delay, std::function<void()> fn) {
-  return schedule_at(now_ + delay, std::move(fn));
+}  // namespace
+
+// Hand-rolled binary min-heap. Layout: children of i are 2i+1, 2i+2.
+
+void EventLoop::push_heap_entry() {
+  std::size_t i = heap_.size() - 1;
+  const HeapEntry e = heap_[i];
+  while (i > 0) {
+    const std::size_t parent = (i - 1) >> 1;
+    if (!fires_before(e, heap_[parent])) break;
+    heap_[i] = heap_[parent];
+    i = parent;
+  }
+  heap_[i] = e;
+}
+
+void EventLoop::pop_heap_entry() {
+  // Like std::pop_heap: moves the minimum to heap_.back(), restoring the
+  // heap property on the first n-1 elements. Bottom-up variant: walk the
+  // hole to a leaf along the min-child path without comparing against the
+  // displaced tail element, then bubble that element up from the leaf. In
+  // the loop's steady state the tail is the most recently scheduled (thus
+  // max-seq) entry, so the bubble-up almost always terminates immediately —
+  // saving the per-level "done yet?" comparison a top-down sift pays.
+  const std::size_t n = heap_.size() - 1;
+  const HeapEntry top = heap_[0];
+  if (n > 0) {
+    const HeapEntry e = heap_[n];
+    std::size_t i = 0;
+    for (;;) {
+      std::size_t child = (i << 1) + 1;
+      if (child >= n) break;
+      const std::size_t right = child + 1;
+      if (right < n && fires_before(heap_[right], heap_[child])) child = right;
+      heap_[i] = heap_[child];
+      i = child;
+    }
+    while (i > 0) {
+      const std::size_t parent = (i - 1) >> 1;
+      if (!fires_before(e, heap_[parent])) break;
+      heap_[i] = heap_[parent];
+      i = parent;
+    }
+    heap_[i] = e;
+  }
+  heap_[n] = top;
 }
 
 void EventLoop::cancel(EventId id) {
-  if (callbacks_.erase(id) > 0) cancelled_.insert(id);
+  const std::uint32_t slot = static_cast<std::uint32_t>(id) & kSlotMask;
+  if (slot >= slot_count_) return;
+  Slot& s = slot_ref(slot);
+  if (s.id != id) return;  // already fired/cancelled, or the slot was reused
+  release_slot(slot);
+  // The heap record stays behind; its id no longer matches the slot, so
+  // execute_ready() discards it when it surfaces.
 }
 
 void EventLoop::execute_ready(SimTime until) {
-  while (!queue_.empty() && queue_.top().at <= until) {
-    const Entry e = queue_.top();
-    queue_.pop();
-    if (cancelled_.erase(e.id) > 0) continue;
-    auto it = callbacks_.find(e.id);
-    if (it == callbacks_.end()) continue;
-    auto fn = std::move(it->second);
-    callbacks_.erase(it);
-    now_ = e.at;
+  const std::int64_t until_us = until.micros();
+  while (!heap_.empty() && heap_.front().at_us <= until_us) {
+    pop_heap_entry();
+    const HeapEntry e = heap_.back();
+    heap_.pop_back();
+    const std::uint32_t slot = static_cast<std::uint32_t>(e.id) & kSlotMask;
+    Slot& s = slot_ref(slot);
+    if (s.id != e.id) continue;  // cancelled
+    // Disarm, then invoke in place — no move of the callback. The slot is
+    // off the free list during the call so it cannot be reused under us,
+    // cancel() of this event's id is already inert, and chunked slot storage
+    // means a callback that grows the slab never relocates itself.
+    s.id = 0;
+    --pending_;
+    now_ = SimTime{e.at_us};
     ++executed_;
-    fn();
+    if (m_executed_ != nullptr) m_executed_->inc();
+    try {
+      s.fn.invoke();
+    } catch (...) {
+      s.fn.reset();
+      free_slots_.push_back(slot);
+      throw;
+    }
+    s.fn.reset();
+    free_slots_.push_back(slot);
   }
 }
 
@@ -42,6 +107,12 @@ void EventLoop::run() { execute_ready(SimTime::infinity()); }
 void EventLoop::run_until(SimTime until) {
   execute_ready(until);
   if (now_ < until) now_ = until;
+}
+
+void EventLoop::attach_metrics(MetricsRegistry& registry, const std::string& prefix) {
+  m_executed_ = &registry.counter(prefix + ".events_executed");
+  m_depth_hwm_ = &registry.gauge(prefix + ".queue_depth_hwm");
+  m_depth_hwm_->set(static_cast<double>(depth_high_water_));
 }
 
 }  // namespace vc::net

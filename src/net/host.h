@@ -28,6 +28,15 @@ enum class Direction : std::uint8_t { kOutgoing = 0, kIncoming = 1 };
 /// Observes packets crossing a host's interface, like tcpdump.
 using PacketTap = std::function<void(Direction, const Packet&, SimTime)>;
 
+/// An open delivery batch: all packets bound for one host at one simulated
+/// microsecond, riding a single scheduled event (see network.h). The event
+/// closure holds shared ownership; `sealed` flips when it fires so handlers
+/// running at that tick can't append to a batch already being drained.
+struct DeliveryBatch {
+  std::vector<Packet> packets;
+  bool sealed = false;
+};
+
 /// A bound UDP socket. Created via Host::udp_bind; destroyed with the host
 /// or via Host::udp_close.
 class UdpSocket {
@@ -97,8 +106,15 @@ class Host {
   void deliver(Packet pkt);
 
  private:
+  friend class Network;
+
   void dispatch(Packet pkt);
   void run_taps(Direction dir, const Packet& pkt);
+
+  // Most recently opened inbound delivery batch, kept inline so Network's
+  // send path needs no hash lookup. -1 tick = no batch ever opened.
+  std::shared_ptr<DeliveryBatch> open_batch_;
+  std::int64_t open_batch_tick_ = -1;
 
   Network& network_;
   std::string name_;

@@ -25,6 +25,11 @@ Host* Network::host(IpAddr ip) {
   return it == by_ip_.end() ? nullptr : it->second;
 }
 
+void Network::attach_metrics(MetricsRegistry& registry, const std::string& prefix) {
+  loop_.attach_metrics(registry, prefix + ".loop");
+  m_batch_pkts_ = &registry.histogram(prefix + ".delivery_batch_pkts");
+}
+
 void Network::send(Host& from, Packet pkt) {
   pkt.sent_at = now();
   ++stats_.packets_sent;
@@ -42,10 +47,43 @@ void Network::send(Host& from, Packet pkt) {
     return;
   }
   const SimDuration delay = latency_->one_way(from.location(), dst->location(), rng_);
-  loop_.schedule_after(delay, [this, dst, p = std::move(pkt)]() mutable {
-    ++stats_.packets_delivered;
-    dst->deliver(std::move(p));
+  const SimTime arrival = now() + delay;
+
+  // Coalesce onto the destination's open delivery batch when the arrival
+  // tick matches; otherwise schedule a fresh batch event. Only the most
+  // recently opened batch per destination is joinable — if jitter interleaves
+  // ticks, an older same-tick batch just fires separately, earlier in FIFO
+  // order, so per-destination arrival order still equals send order (exactly
+  // what per-packet scheduling produced). Keeping the one open batch inline
+  // in Host makes the common case a pointer compare, no hash lookup.
+  const std::int64_t tick = arrival.micros();
+  if (dst->open_batch_tick_ == tick && !dst->open_batch_->sealed) {
+    dst->open_batch_->packets.push_back(std::move(pkt));
+    return;
+  }
+  auto batch = std::make_shared<DeliveryBatch>();
+  batch->packets.push_back(std::move(pkt));
+  dst->open_batch_ = batch;
+  dst->open_batch_tick_ = tick;
+  loop_.schedule_at(arrival, [this, dst, batch] {
+    batch->sealed = true;  // handlers running now may send more to this tick
+    if (dst->open_batch_ == batch) {
+      dst->open_batch_.reset();
+      dst->open_batch_tick_ = -1;
+    }
+    deliver_batch(*dst, *batch);
   });
+}
+
+void Network::deliver_batch(Host& dst, DeliveryBatch& batch) {
+  ++stats_.delivery_batches;
+  if (m_batch_pkts_ != nullptr) {
+    m_batch_pkts_->observe(static_cast<double>(batch.packets.size()));
+  }
+  for (Packet& p : batch.packets) {
+    ++stats_.packets_delivered;
+    dst.deliver(std::move(p));
+  }
 }
 
 }  // namespace vc::net

@@ -25,18 +25,33 @@ void RelayServer::attach_metrics(MetricsRegistry& registry, const std::string& p
   m_probes_answered_ = &registry.counter(prefix + ".probes_answered");
   m_control_forwarded_ = &registry.counter(prefix + ".control_forwarded");
   m_fan_out_ = &registry.histogram(prefix + ".fan_out");
+  m_departure_batch_pkts_ = &registry.histogram(prefix + ".departure_batch_pkts");
 }
 
-void RelayServer::send_delayed(net::Packet pkt) {
+void RelayServer::send_delayed(net::Packet pkt, Departure& dep) {
   const SimDuration d =
       delay_.base + millis_f(network_.rng().exponential(delay_.jitter_mean_ms));
   SimTime departure = network_.now() + d;
   // FIFO per destination: a later packet never departs before an earlier one.
-  SimTime& floor_time = next_departure_[pkt.dst];
-  if (departure < floor_time) departure = floor_time;
-  floor_time = departure;
-  network_.loop().schedule_at(departure, [this, p = std::move(pkt)]() mutable {
-    socket_->send(std::move(p));
+  // Under load the floor dominates the jittered delay, so consecutive
+  // packets to one receiver collapse onto the same tick — those ride the
+  // destination's open batch instead of scheduling fresh events.
+  if (departure < dep.floor) departure = dep.floor;
+  dep.floor = departure;
+  if (dep.open && !dep.open->sealed && dep.open_tick == departure) {
+    dep.open->packets.push_back(std::move(pkt));
+    return;
+  }
+  auto batch = std::make_shared<DepartureBatch>();
+  batch->packets.push_back(std::move(pkt));
+  dep.open = batch;
+  dep.open_tick = departure;
+  network_.loop().schedule_at(departure, [this, batch] {
+    batch->sealed = true;
+    if (m_departure_batch_pkts_ != nullptr) {
+      m_departure_batch_pkts_->observe(static_cast<double>(batch->packets.size()));
+    }
+    for (net::Packet& p : batch->packets) socket_->send(std::move(p));
   });
 }
 
@@ -46,7 +61,10 @@ void RelayServer::add_participant(MeetingId meeting, ParticipantId id,
   for (const auto& p : m.participants) {
     if (p.id == id) return;  // idempotent re-registration
   }
-  m.participants.push_back(Participant{id, client_endpoint, {}});
+  Participant p;
+  p.id = id;
+  p.endpoint = client_endpoint;
+  m.participants.push_back(std::move(p));
   by_sender_[client_endpoint] = {meeting, id};
 }
 
@@ -57,6 +75,9 @@ void RelayServer::remove_participant(MeetingId meeting, ParticipantId id) {
   for (const auto& p : parts) {
     if (p.id == id) by_sender_.erase(p.endpoint);
   }
+  // In-flight batches keep their own (shared) packet storage; erasing the
+  // record only drops the departure pipeline state (FIFO floor + open-batch
+  // handle), which no longer matters once the destination is gone.
   std::erase_if(parts, [id](const Participant& p) { return p.id == id; });
 }
 
@@ -64,8 +85,9 @@ void RelayServer::remove_meeting(MeetingId meeting) {
   auto it = meetings_.find(meeting);
   if (it == meetings_.end()) return;
   for (const auto& p : it->second.participants) by_sender_.erase(p.endpoint);
-  for (RelayServer* peer : it->second.peers) by_peer_.erase(peer->endpoint());
+  for (const PeerLink& pl : it->second.peers) by_peer_.erase(pl.relay->endpoint());
   // Note: peers unlink us independently via their own remove_meeting.
+  // Erasing the meeting reclaims all its departure pipeline state too.
   meetings_.erase(it);
 }
 
@@ -85,15 +107,19 @@ void RelayServer::set_subscriptions(MeetingId meeting, ParticipantId receiver,
 void RelayServer::link_peer(MeetingId meeting, RelayServer* peer) {
   if (peer == nullptr || peer == this) return;
   Meeting& m = meetings_[meeting];
-  if (std::find(m.peers.begin(), m.peers.end(), peer) != m.peers.end()) return;
-  m.peers.push_back(peer);
+  for (const PeerLink& pl : m.peers) {
+    if (pl.relay == peer) return;
+  }
+  PeerLink link;
+  link.relay = peer;
+  m.peers.push_back(std::move(link));
   by_peer_[peer->endpoint()] = meeting;
 }
 
 void RelayServer::unlink_peer(MeetingId meeting, RelayServer* peer) {
   auto it = meetings_.find(meeting);
   if (it == meetings_.end() || peer == nullptr) return;
-  std::erase(it->second.peers, peer);
+  std::erase_if(it->second.peers, [peer](const PeerLink& pl) { return pl.relay == peer; });
   by_peer_.erase(peer->endpoint());
 }
 
@@ -132,20 +158,20 @@ void RelayServer::forward_media(Meeting& meeting, const net::Packet& pkt, bool f
   // Control packets (e.g. receiver reports) are routed to the participant
   // the report concerns (pkt.origin_id), not fanned out.
   if (pkt.kind == net::StreamKind::kControl) {
-    for (const auto& p : meeting.participants) {
+    for (auto& p : meeting.participants) {
       if (p.id != pkt.origin_id) continue;
       net::Packet copy = pkt;
       copy.dst = p.endpoint;
-      send_delayed(std::move(copy));
+      send_delayed(std::move(copy), p.departure);
       ++stats_.control_forwarded;
       if (m_control_forwarded_) m_control_forwarded_->inc();
       return;
     }
     if (!from_peer) {
-      for (RelayServer* peer : meeting.peers) {
+      for (PeerLink& pl : meeting.peers) {
         net::Packet copy = pkt;
-        copy.dst = peer->endpoint();
-        send_delayed(std::move(copy));
+        copy.dst = pl.relay->endpoint();
+        send_delayed(std::move(copy), pl.departure);
         ++stats_.control_forwarded;
         if (m_control_forwarded_) m_control_forwarded_->inc();
       }
@@ -154,7 +180,7 @@ void RelayServer::forward_media(Meeting& meeting, const net::Packet& pkt, bool f
   }
 
   std::int64_t copies = 0;
-  for (const auto& p : meeting.participants) {
+  for (auto& p : meeting.participants) {
     if (p.id == pkt.origin_id) continue;  // never echo back to the sender
     net::Packet copy = pkt;
     copy.dst = p.endpoint;
@@ -174,17 +200,17 @@ void RelayServer::forward_media(Meeting& meeting, const net::Packet& pkt, bool f
         copy.payload = nullptr;
       }
     }
-    send_delayed(std::move(copy));
+    send_delayed(std::move(copy), p.departure);
     ++stats_.media_forwarded;
     ++copies;
   }
 
   // Fan out to peer front-ends exactly once (only for first-hop packets).
   if (!from_peer) {
-    for (RelayServer* peer : meeting.peers) {
+    for (PeerLink& pl : meeting.peers) {
       net::Packet copy = pkt;
-      copy.dst = peer->endpoint();
-      send_delayed(std::move(copy));
+      copy.dst = pl.relay->endpoint();
+      send_delayed(std::move(copy), pl.departure);
       ++stats_.media_forwarded;
       ++copies;
     }

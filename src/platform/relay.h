@@ -13,6 +13,7 @@
 #pragma once
 
 #include <cstdint>
+#include <memory>
 #include <string>
 #include <unordered_map>
 #include <vector>
@@ -50,13 +51,25 @@ class RelayServer {
   net::Host& host() { return *host_; }
   net::Endpoint endpoint() const { return net::Endpoint{host_->ip(), media_port_}; }
   const Stats& stats() const { return stats_; }
+  /// Live per-destination departure-state entries. Departure state lives
+  /// inside Participant/PeerLink records, so removing a participant, meeting
+  /// or peer link structurally reclaims it (the predecessor kept a separate
+  /// endpoint-keyed map that grew without bound across sessions); exposed so
+  /// tests can assert the reclamation.
+  std::size_t departure_state_size() const {
+    std::size_t n = 0;
+    for (const auto& [id, m] : meetings_) n += m.participants.size() + m.peers.size();
+    return n;
+  }
 
   /// Mirrors the Stats fields into `<prefix>.media_in`,
   /// `<prefix>.media_forwarded`, `<prefix>.probes_answered` and
-  /// `<prefix>.control_forwarded` counters plus a `<prefix>.fan_out`
-  /// histogram (forwarded copies per ingested media packet). Several relays
-  /// may share one registry: their counts aggregate, which is exactly the
-  /// infrastructure-wide view scalability reports want.
+  /// `<prefix>.control_forwarded` counters plus `<prefix>.fan_out`
+  /// (forwarded copies per ingested media packet) and
+  /// `<prefix>.departure_batch_pkts` (packets per scheduled departure event)
+  /// histograms. Several relays may share one registry: their counts
+  /// aggregate, which is exactly the infrastructure-wide view scalability
+  /// reports want.
   void attach_metrics(MetricsRegistry& registry, const std::string& prefix = "relay");
 
   void add_participant(MeetingId meeting, ParticipantId id, net::Endpoint client_endpoint);
@@ -73,6 +86,25 @@ class RelayServer {
   void unlink_peer(MeetingId meeting, RelayServer* peer);
 
  private:
+  /// Packets departing to one destination at one tick. A batch rides a
+  /// single scheduled event; `sealed` flips when that event fires so a
+  /// zero-delay pipeline can never append to a batch that already left.
+  struct DepartureBatch {
+    std::vector<net::Packet> packets;
+    bool sealed = false;
+  };
+  /// Per-destination departure pipeline state. `floor` is the earliest next
+  /// departure: the media pipeline is FIFO per flow, so jittered processing
+  /// delays never reorder a stream. Departures are therefore monotonic per
+  /// destination, and at most one batch (the latest tick) is open at a time.
+  /// Stored inline in the Participant/PeerLink it belongs to: the forwarding
+  /// loop already holds that record, so departure lookup costs nothing.
+  struct Departure {
+    SimTime floor{};
+    SimTime open_tick{};
+    std::shared_ptr<DepartureBatch> open;
+  };
+
   struct Participant {
     ParticipantId id = 0;
     net::Endpoint endpoint;
@@ -82,17 +114,23 @@ class RelayServer {
     /// afterwards, an origin absent from the map means "not subscribed"
     /// (this is what makes audio-only/screen-off stop video entirely).
     bool subscriptions_set = false;
+    Departure departure;
+  };
+  struct PeerLink {
+    RelayServer* relay = nullptr;
+    Departure departure;
   };
   struct Meeting {
     std::vector<Participant> participants;
-    std::vector<RelayServer*> peers;
+    std::vector<PeerLink> peers;
   };
 
   void on_packet(const net::Packet& pkt);
   void forward_media(Meeting& meeting, const net::Packet& pkt, bool from_peer);
 
-  /// Sends a packet from the relay after the processing delay.
-  void send_delayed(net::Packet pkt);
+  /// Sends a packet from the relay after the processing delay, through the
+  /// destination's departure pipeline.
+  void send_delayed(net::Packet pkt, Departure& dep);
 
   net::Network& network_;
   net::Host* host_;
@@ -104,15 +142,13 @@ class RelayServer {
   std::unordered_map<net::Endpoint, std::pair<MeetingId, ParticipantId>> by_sender_;
   /// peer relay endpoint → meeting id.
   std::unordered_map<net::Endpoint, MeetingId> by_peer_;
-  /// Per-destination earliest next departure: the media pipeline is FIFO per
-  /// flow, so jittered processing delays never reorder a stream.
-  std::unordered_map<net::Endpoint, SimTime> next_departure_;
   Stats stats_;
   MetricsRegistry::Counter* m_media_in_ = nullptr;
   MetricsRegistry::Counter* m_media_forwarded_ = nullptr;
   MetricsRegistry::Counter* m_probes_answered_ = nullptr;
   MetricsRegistry::Counter* m_control_forwarded_ = nullptr;
   MetricsRegistry::Histogram* m_fan_out_ = nullptr;
+  MetricsRegistry::Histogram* m_departure_batch_pkts_ = nullptr;
 };
 
 }  // namespace vc::platform

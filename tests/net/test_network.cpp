@@ -142,6 +142,88 @@ TEST(Network, GeoLatencyIncreasesWithDistance) {
   EXPECT_GT(far_arrival.millis(), 15.0);  // cross-country ≫ 15 ms
 }
 
+TEST(Network, SameTickPacketsRideOneDeliveryBatch) {
+  auto net = fixed_net(millis(10));
+  MetricsRegistry registry;
+  net->attach_metrics(registry);
+  Host& a = net->add_host("a", kEast);
+  Host& b = net->add_host("b", kWest);
+  auto& tx = a.udp_bind(1000);
+  auto& rx = b.udp_bind(2000);
+  std::vector<std::uint64_t> seqs;
+  rx.on_receive([&](const Packet& p) { seqs.push_back(p.seq); });
+  for (std::uint64_t i = 0; i < 5; ++i) {
+    tx.send_to(Endpoint{b.ip(), 2000}, 100, StreamKind::kVideo, i);
+  }
+  net->loop().run();
+  // Same departure tick + fixed latency = same arrival tick: one event.
+  EXPECT_EQ(seqs, (std::vector<std::uint64_t>{0, 1, 2, 3, 4}));
+  EXPECT_EQ(net->stats().packets_delivered, 5);
+  EXPECT_EQ(net->stats().delivery_batches, 1);
+  const auto& h = registry.histogram("net.delivery_batch_pkts").stats();
+  EXPECT_EQ(h.count(), 1u);
+  EXPECT_EQ(h.mean(), 5.0);
+}
+
+TEST(Network, DifferentTicksDoNotShareBatches) {
+  auto net = fixed_net(millis(10));
+  Host& a = net->add_host("a", kEast);
+  Host& b = net->add_host("b", kWest);
+  auto& tx = a.udp_bind(1000);
+  auto& rx = b.udp_bind(2000);
+  std::vector<std::uint64_t> seqs;
+  rx.on_receive([&](const Packet& p) { seqs.push_back(p.seq); });
+  tx.send_to(Endpoint{b.ip(), 2000}, 100, StreamKind::kVideo, 0);
+  net->loop().schedule_after(millis(1), [&] {
+    tx.send_to(Endpoint{b.ip(), 2000}, 100, StreamKind::kVideo, 1);
+  });
+  net->loop().run();
+  EXPECT_EQ(seqs, (std::vector<std::uint64_t>{0, 1}));
+  EXPECT_EQ(net->stats().delivery_batches, 2);
+}
+
+TEST(Network, SealedBatchNotReusedBySameTickResend) {
+  // A receive handler that immediately sends again with zero network delay
+  // produces a new arrival at the tick whose batch is currently firing. The
+  // sealed batch must not swallow it — it gets an event of its own.
+  auto net = fixed_net(millis(0));
+  Host& a = net->add_host("a", kEast);
+  Host& b = net->add_host("b", kWest);
+  auto& tx = a.udp_bind(1000);
+  auto& rx = b.udp_bind(2000);
+  int hops = 0;
+  rx.on_receive([&](const Packet&) {
+    if (++hops < 3) tx.send_to(Endpoint{b.ip(), 2000}, 100);
+  });
+  tx.send_to(Endpoint{b.ip(), 2000}, 100);
+  net->loop().run();
+  EXPECT_EQ(hops, 3);
+  EXPECT_EQ(net->stats().packets_delivered, 3);
+  EXPECT_EQ(net->stats().delivery_batches, 3);
+}
+
+TEST(Network, BatchingPreservesInterleavedPerDestinationOrder) {
+  auto net = fixed_net(millis(10));
+  Host& a = net->add_host("a", kEast);
+  Host& b = net->add_host("b", kWest);
+  Host& c = net->add_host("c", GeoPoint{40.0, -90.0});
+  auto& tx = a.udp_bind(1000);
+  auto& rx_b = b.udp_bind(2000);
+  auto& rx_c = c.udp_bind(2000);
+  std::vector<std::uint64_t> b_seqs;
+  std::vector<std::uint64_t> c_seqs;
+  rx_b.on_receive([&](const Packet& p) { b_seqs.push_back(p.seq); });
+  rx_c.on_receive([&](const Packet& p) { c_seqs.push_back(p.seq); });
+  for (std::uint64_t i = 0; i < 6; ++i) {
+    Host& dst = (i % 2 == 0) ? b : c;
+    tx.send_to(Endpoint{dst.ip(), 2000}, 100, StreamKind::kVideo, i);
+  }
+  net->loop().run();
+  EXPECT_EQ(b_seqs, (std::vector<std::uint64_t>{0, 2, 4}));
+  EXPECT_EQ(c_seqs, (std::vector<std::uint64_t>{1, 3, 5}));
+  EXPECT_EQ(net->stats().delivery_batches, 2);  // one per destination
+}
+
 TEST(Network, BindDuplicatePortThrows) {
   auto net = fixed_net();
   Host& a = net->add_host("a", kEast);

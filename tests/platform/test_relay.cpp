@@ -194,6 +194,69 @@ TEST_F(RelayFixture, PeerForwardingOnceNoLoops) {
   EXPECT_TRUE(a_rx.empty());
 }
 
+TEST_F(RelayFixture, DepartureStateReclaimedWithMembership) {
+  // Regression: the predecessor kept departure state in an endpoint-keyed
+  // map that only ever grew. It now lives inside the Participant/PeerLink
+  // records, so membership removal must reclaim it.
+  RelayServer peer{net, "peer", GeoPoint{50.0, 8.0}, 8801,
+                   RelayServer::ForwardingDelay{millis(2), 0.0}};
+  net::Host& a = make_client("a", 100, nullptr);
+  net::Host& b = make_client("b", 100, nullptr);
+  EXPECT_EQ(relay.departure_state_size(), 0u);
+  relay.add_participant(1, 1, {a.ip(), 100});
+  relay.add_participant(1, 2, {b.ip(), 100});
+  relay.link_peer(1, &peer);
+  EXPECT_EQ(relay.departure_state_size(), 3u);
+  // Exercise the pipeline so the state is live, not just allocated.
+  send_media(a, 100, net::StreamKind::kVideo, 1);
+  net.loop().run();
+  relay.remove_participant(1, 2);
+  EXPECT_EQ(relay.departure_state_size(), 2u);
+  relay.unlink_peer(1, &peer);
+  EXPECT_EQ(relay.departure_state_size(), 1u);
+  relay.remove_meeting(1);
+  EXPECT_EQ(relay.departure_state_size(), 0u);
+}
+
+TEST_F(RelayFixture, DepartureStateStableAcrossRepeatedSessions) {
+  // Join/leave cycles (fresh clients every session, same relay) must not
+  // accumulate per-destination state.
+  net::Host& a = make_client("a", 100, nullptr);
+  net::Host& b = make_client("b", 100, nullptr);
+  for (int s = 0; s < 50; ++s) {
+    relay.add_participant(1, 1, {a.ip(), static_cast<std::uint16_t>(100)});
+    relay.add_participant(1, 2, {b.ip(), static_cast<std::uint16_t>(100)});
+    send_media(a, 100, net::StreamKind::kVideo, 1);
+    net.loop().run();
+    relay.remove_meeting(1);
+  }
+  EXPECT_EQ(relay.departure_state_size(), 0u);
+}
+
+TEST_F(RelayFixture, JitteredForwardingNeverReordersAStream) {
+  // The per-destination departure floor makes the pipeline FIFO even though
+  // each packet draws an independent jittered processing delay.
+  RelayServer jittery{net, "jittery", GeoPoint{38.9, -77.4}, 9000,
+                      RelayServer::ForwardingDelay{millis(2), 5.0}};
+  std::vector<net::Packet> b_rx;
+  net::Host& a = make_client("a", 100, nullptr);
+  net::Host& b = make_client("b", 100, &b_rx);
+  jittery.add_participant(1, 1, {a.ip(), 100});
+  jittery.add_participant(1, 2, {b.ip(), 100});
+  for (std::uint64_t i = 0; i < 200; ++i) {
+    net::Packet p;
+    p.dst = jittery.endpoint();
+    p.l7_len = 1000;
+    p.kind = net::StreamKind::kVideo;
+    p.origin_id = 1;
+    p.seq = i;
+    a.udp_socket(100)->send(std::move(p));
+  }
+  net.loop().run();
+  ASSERT_EQ(b_rx.size(), 200u);
+  for (std::uint64_t i = 0; i < 200; ++i) EXPECT_EQ(b_rx[i].seq, i);
+}
+
 TEST_F(RelayFixture, ForwardingDelayApplied) {
   std::vector<net::Packet> b_rx;
   net::Host& a = make_client("a", 100, nullptr);
