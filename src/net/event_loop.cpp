@@ -63,6 +63,11 @@ void EventLoop::pop_heap_entry() {
 }
 
 void EventLoop::cancel(EventId id) {
+  // Id 0 is never issued but is the value of a default-initialized handle
+  // (and of every free slot's `id`), so it must be rejected here: letting it
+  // through would "match" a free slot 0 and double-free it into the free
+  // list, corrupting the slab.
+  if (id == 0) return;
   const std::uint32_t slot = static_cast<std::uint32_t>(id) & kSlotMask;
   if (slot >= slot_count_) return;
   Slot& s = slot_ref(slot);
@@ -112,6 +117,10 @@ void EventLoop::run_until(SimTime until) {
 void EventLoop::attach_metrics(MetricsRegistry& registry, const std::string& prefix) {
   m_executed_ = &registry.counter(prefix + ".events_executed");
   m_depth_hwm_ = &registry.gauge(prefix + ".queue_depth_hwm");
+  // Backfill both instruments so a late attach reports the same totals as an
+  // attach-before-run: the gauge is overwritten, the counter is advanced by
+  // the executions it missed.
+  m_executed_->add(static_cast<std::int64_t>(executed_));
   m_depth_hwm_->set(static_cast<double>(depth_high_water_));
 }
 

@@ -167,8 +167,14 @@ class EventLoop {
   EventId schedule_at(SimTime at, F&& fn) {
     detail::EventCallback::validate(fn);
     if (at < now_) at = now_;
+    if (next_seq_ >> (64 - kSlotBits) != 0) throw std::overflow_error{"event id space exhausted"};
     const std::uint32_t slot = acquire_slot();
     Slot& s = slot_ref(slot);
+    const EventId id = (next_seq_ << kSlotBits) | slot;
+    // The slot is armed (s.id set, pending_ bumped) only once both fallible
+    // steps — callback construction and the heap push — have succeeded, so a
+    // throw from either leaves no dangling heap record, armed slot, or lost
+    // free-list entry.
     if constexpr (std::is_nothrow_constructible_v<std::decay_t<F>, F&&>) {
       s.fn.emplace(std::forward<F>(fn));
     } else {
@@ -179,11 +185,16 @@ class EventLoop {
         throw;
       }
     }
-    if (next_seq_ >> (64 - kSlotBits) != 0) throw std::overflow_error{"event id space exhausted"};
-    const EventId id = (next_seq_++ << kSlotBits) | slot;
+    try {
+      heap_.push_back(HeapEntry{at.micros(), id});
+    } catch (...) {
+      s.fn.reset();
+      free_slots_.push_back(slot);
+      throw;
+    }
+    push_heap_entry();  // in-place sift: nothrow
+    ++next_seq_;
     s.id = id;
-    heap_.push_back(HeapEntry{at.micros(), id});
-    push_heap_entry();
     ++pending_;
     if (pending_ > depth_high_water_) {
       depth_high_water_ = pending_;
@@ -221,8 +232,11 @@ class EventLoop {
   std::size_t queue_depth_high_water() const { return depth_high_water_; }
 
   /// Mirrors loop activity into `<prefix>.events_executed` (counter) and
-  /// `<prefix>.queue_depth_hwm` (gauge). Per-session registries attach once
-  /// at session setup; the pointers are hot-path cheap.
+  /// `<prefix>.queue_depth_hwm` (gauge). Both are backfilled with activity
+  /// that happened before the attach, so a late attach reports full totals.
+  /// Per-session registries attach once at session setup (re-attaching the
+  /// same registry would double-count the backfill); the pointers are
+  /// hot-path cheap.
   void attach_metrics(MetricsRegistry& registry, const std::string& prefix = "event_loop");
 
  private:

@@ -77,7 +77,8 @@ void RelayServer::remove_participant(MeetingId meeting, ParticipantId id) {
   }
   // In-flight batches keep their own (shared) packet storage; erasing the
   // record only drops the departure pipeline state (FIFO floor + open-batch
-  // handle), which no longer matters once the destination is gone.
+  // handle). A later re-add starts a fresh floor — see the semantic note on
+  // Departure in relay.h.
   std::erase_if(parts, [id](const Participant& p) { return p.id == id; });
 }
 

@@ -99,6 +99,15 @@ class RelayServer {
   /// destination, and at most one batch (the latest tick) is open at a time.
   /// Stored inline in the Participant/PeerLink it belongs to: the forwarding
   /// loop already holds that record, so departure lookup costs nothing.
+  ///
+  /// Semantic note: because the floor lives in the registration record, the
+  /// FIFO guarantee is scoped to one registration. A participant that is
+  /// removed and re-added starts with a fresh floor, so its new packets may
+  /// interleave with batches still in flight from before the removal (the
+  /// old endpoint-keyed global map persisted the floor across re-joins, at
+  /// the cost of leaking an entry per departed endpoint forever). This
+  /// mirrors a real rejoin, which negotiates a new transport with no
+  /// ordering relative to the abandoned one.
   struct Departure {
     SimTime floor{};
     SimTime open_tick{};

@@ -113,6 +113,46 @@ TEST(EventLoop, StaleIdInertAfterSlotReuse) {
   EXPECT_TRUE(b_ran);
 }
 
+TEST(EventLoop, CancelDefaultIdWithFreeSlotZeroIsNoop) {
+  // Regression: id 0 (a default-initialized handle, e.g. a VcaClient timer
+  // that never started) addresses slot 0, and a free slot's armed id is also
+  // 0 — cancel(0) used to "match" the free slot, double-free it into the
+  // free list, and underflow pending(). Two later schedules would then both
+  // land in slot 0 and one event would silently never fire.
+  EventLoop loop;
+  loop.cancel(EventId{});  // empty loop: slot 0 does not exist yet
+  EXPECT_EQ(loop.pending(), 0u);
+
+  int fired = 0;
+  loop.schedule_after(millis(1), [&] { ++fired; });  // occupies then frees slot 0
+  loop.run();
+  EXPECT_EQ(fired, 1);
+
+  loop.cancel(EventId{});  // slot 0 exists and is free: must be a no-op
+  EXPECT_EQ(loop.pending(), 0u);
+
+  loop.schedule_after(millis(1), [&] { ++fired; });
+  loop.schedule_after(millis(1), [&] { ++fired; });
+  EXPECT_EQ(loop.pending(), 2u);
+  loop.run();
+  EXPECT_EQ(fired, 3);  // with a corrupted free list one of these was lost
+  EXPECT_EQ(loop.pending(), 0u);
+}
+
+TEST(EventLoop, AttachMetricsBackfillsPriorActivity) {
+  EventLoop loop;
+  loop.schedule_after(millis(1), [] {});
+  loop.schedule_after(millis(2), [] {});
+  loop.run();
+  MetricsRegistry registry;
+  loop.attach_metrics(registry, "evl");
+  EXPECT_EQ(registry.counter("evl.events_executed").value(), 2);
+  EXPECT_EQ(registry.gauge("evl.queue_depth_hwm").value(), 2.0);
+  loop.schedule_after(millis(1), [] {});
+  loop.run();
+  EXPECT_EQ(registry.counter("evl.events_executed").value(), 3);
+}
+
 TEST(EventLoop, FifoPreservedAcrossCancellations) {
   EventLoop loop;
   std::vector<int> order;
