@@ -5,46 +5,119 @@
 // suddenly at 250 Kbps; Meet degrades most gracefully; Webex falls apart
 // below ~1 Mbps (stalls/disappearing video) and even its audio — despite a
 // 45 Kbps rate — deteriorates at ≤500 Kbps, while Zoom/Meet audio stays flat.
+//
+// The sweep runs on runner::ExperimentRunner: every (platform, cap, session)
+// cell is an independent capped session (core::run_bwcap_session), executed
+// once on one thread and once on eight. The two aggregate reports must be
+// bit-identical (the runner's determinism contract); the wall-clock ratio is
+// the measured parallel speedup on this machine. `--shards K` forwards
+// intra-session relay fan-out sharding, which must not change a byte either.
 #include <cstdio>
+#include <string>
 #include <vector>
 
 #include "bench/bench_util.h"
 #include "core/bwcap_benchmark.h"
+#include "runner/experiment_runner.h"
+
+namespace {
+
+using namespace vc;
+
+struct Cell {
+  platform::PlatformId id{};
+  DataRate cap{};
+  std::uint64_t platform_seed = 0;  // the pre-runner sweep's 701 + id*29 stream
+  std::string key;                  // e.g. "Zoom/cap500 Kbps"
+};
+
+}  // namespace
 
 int main(int argc, char** argv) {
-  using namespace vc;
   const bool paper = vcb::paper_scale(argc, argv);
+  const int shards = vcb::int_flag(argc, argv, "--shards", 0);
   vcb::banner("Figs 17-18 — streaming under bandwidth constraints", paper);
 
-  std::vector<DataRate> caps = {DataRate::kbps(250),  DataRate::kbps(500), DataRate::kbps(750),
-                                DataRate::mbps(1.0),  DataRate::mbps(1.5), DataRate::mbps(2.0),
-                                DataRate::mbps(3.0),  DataRate::unlimited()};
-  TextTable table{{"platform", "cap", "PSNR (dB)", "SSIM", "VIFp", "MOS-LQO", "deliv",
-                   "drop%", "down (Kbps)"}};
+  const std::vector<DataRate> caps = {DataRate::kbps(250),  DataRate::kbps(500),
+                                      DataRate::kbps(750),  DataRate::mbps(1.0),
+                                      DataRate::mbps(1.5),  DataRate::mbps(2.0),
+                                      DataRate::mbps(3.0),  DataRate::unlimited()};
+  const int sessions_per_cell = paper ? 5 : 1;
+  const SimDuration media_duration = paper ? seconds(60) : seconds(12);
+
+  std::vector<Cell> cells;
   for (const auto id : vcb::all_platforms()) {
     for (const auto cap : caps) {
-      core::BwCapBenchmarkConfig cfg;
-      cfg.platform = id;
-      cfg.cap = cap;
-      cfg.sessions = paper ? 5 : 1;
-      cfg.media_duration = paper ? seconds(60) : seconds(12);
-      cfg.content_width = 160;
-      cfg.content_height = 112;
-      cfg.padding = 16;
-      cfg.fps = 10.0;
-      cfg.metric_stride = 5;
-      cfg.seed = 701 + static_cast<std::uint64_t>(id) * 29;
-      const auto r = core::run_bwcap_benchmark(cfg);
-      table.add_row({std::string(platform_name(id)), cap.to_string(),
-                     r.psnr.count() ? TextTable::num(r.psnr.mean(), 1) : "-",
-                     r.ssim.count() ? TextTable::num(r.ssim.mean(), 3) : "-",
-                     r.vifp.count() ? TextTable::num(r.vifp.mean(), 3) : "-",
-                     r.mos_lqo.count() ? TextTable::num(r.mos_lqo.mean(), 2) : "-",
-                     TextTable::num(r.delivery_ratio.mean(), 2),
-                     TextTable::num(100.0 * r.drop_fraction.mean(), 1),
-                     TextTable::num(r.download_kbps.mean(), 0)});
+      Cell c;
+      c.id = id;
+      c.cap = cap;
+      c.platform_seed = 701 + static_cast<std::uint64_t>(id) * 29;
+      c.key = std::string(platform_name(id)) + "/cap" + cap.to_string();
+      for (int s = 0; s < sessions_per_cell; ++s) cells.push_back(c);
+    }
+  }
+
+  const auto task = [&cells, media_duration, shards](runner::SessionContext& ctx) {
+    const Cell& c = cells[ctx.task_index];
+    core::BwCapBenchmarkConfig cfg;
+    cfg.platform = c.id;
+    cfg.cap = c.cap;
+    cfg.media_duration = media_duration;
+    cfg.content_width = 160;
+    cfg.content_height = 112;
+    cfg.padding = 16;
+    cfg.fps = 10.0;
+    cfg.metric_stride = 5;
+    cfg.fan_out_shards = shards;
+    const auto r = core::run_bwcap_session(cfg, ctx.seed ^ c.platform_seed);
+    if (r.has_video_qoe) {
+      ctx.sample(c.key + ".psnr", r.psnr);
+      ctx.sample(c.key + ".ssim", r.ssim);
+      ctx.sample(c.key + ".vifp", r.vifp);
+    }
+    if (r.has_audio_qoe) ctx.sample(c.key + ".mos_lqo", r.mos_lqo);
+    if (r.has_delivery_ratio) ctx.sample(c.key + ".delivery_ratio", r.delivery_ratio);
+    ctx.sample(c.key + ".download_kbps", r.download_kbps);
+    ctx.sample(c.key + ".drop_fraction", r.drop_fraction);
+  };
+
+  runner::ExperimentRunner::Config rc;
+  rc.base_seed = 701;
+  rc.label = "fig17_18_bwcap";
+  rc.threads = 1;
+  const auto serial = runner::ExperimentRunner{rc}.run(cells.size(), task);
+  rc.threads = 8;
+  const auto report = runner::ExperimentRunner{rc}.run(cells.size(), task);
+
+  TextTable table{{"platform", "cap", "PSNR (dB)", "SSIM", "VIFp", "MOS-LQO", "deliv", "drop%",
+                   "down (Kbps)"}};
+  auto cell = [&report](const std::string& key, int digits, double scale = 1.0) {
+    const auto* s = report.find_sample(key);
+    return s ? TextTable::num(scale * s->mean(), digits) : std::string{"-"};
+  };
+  for (const auto id : vcb::all_platforms()) {
+    for (const auto cap : caps) {
+      const std::string k = std::string(platform_name(id)) + "/cap" + cap.to_string();
+      table.add_row({std::string(platform_name(id)), cap.to_string(), cell(k + ".psnr", 1),
+                     cell(k + ".ssim", 3), cell(k + ".vifp", 3), cell(k + ".mos_lqo", 2),
+                     cell(k + ".delivery_ratio", 2), cell(k + ".drop_fraction", 1, 100.0),
+                     cell(k + ".download_kbps", 0)});
     }
   }
   std::printf("%s\n", table.render().c_str());
-  return 0;
+
+  const bool identical = serial.aggregate_json() == report.aggregate_json();
+  std::printf("sessions: %zu  failures: %zu  fan_out_shards: %d\n", report.sessions,
+              report.failures.size(), shards);
+  std::printf("wall clock: %.2f s at 1 thread, %.2f s at 8 threads — speedup %.2fx\n",
+              serial.wall_seconds, report.wall_seconds,
+              report.wall_seconds > 0 ? serial.wall_seconds / report.wall_seconds : 0.0);
+  std::printf("aggregate reports bit-identical across thread counts: %s\n",
+              identical ? "yes" : "NO — determinism regression!");
+
+  const std::string out_path = "bench_fig17_18_bwcap.report.json";
+  if (runner::write_text_file(out_path, report.to_json())) {
+    std::printf("report written to %s\n", out_path.c_str());
+  }
+  return identical ? 0 : 1;
 }

@@ -6,44 +6,118 @@
 // the most bandwidth-hungry (~1 GB/hour ≈ 2.2 Mbps) vs Zoom's gallery view
 // at ~175 MB/hour (~0.4 Mbps); one hour drains up to ~40% of the J3's
 // battery, halved by going audio-only.
+//
+// The sweep runs on runner::ExperimentRunner: every (platform, scenario,
+// repetition) cell is an independent session (core::run_mobile_session),
+// executed once on one thread and once on eight; the two aggregate reports
+// must be bit-identical. CPU cells show mean±sd of the pooled per-second
+// samples (the runner aggregates streaming moments, not raw quartiles).
+// `--shards K` forwards intra-session relay fan-out sharding.
 #include <cstdio>
+#include <string>
+#include <vector>
 
 #include "bench/bench_util.h"
 #include "core/mobile_benchmark.h"
+#include "runner/experiment_runner.h"
+
+namespace {
+
+using namespace vc;
+
+struct Cell {
+  platform::PlatformId id{};
+  mobile::MobileScenario scenario{};
+  std::uint64_t platform_seed = 0;  // the pre-runner sweep's 801 + id*41 stream
+  std::string key;                  // e.g. "Zoom/HM"
+};
+
+}  // namespace
 
 int main(int argc, char** argv) {
-  using namespace vc;
   const bool paper = vcb::paper_scale(argc, argv);
+  const int shards = vcb::int_flag(argc, argv, "--shards", 0);
   vcb::banner("Fig 19 — mobile CPU / data rate / battery (S10 & J3)", paper);
 
   const mobile::MobileScenario scenarios[] = {
       mobile::MobileScenario::kLM, mobile::MobileScenario::kHM, mobile::MobileScenario::kLMView,
       mobile::MobileScenario::kLMVideoView, mobile::MobileScenario::kLMOff};
+  const int reps = paper ? 5 : 2;
+  const SimDuration duration = paper ? seconds(300) : seconds(45);
 
-  TextTable table{{"platform", "scenario", "S10 CPU q1/med/q3 (%)", "J3 CPU q1/med/q3 (%)",
-                   "S10 down (Kbps)", "J3 down (Kbps)", "J3 battery (%/h)", "MB/hour (J3)"}};
+  std::vector<Cell> cells;
   for (const auto id : vcb::all_platforms()) {
     for (const auto scenario : scenarios) {
-      core::MobileBenchmarkConfig cfg;
-      cfg.platform = id;
-      cfg.scenario = scenario;
-      cfg.repetitions = paper ? 5 : 2;
-      cfg.duration = paper ? seconds(300) : seconds(45);
-      cfg.seed = 801 + static_cast<std::uint64_t>(id) * 41;
-      const auto r = core::run_mobile_benchmark(cfg);
-      auto cpu_cell = [](const BoxplotSummary& b) {
-        return TextTable::num(b.q1, 0) + "/" + TextTable::num(b.median, 0) + "/" +
-               TextTable::num(b.q3, 0);
-      };
-      const double mb_per_hour = r.j3.download_kbps.mean() * 3600.0 / 8.0 / 1000.0;
+      Cell c;
+      c.id = id;
+      c.scenario = scenario;
+      c.platform_seed = 801 + static_cast<std::uint64_t>(id) * 41;
+      c.key = std::string(platform_name(id)) + "/" + std::string(scenario_name(scenario));
+      for (int rep = 0; rep < reps; ++rep) cells.push_back(c);
+    }
+  }
+
+  const auto task = [&cells, duration, shards](runner::SessionContext& ctx) {
+    const Cell& c = cells[ctx.task_index];
+    core::MobileBenchmarkConfig cfg;
+    cfg.platform = c.id;
+    cfg.scenario = c.scenario;
+    cfg.duration = duration;
+    cfg.fan_out_shards = shards;
+    const auto r = core::run_mobile_session(cfg, ctx.seed ^ c.platform_seed);
+    for (double v : r.s10_cpu) ctx.sample(c.key + ".s10_cpu", v);
+    for (double v : r.j3_cpu) ctx.sample(c.key + ".j3_cpu", v);
+    ctx.sample(c.key + ".s10_download_kbps", r.s10_download_kbps);
+    ctx.sample(c.key + ".j3_download_kbps", r.j3_download_kbps);
+    ctx.sample(c.key + ".j3_battery_pct_per_hour", r.j3_battery_pct_per_hour);
+  };
+
+  runner::ExperimentRunner::Config rc;
+  rc.base_seed = 801;
+  rc.label = "fig19_mobile";
+  rc.threads = 1;
+  const auto serial = runner::ExperimentRunner{rc}.run(cells.size(), task);
+  rc.threads = 8;
+  const auto report = runner::ExperimentRunner{rc}.run(cells.size(), task);
+
+  TextTable table{{"platform", "scenario", "S10 CPU mean±sd (%)", "J3 CPU mean±sd (%)",
+                   "S10 down (Kbps)", "J3 down (Kbps)", "J3 battery (%/h)", "MB/hour (J3)"}};
+  auto cpu_cell = [&report](const std::string& key) {
+    const auto* s = report.find_sample(key);
+    if (!s) return std::string{"-"};
+    return TextTable::num(s->mean(), 0) + "±" + TextTable::num(s->stddev(), 0);
+  };
+  auto mean_of = [&report](const std::string& key) {
+    const auto* s = report.find_sample(key);
+    return s ? s->mean() : 0.0;
+  };
+  for (const auto id : vcb::all_platforms()) {
+    for (const auto scenario : scenarios) {
+      const std::string k =
+          std::string(platform_name(id)) + "/" + std::string(scenario_name(scenario));
+      const double j3_down = mean_of(k + ".j3_download_kbps");
       table.add_row({std::string(platform_name(id)), std::string(scenario_name(scenario)),
-                     cpu_cell(r.s10.cpu), cpu_cell(r.j3.cpu),
-                     TextTable::num(r.s10.download_kbps.mean(), 0),
-                     TextTable::num(r.j3.download_kbps.mean(), 0),
-                     TextTable::num(r.j3.battery_pct_per_hour.mean(), 1),
-                     TextTable::num(mb_per_hour, 0)});
+                     cpu_cell(k + ".s10_cpu"), cpu_cell(k + ".j3_cpu"),
+                     TextTable::num(mean_of(k + ".s10_download_kbps"), 0),
+                     TextTable::num(j3_down, 0),
+                     TextTable::num(mean_of(k + ".j3_battery_pct_per_hour"), 1),
+                     TextTable::num(j3_down * 3600.0 / 8.0 / 1000.0, 0)});
     }
   }
   std::printf("%s\n", table.render().c_str());
-  return 0;
+
+  const bool identical = serial.aggregate_json() == report.aggregate_json();
+  std::printf("sessions: %zu  failures: %zu  fan_out_shards: %d\n", report.sessions,
+              report.failures.size(), shards);
+  std::printf("wall clock: %.2f s at 1 thread, %.2f s at 8 threads — speedup %.2fx\n",
+              serial.wall_seconds, report.wall_seconds,
+              report.wall_seconds > 0 ? serial.wall_seconds / report.wall_seconds : 0.0);
+  std::printf("aggregate reports bit-identical across thread counts: %s\n",
+              identical ? "yes" : "NO — determinism regression!");
+
+  const std::string out_path = "bench_fig19_mobile.report.json";
+  if (runner::write_text_file(out_path, report.to_json())) {
+    std::printf("report written to %s\n", out_path.c_str());
+  }
+  return identical ? 0 : 1;
 }

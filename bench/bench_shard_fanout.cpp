@@ -1,0 +1,252 @@
+// Intra-session relay fan-out A/B benchmark (PR 3).
+//
+// One meeting, N participants (N >= 20), every participant streaming video
+// through a single RelayServer — the fan-out-bound regime where one ingest
+// costs O(N) copy/scale/stage work. Three execution modes run interleaved
+// (A/B/A/B..., defeating thermal and noise drift) and report median
+// wall-clock over the rounds:
+//   serial  — K=0, the plain fan-out loop;
+//   staged  — K=4 with no pool: the sharded staging/merge path, inline on
+//             the event-loop thread (isolates the staging overhead);
+//   pooled  — K=4 on a ShardPool with auto-sized workers (0 on a 1-core
+//             machine, where it degenerates to `staged`).
+// Every mode's delivery transcript is FNV-hashed and must match `serial`
+// byte-for-byte — the determinism contract, enforced here with real traffic.
+//
+// `--gate <ratio>` makes the binary exit non-zero when median(serial) /
+// median(staged) falls below the ratio (e.g. --gate 0.90 fails a >10%
+// staging regression); CI's perf-smoke job runs exactly that. `--out <path>`
+// writes the machine-readable report (default BENCH_PR3.json in the CWD).
+//
+// Compiling with -DVC_BENCH_SERIAL_ONLY builds only the serial mode against
+// a tree that predates the sharding API — that is how the "before" column of
+// the checked-in BENCH_PR3.json was measured at the parent commit.
+#include <algorithm>
+#include <chrono>
+#include <cstdint>
+#include <cstdio>
+#include <memory>
+#include <string>
+#include <vector>
+
+#include "bench/bench_util.h"
+#include "platform/relay.h"
+#include "runner/experiment_runner.h"
+#ifndef VC_BENCH_SERIAL_ONLY
+#include "common/shard_pool.h"
+#endif
+
+namespace {
+
+using namespace vc;
+
+struct TrialResult {
+  double seconds = 0.0;
+  std::uint64_t digest = 0;  // FNV-1a over the full delivery transcript
+  std::int64_t media_forwarded = 0;
+};
+
+struct Mode {
+  std::string name;
+  int shards = 0;
+  bool use_pool = false;
+  std::vector<double> seconds;
+  std::uint64_t digest = 0;
+  std::int64_t media_forwarded = 0;
+};
+
+void fnv_mix(std::uint64_t& h, std::uint64_t v) {
+  h ^= v;
+  h *= 1099511628211ULL;
+}
+
+#ifndef VC_BENCH_SERIAL_ONLY
+TrialResult run_trial(int n, int frames, int shards, ShardPool* pool) {
+#else
+TrialResult run_trial(int n, int frames, int /*shards*/, void* /*pool*/) {
+#endif
+  net::Network net{std::make_unique<net::FixedLatencyModel>(millis(3)), 99};
+  platform::RelayServer relay{net, "relay", GeoPoint{38.9, -77.4}, 8801,
+                              platform::RelayServer::ForwardingDelay{millis(2), 2.0}};
+#ifndef VC_BENCH_SERIAL_ONLY
+  relay.set_fan_out_sharding(pool, shards);
+#endif
+
+  TrialResult out{};
+  out.digest = 14695981039346656037ULL;  // FNV offset basis
+  std::vector<net::Host*> hosts;
+  hosts.reserve(static_cast<std::size_t>(n));
+  auto* digest = &out.digest;
+  for (int i = 0; i < n; ++i) {
+    net::Host& h = net.add_host("c" + std::to_string(i), GeoPoint{40.0, -75.0});
+    auto& sock = h.udp_bind(100);
+    const std::uint64_t rx_tag = static_cast<std::uint64_t>(i) << 48;
+    sock.on_receive([digest, rx_tag, &net](const net::Packet& p) {
+      fnv_mix(*digest, rx_tag | p.origin_id);
+      fnv_mix(*digest, p.seq);
+      fnv_mix(*digest, static_cast<std::uint64_t>(p.l7_len));
+      fnv_mix(*digest, static_cast<std::uint64_t>(net.now().micros()));
+    });
+    relay.add_participant(1, static_cast<platform::ParticipantId>(i + 1), {h.ip(), 100});
+    hosts.push_back(&h);
+  }
+  // Half the receivers pin explicit subscriptions (simulcast thumbnails and
+  // a few unsubscribes), the rest take the forward-everything default — the
+  // mix a gallery-view meeting produces.
+  for (int i = 0; i < n; i += 2) {
+    std::vector<platform::StreamSubscription> subs;
+    for (int o = 0; o < n; ++o) {
+      if (o == i) continue;
+      const double scale = (i + o) % 11 == 0 ? 0.0 : ((o % 3 == 0) ? 0.25 : 1.0);
+      subs.push_back({static_cast<platform::ParticipantId>(o + 1), scale});
+    }
+    relay.set_subscriptions(1, static_cast<platform::ParticipantId>(i + 1), std::move(subs));
+  }
+
+  // frames ingests per sender at a 33 ms cadence, staggered per sender.
+  for (int f = 0; f < frames; ++f) {
+    for (int i = 0; i < n; ++i) {
+      net::Host* h = hosts[static_cast<std::size_t>(i)];
+      const std::uint32_t origin = static_cast<std::uint32_t>(i + 1);
+      const std::uint64_t seq = static_cast<std::uint64_t>(f);
+      const std::int64_t l7 = 700 + 53 * ((f + i) % 13);
+      net.loop().schedule_at(SimTime{f * 33'000 + i * 211},
+                             [h, &relay, origin, seq, l7] {
+                               net::Packet p;
+                               p.dst = relay.endpoint();
+                               p.l7_len = l7;
+                               p.kind = net::StreamKind::kVideo;
+                               p.origin_id = origin;
+                               p.seq = seq;
+                               h->udp_socket(100)->send(std::move(p));
+                             });
+    }
+  }
+
+  const auto t0 = std::chrono::steady_clock::now();
+  net.loop().run();
+  const auto t1 = std::chrono::steady_clock::now();
+  out.seconds = std::chrono::duration<double>(t1 - t0).count();
+  out.media_forwarded = relay.stats().media_forwarded;
+  return out;
+}
+
+double flag_double(int argc, char** argv, const char* name, double fallback) {
+  for (int i = 1; i + 1 < argc; ++i) {
+    if (std::strcmp(argv[i], name) == 0) return std::atof(argv[i + 1]);
+  }
+  return fallback;
+}
+
+std::string flag_string(int argc, char** argv, const char* name, const char* fallback) {
+  for (int i = 1; i + 1 < argc; ++i) {
+    if (std::strcmp(argv[i], name) == 0) return argv[i + 1];
+  }
+  return fallback;
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  const int n = std::max(20, vcb::int_flag(argc, argv, "--n", 48));
+  const int frames = vcb::int_flag(argc, argv, "--packets", 40);
+  const int rounds = std::max(3, vcb::int_flag(argc, argv, "--rounds", 7));
+  const int shards = std::max(1, vcb::int_flag(argc, argv, "--shards", 4));
+  const double gate = flag_double(argc, argv, "--gate", 0.0);
+  const std::string out_path = flag_string(argc, argv, "--out", "BENCH_PR3.json");
+
+  std::printf("relay fan-out A/B: n=%d frames=%d rounds=%d shards=%d gate=%.2f\n", n, frames,
+              rounds, shards, gate);
+
+  std::vector<Mode> modes;
+  modes.push_back({"serial", 0, false, {}, 0, 0});
+#ifndef VC_BENCH_SERIAL_ONLY
+  modes.push_back({"staged", shards, false, {}, 0, 0});
+  modes.push_back({"pooled", shards, true, {}, 0, 0});
+  const int workers = ShardPool::auto_workers(shards);
+  ShardPool pool{workers};
+  std::printf("pooled mode: %d worker thread(s) (auto for %d shards on this machine)\n", workers,
+              shards);
+#endif
+
+  // One untimed warm-up per mode, then interleaved timed rounds.
+  for (auto& m : modes) {
+#ifndef VC_BENCH_SERIAL_ONLY
+    const TrialResult warm = run_trial(n, frames, m.shards, m.use_pool ? &pool : nullptr);
+#else
+    const TrialResult warm = run_trial(n, frames, m.shards, nullptr);
+#endif
+    m.digest = warm.digest;
+    m.media_forwarded = warm.media_forwarded;
+  }
+  for (int r = 0; r < rounds; ++r) {
+    for (auto& m : modes) {
+#ifndef VC_BENCH_SERIAL_ONLY
+      const TrialResult t = run_trial(n, frames, m.shards, m.use_pool ? &pool : nullptr);
+#else
+      const TrialResult t = run_trial(n, frames, m.shards, nullptr);
+#endif
+      m.seconds.push_back(t.seconds);
+      if (t.digest != m.digest) {
+        std::printf("FAIL: %s digest unstable across rounds\n", m.name.c_str());
+        return 1;
+      }
+    }
+  }
+
+  bool identical = true;
+  for (const auto& m : modes) {
+    if (m.digest != modes[0].digest || m.media_forwarded != modes[0].media_forwarded) {
+      identical = false;
+    }
+  }
+
+  const std::int64_t ingests = static_cast<std::int64_t>(n) * frames;
+  std::string json = "{\n  \"benchmark\": \"relay_shard_fanout\",\n";
+  json += "  \"n_participants\": " + std::to_string(n) + ",\n";
+  json += "  \"ingests_per_trial\": " + std::to_string(ingests) + ",\n";
+  json += "  \"media_forwarded_per_trial\": " + std::to_string(modes[0].media_forwarded) + ",\n";
+  json += "  \"rounds\": " + std::to_string(rounds) + ",\n  \"modes\": [\n";
+
+  TextTable table{{"mode", "median (ms)", "ingests/s", "vs serial"}};
+  double serial_median = 0.0;
+  double staged_speedup = 1.0;
+  for (std::size_t i = 0; i < modes.size(); ++i) {
+    auto& m = modes[i];
+    const double med = median(m.seconds);
+    if (i == 0) serial_median = med;
+    const double speedup = med > 0 ? serial_median / med : 0.0;
+    if (m.name == "staged") staged_speedup = speedup;
+    table.add_row({m.name, TextTable::num(med * 1e3, 2),
+                   TextTable::num(med > 0 ? static_cast<double>(ingests) / med : 0.0, 0),
+                   TextTable::num(speedup, 3) + "x"});
+    char buf[256];
+    std::snprintf(buf, sizeof(buf),
+                  "    {\"mode\": \"%s\", \"median_seconds\": %.6f, \"ingests_per_second\": "
+                  "%.0f, \"speedup_vs_serial\": %.3f}%s\n",
+                  m.name.c_str(), med, med > 0 ? static_cast<double>(ingests) / med : 0.0,
+                  speedup, i + 1 < modes.size() ? "," : "");
+    json += buf;
+  }
+  json += "  ],\n";
+  json += std::string{"  \"deliveries_byte_identical\": "} + (identical ? "true" : "false") +
+          ",\n";
+  char tail[128];
+  std::snprintf(tail, sizeof(tail), "  \"gate\": %.2f,\n  \"staged_speedup\": %.3f\n}\n", gate,
+                staged_speedup);
+  json += tail;
+
+  std::printf("%s\n", table.render().c_str());
+  std::printf("deliveries byte-identical across modes: %s\n",
+              identical ? "yes" : "NO — determinism regression!");
+  if (runner::write_text_file(out_path, json)) {
+    std::printf("report written to %s\n", out_path.c_str());
+  }
+
+  if (!identical) return 1;
+  if (gate > 0.0 && staged_speedup < gate) {
+    std::printf("FAIL: staged fan-out speedup %.3fx below gate %.2fx\n", staged_speedup, gate);
+    return 2;
+  }
+  return 0;
+}

@@ -7,6 +7,7 @@
 #pragma once
 
 #include <cstdio>
+#include <cstdlib>
 #include <cstring>
 #include <string>
 #include <vector>
@@ -22,6 +23,14 @@ inline bool paper_scale(int argc, char** argv) {
     if (std::strcmp(argv[i], "--paper") == 0) return true;
   }
   return false;
+}
+
+/// `--name <int>` style flag; returns `fallback` when absent or malformed.
+inline int int_flag(int argc, char** argv, const char* name, int fallback) {
+  for (int i = 1; i + 1 < argc; ++i) {
+    if (std::strcmp(argv[i], name) == 0) return std::atoi(argv[i + 1]);
+  }
+  return fallback;
 }
 
 inline const std::vector<vc::platform::PlatformId>& all_platforms() {

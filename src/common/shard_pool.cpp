@@ -1,0 +1,165 @@
+#include "common/shard_pool.h"
+
+#include <algorithm>
+
+#if defined(__x86_64__) || defined(_M_X64) || defined(__i386__)
+#include <immintrin.h>
+#endif
+
+namespace vc {
+namespace {
+
+inline void cpu_relax() {
+#if defined(__x86_64__) || defined(_M_X64) || defined(__i386__)
+  _mm_pause();
+#elif defined(__aarch64__)
+  asm volatile("yield" ::: "memory");
+#else
+  std::this_thread::yield();
+#endif
+}
+
+/// Spins before a worker parks / the caller yields. Short: a fan-out shard
+/// is a few microseconds of work, so a hot handoff resolves well inside this
+/// budget and a cold one should release the core quickly.
+constexpr int kSpinBudget = 2048;
+
+}  // namespace
+
+ShardPool::ShardPool(int workers) {
+  workers = std::clamp(workers, 0, 64);
+  if (workers > 0) {
+    lanes_ = std::make_unique<Lane[]>(static_cast<std::size_t>(workers));
+    threads_.reserve(static_cast<std::size_t>(workers));
+    for (int w = 0; w < workers; ++w) {
+      threads_.emplace_back([this, w] { worker_main(w); });
+    }
+  }
+}
+
+ShardPool::~ShardPool() {
+  stop_.store(true, std::memory_order_seq_cst);
+  epoch_.fetch_add(1, std::memory_order_seq_cst);
+  {
+    std::lock_guard<std::mutex> lk{park_mutex_};
+    park_cv_.notify_all();
+  }
+  for (std::thread& t : threads_) t.join();
+}
+
+int ShardPool::auto_workers(int shards) {
+  if (shards <= 1) return 0;
+  const int hw = static_cast<int>(std::thread::hardware_concurrency());
+  const int spare = hw > 1 ? hw - 1 : 0;
+  return std::clamp(shards - 1, 0, spare);
+}
+
+void ShardPool::record_error() {
+  std::lock_guard<std::mutex> lk{error_mutex_};
+  if (!error_) error_ = std::current_exception();
+}
+
+void ShardPool::execute_strided(int first, int stride) {
+  const int shards = shards_;
+  const JobFn fn = fn_;
+  void* const ctx = ctx_;
+  for (int s = first; s < shards; s += stride) {
+    try {
+      fn(ctx, s);
+    } catch (...) {
+      record_error();
+    }
+  }
+}
+
+void ShardPool::run_inline(int shards, JobFn fn, void* ctx) {
+  // Same all-shards-run, first-exception-wins semantics as the pooled path.
+  std::exception_ptr err;
+  for (int s = 0; s < shards; ++s) {
+    try {
+      fn(ctx, s);
+    } catch (...) {
+      if (!err) err = std::current_exception();
+    }
+  }
+  if (err) std::rethrow_exception(err);
+}
+
+void ShardPool::run_impl(int shards, JobFn fn, void* ctx) {
+  fn_ = fn;
+  ctx_ = ctx;
+  shards_ = shards;
+  // seq_cst pairs with the seq_cst parked_ increment in park(): either we see
+  // the worker as parked and notify it, or its under-lock epoch re-check sees
+  // this bump — no lost wakeup (classic Dekker store/load pair).
+  const std::uint64_t epoch = epoch_.fetch_add(1, std::memory_order_seq_cst) + 1;
+  if (parked_.load(std::memory_order_seq_cst) > 0) {
+    std::lock_guard<std::mutex> lk{park_mutex_};
+    park_cv_.notify_all();
+  }
+
+  // The caller is lane 0 and works instead of waiting.
+  const int stride = workers() + 1;
+  execute_strided(0, stride);
+
+  // Join: every worker must report this epoch done before the next run may
+  // overwrite the job slot. The acquire-loads make all shard writes visible.
+  for (int w = 0; w < workers(); ++w) {
+    int spins = 0;
+    while (lanes_[w].done.load(std::memory_order_acquire) != epoch) {
+      if (++spins >= kSpinBudget) {
+        std::this_thread::yield();
+      } else {
+        cpu_relax();
+      }
+    }
+  }
+
+  if (error_) {  // race-free: all writers joined above
+    std::exception_ptr err;
+    {
+      std::lock_guard<std::mutex> lk{error_mutex_};
+      err = error_;
+      error_ = nullptr;
+    }
+    std::rethrow_exception(err);
+  }
+}
+
+void ShardPool::worker_main(int lane) {
+  std::uint64_t done = 0;
+  int spins = 0;
+  for (;;) {
+    const std::uint64_t e = epoch_.load(std::memory_order_acquire);
+    if (stop_.load(std::memory_order_acquire)) return;
+    if (e == done) {
+      if (++spins >= kSpinBudget) {
+        park(done);
+        spins = 0;
+      } else {
+        cpu_relax();
+      }
+      continue;
+    }
+    // New epoch published: the job-slot writes happened-before the epoch
+    // bump we acquire-loaded, so fn_/ctx_/shards_ are safe to read.
+    execute_strided(lane + 1, workers() + 1);
+    done = e;
+    lanes_[lane].done.store(e, std::memory_order_release);
+    spins = 0;
+  }
+}
+
+void ShardPool::park(std::uint64_t seen_epoch) {
+  parked_.fetch_add(1, std::memory_order_seq_cst);
+  {
+    std::unique_lock<std::mutex> lk{park_mutex_};
+    park_cv_.wait(lk, [&] {
+      return epoch_.load(std::memory_order_seq_cst) != seen_epoch ||
+             stop_.load(std::memory_order_seq_cst);
+    });
+  }
+  parked_.fetch_sub(1, std::memory_order_seq_cst);
+}
+
+}  // namespace vc

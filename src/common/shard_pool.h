@@ -1,0 +1,114 @@
+// A tiny fork-join pool for sharding one session's work across threads.
+//
+// The runner's thread pool parallelizes *across* sessions; this one
+// parallelizes *within* a session (relay fan-out shards, PR 3). The design
+// constraints are different from a task queue:
+//   * A fan-out dispatch happens per ingested media packet, so the fork-join
+//     round trip must cost well under the sharded work itself. Workers spin
+//     briefly on an epoch counter before parking on a condition variable, and
+//     the caller participates in the work instead of blocking idle.
+//   * Shard assignment is static and strided — shard s runs on lane
+//     (s mod (workers+1)), lane 0 being the caller. No work-stealing counter
+//     means no claim/reset ABA window between epochs: a worker only touches
+//     the published job after acquire-loading an epoch the caller
+//     release-published it under, and the caller only publishes the next job
+//     after acquire-loading every worker's done-epoch. Those two edges are
+//     the whole memory-ordering story (TSan-clean by construction).
+//   * Determinism is the caller's contract, not ours: shards may run in any
+//     order on any lane, so callers stage side effects per shard and merge
+//     them in shard-index order afterwards (see RelayServer).
+//
+// A pool with zero workers degenerates to an inline serial loop over the
+// shards on the calling thread — same API, same staged semantics, no
+// threads. That is the configuration used on single-core machines and in
+// determinism tests that want the staged code path without scheduler noise.
+#pragma once
+
+#include <atomic>
+#include <condition_variable>
+#include <cstdint>
+#include <exception>
+#include <memory>
+#include <mutex>
+#include <thread>
+#include <type_traits>
+#include <vector>
+
+namespace vc {
+
+class ShardPool {
+ public:
+  /// Spawns `workers` threads (clamped to [0, 64]). 0 is valid: run() then
+  /// executes shards inline on the caller.
+  explicit ShardPool(int workers);
+  ~ShardPool();
+  ShardPool(const ShardPool&) = delete;
+  ShardPool& operator=(const ShardPool&) = delete;
+
+  int workers() const { return static_cast<int>(threads_.size()); }
+
+  /// Picks a worker count for K-way sharding on this machine: K-1 lanes
+  /// beyond the caller, but never more than the spare hardware threads. On a
+  /// single-core host this is 0 — sharding then runs inline, preserving the
+  /// staged semantics without futile context switching.
+  static int auto_workers(int shards);
+
+  /// Invokes job(s) exactly once for every shard s in [0, shards), possibly
+  /// concurrently, and returns when all shards have finished (a full
+  /// fork-join barrier: every shard's writes are visible to the caller).
+  /// `job` must be invocable as void(int) and safe to call concurrently for
+  /// distinct shards. run() itself must not be called re-entrantly or from
+  /// two threads at once. If any shard throws, the remaining shards still
+  /// run and the first captured exception is rethrown on the caller.
+  template <class F>
+  void run(int shards, F&& job) {
+    static_assert(std::is_invocable_v<F&, int>, "shard job must be callable as void(int)");
+    if (shards <= 0) return;
+    if (threads_.empty() || shards == 1) {
+      run_inline(shards, &invoke_thunk<F>, const_cast<void*>(static_cast<const void*>(std::addressof(job))));
+      return;
+    }
+    run_impl(shards, &invoke_thunk<F>, const_cast<void*>(static_cast<const void*>(std::addressof(job))));
+  }
+
+ private:
+  using JobFn = void (*)(void* ctx, int shard);
+
+  template <class F>
+  static void invoke_thunk(void* ctx, int shard) {
+    (*static_cast<std::remove_reference_t<F>*>(ctx))(shard);
+  }
+
+  /// Per-worker completion epoch, cacheline-isolated so the caller's
+  /// join-spin on one worker never invalidates another worker's line.
+  struct alignas(64) Lane {
+    std::atomic<std::uint64_t> done{0};
+  };
+
+  void run_impl(int shards, JobFn fn, void* ctx);
+  void run_inline(int shards, JobFn fn, void* ctx);
+  /// Runs shards {first, first+stride, ...} < shards_, capturing the first
+  /// exception into error_.
+  void execute_strided(int first, int stride);
+  void worker_main(int lane);
+  void park(std::uint64_t seen_epoch);
+  void record_error();
+
+  // Job slot: written by the caller strictly before the epoch release-bump,
+  // read by workers strictly after the matching acquire-load. Plain fields.
+  JobFn fn_ = nullptr;
+  void* ctx_ = nullptr;
+  int shards_ = 0;
+
+  std::atomic<std::uint64_t> epoch_{0};
+  std::atomic<bool> stop_{false};
+  std::atomic<int> parked_{0};
+  std::mutex park_mutex_;
+  std::condition_variable park_cv_;
+  std::mutex error_mutex_;
+  std::exception_ptr error_;
+  std::unique_ptr<Lane[]> lanes_;
+  std::vector<std::thread> threads_;
+};
+
+}  // namespace vc

@@ -30,6 +30,9 @@ struct BwCapBenchmarkConfig {
   double fps = 10.0;
   int metric_stride = 4;
   std::uint64_t seed = 5;
+  /// Intra-session relay fan-out sharding (PlatformConfig::fan_out_shards);
+  /// 0 = serial, any K is byte-identical.
+  int fan_out_shards = 0;
 };
 
 struct BwCapBenchmarkResult {
@@ -46,5 +49,26 @@ struct BwCapBenchmarkResult {
 };
 
 BwCapBenchmarkResult run_bwcap_benchmark(const BwCapBenchmarkConfig& config);
+
+/// One capped session as a self-contained world: builds its own
+/// testbed/platform from `seed` (ignoring config.seed / config.sessions), so
+/// parallel experiment runners can drive it with per-task seed streams —
+/// the Fig 17–18 sweep runs these through runner::ExperimentRunner.
+/// The `has_*` flags mirror run_bwcap_benchmark's conditional adds (video
+/// QoE needs enough recorded frames; audio QoE needs received samples).
+struct BwCapSessionResult {
+  bool has_video_qoe = false;
+  double psnr = 0.0;
+  double ssim = 0.0;
+  double vifp = 0.0;
+  bool has_audio_qoe = false;
+  double mos_lqo = 0.0;
+  bool has_delivery_ratio = false;
+  double delivery_ratio = 0.0;
+  double download_kbps = 0.0;
+  double drop_fraction = 0.0;
+};
+
+BwCapSessionResult run_bwcap_session(const BwCapBenchmarkConfig& config, std::uint64_t seed);
 
 }  // namespace vc::core

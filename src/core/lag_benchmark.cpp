@@ -45,12 +45,14 @@ LagBenchmarkResult run_lag_benchmark(const LagBenchmarkConfig& config) {
   if (config.participant_sites.empty()) throw std::invalid_argument{"no participants"};
   testbed::CloudTestbed bed{config.seed};
   std::unique_ptr<platform::BasePlatform> platform;
+  const platform::PlatformConfig platform_cfg{.seed = config.seed ^ 0xABC,
+                                              .fan_out_shards = config.fan_out_shards};
   if (config.platform == platform::PlatformId::kWebex &&
       config.webex_tier == platform::WebexTier::kPaid) {
-    platform = std::make_unique<platform::WebexPlatform>(bed.network(), config.seed ^ 0xABC,
+    platform = std::make_unique<platform::WebexPlatform>(bed.network(), platform_cfg,
                                                          platform::WebexTier::kPaid);
   } else {
-    platform = platform::make_platform(config.platform, bed.network(), config.seed ^ 0xABC);
+    platform = platform::make_platform(config.platform, bed.network(), platform_cfg);
   }
   if (config.metrics != nullptr) {
     bed.network().attach_metrics(*config.metrics);

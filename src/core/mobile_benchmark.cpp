@@ -39,6 +39,66 @@ PhoneRun make_phone(net::Host& host, platform::BasePlatform& platform,
 
 }  // namespace
 
+MobileSessionResult run_mobile_session(const MobileBenchmarkConfig& config, std::uint64_t seed) {
+  const mobile::ScenarioSettings settings = mobile::scenario_settings(config.scenario);
+
+  testbed::CloudTestbed bed{seed};
+  auto platform = platform::make_platform(
+      config.platform, bed.network(),
+      platform::PlatformConfig{.seed = seed ^ 0x303, .fan_out_shards = config.fan_out_shards});
+
+  net::Host& host_vm = bed.create_vm(testbed::site_by_name("US-East"), 8);
+  net::Host& s10_host = bed.create_vm(testbed::residential_us_east(), 0);
+  net::Host& j3_host = bed.create_vm(testbed::residential_us_east(), 1);
+
+  // The host streams the LM/HM feed; Meet serves mobile receivers its high
+  // simulcast layer regardless of the target device (Fig 19b), while
+  // Zoom/Webex stay on their multi-party policy rates.
+  client::VcaClient::Config host_cfg;
+  host_cfg.send_video = true;
+  host_cfg.send_audio = true;
+  host_cfg.decode_video = false;
+  host_cfg.synthetic_video = true;
+  host_cfg.motion = settings.high_motion ? platform::MotionClass::kHighMotion
+                                         : platform::MotionClass::kLowMotion;
+  if (config.platform == platform::PlatformId::kMeet) {
+    host_cfg.rate_override = platform::rate_profile(config.platform).mobile_main_rate;
+  }
+  host_cfg.seed = seed;
+  client::VcaClient host_client{host_vm, *platform, host_cfg};
+  client::MediaFeeder feeder{bed.loop(), host_client.video_device(),
+                             host_client.audio_device()};
+
+  PhoneRun s10 = make_phone(s10_host, *platform, mobile::galaxy_s10(), config.scenario,
+                            platform::ViewMode::kFullScreen, false, seed + 1);
+  PhoneRun j3 = make_phone(j3_host, *platform, mobile::galaxy_j3(), config.scenario,
+                           platform::ViewMode::kFullScreen, false, seed + 2);
+
+  testbed::SessionOrchestrator::Plan plan;
+  plan.host = &host_client;
+  plan.participants = {s10.client.get(), j3.client.get()};
+  plan.media_duration = config.duration;
+  plan.on_all_joined = [&] {
+    feeder.play_audio(media::synthesize_voice(config.duration.seconds(), seed ^ 0xA0D10));
+    s10.monitor->start(config.duration);
+    j3.monitor->start(config.duration);
+  };
+  testbed::SessionOrchestrator orchestrator{std::move(plan)};
+  orchestrator.start();
+  bed.run_all();
+
+  MobileSessionResult out;
+  out.s10_cpu = s10.monitor->cpu_samples();
+  out.j3_cpu = j3.monitor->cpu_samples();
+  out.s10_download_kbps = s10.monitor->download_rate().as_kbps();
+  out.s10_upload_kbps = s10.monitor->upload_rate().as_kbps();
+  out.s10_battery_pct_per_hour = s10.monitor->battery_pct_per_hour();
+  out.j3_download_kbps = j3.monitor->download_rate().as_kbps();
+  out.j3_upload_kbps = j3.monitor->upload_rate().as_kbps();
+  out.j3_battery_pct_per_hour = j3.monitor->battery_pct_per_hour();
+  return out;
+}
+
 MobileBenchmarkResult run_mobile_benchmark(const MobileBenchmarkConfig& config) {
   MobileBenchmarkResult result;
   result.platform = config.platform;
@@ -46,62 +106,20 @@ MobileBenchmarkResult run_mobile_benchmark(const MobileBenchmarkConfig& config) 
   result.s10.device = "S10";
   result.j3.device = "J3";
 
-  const mobile::ScenarioSettings settings = mobile::scenario_settings(config.scenario);
-
   for (int rep = 0; rep < config.repetitions; ++rep) {
     const std::uint64_t seed = config.seed + static_cast<std::uint64_t>(rep) * 2917;
-    testbed::CloudTestbed bed{seed};
-    auto platform = platform::make_platform(config.platform, bed.network(), seed ^ 0x303);
-
-    net::Host& host_vm = bed.create_vm(testbed::site_by_name("US-East"), 8);
-    net::Host& s10_host = bed.create_vm(testbed::residential_us_east(), 0);
-    net::Host& j3_host = bed.create_vm(testbed::residential_us_east(), 1);
-
-    // The host streams the LM/HM feed; Meet serves mobile receivers its high
-    // simulcast layer regardless of the target device (Fig 19b), while
-    // Zoom/Webex stay on their multi-party policy rates.
-    client::VcaClient::Config host_cfg;
-    host_cfg.send_video = true;
-    host_cfg.send_audio = true;
-    host_cfg.decode_video = false;
-    host_cfg.synthetic_video = true;
-    host_cfg.motion = settings.high_motion ? platform::MotionClass::kHighMotion
-                                           : platform::MotionClass::kLowMotion;
-    if (config.platform == platform::PlatformId::kMeet) {
-      host_cfg.rate_override = platform::rate_profile(config.platform).mobile_main_rate;
-    }
-    host_cfg.seed = seed;
-    client::VcaClient host_client{host_vm, *platform, host_cfg};
-    client::MediaFeeder feeder{bed.loop(), host_client.video_device(),
-                               host_client.audio_device()};
-
-    PhoneRun s10 = make_phone(s10_host, *platform, mobile::galaxy_s10(), config.scenario,
-                              platform::ViewMode::kFullScreen, false, seed + 1);
-    PhoneRun j3 = make_phone(j3_host, *platform, mobile::galaxy_j3(), config.scenario,
-                             platform::ViewMode::kFullScreen, false, seed + 2);
-
-    testbed::SessionOrchestrator::Plan plan;
-    plan.host = &host_client;
-    plan.participants = {s10.client.get(), j3.client.get()};
-    plan.media_duration = config.duration;
-    plan.on_all_joined = [&] {
-      feeder.play_audio(media::synthesize_voice(config.duration.seconds(), seed ^ 0xA0D10));
-      s10.monitor->start(config.duration);
-      j3.monitor->start(config.duration);
+    const MobileSessionResult session = run_mobile_session(config, seed);
+    auto harvest = [](MobileDeviceResult& out, const std::vector<double>& cpu, double down,
+                      double up, double battery) {
+      out.cpu_samples.insert(out.cpu_samples.end(), cpu.begin(), cpu.end());
+      out.download_kbps.add(down);
+      out.upload_kbps.add(up);
+      out.battery_pct_per_hour.add(battery);
     };
-    testbed::SessionOrchestrator orchestrator{std::move(plan)};
-    orchestrator.start();
-    bed.run_all();
-
-    auto harvest = [](MobileDeviceResult& out, const PhoneRun& run) {
-      const auto& samples = run.monitor->cpu_samples();
-      out.cpu_samples.insert(out.cpu_samples.end(), samples.begin(), samples.end());
-      out.download_kbps.add(run.monitor->download_rate().as_kbps());
-      out.upload_kbps.add(run.monitor->upload_rate().as_kbps());
-      out.battery_pct_per_hour.add(run.monitor->battery_pct_per_hour());
-    };
-    harvest(result.s10, s10);
-    harvest(result.j3, j3);
+    harvest(result.s10, session.s10_cpu, session.s10_download_kbps, session.s10_upload_kbps,
+            session.s10_battery_pct_per_hour);
+    harvest(result.j3, session.j3_cpu, session.j3_download_kbps, session.j3_upload_kbps,
+            session.j3_battery_pct_per_hour);
   }
   result.s10.cpu = boxplot(result.s10.cpu_samples);
   result.j3.cpu = boxplot(result.j3.cpu_samples);
@@ -112,7 +130,9 @@ ScaleSessionResult run_scale_session(const ScaleBenchmarkConfig& config, std::ui
   const int extra_vms = std::max(0, config.n_total - 3);
 
   testbed::CloudTestbed bed{seed};
-  auto platform = platform::make_platform(config.platform, bed.network(), seed ^ 0x404);
+  auto platform = platform::make_platform(
+      config.platform, bed.network(),
+      platform::PlatformConfig{.seed = seed ^ 0x404, .fan_out_shards = config.fan_out_shards});
 
   net::Host& host_vm = bed.create_vm(testbed::site_by_name("US-East"), 8);
   net::Host& s10_host = bed.create_vm(testbed::residential_us_east(), 0);

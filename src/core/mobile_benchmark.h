@@ -23,6 +23,9 @@ struct MobileBenchmarkConfig {
   int repetitions = 3;
   SimDuration duration = seconds(60);
   std::uint64_t seed = 9;
+  /// Intra-session relay fan-out sharding (PlatformConfig::fan_out_shards);
+  /// 0 = serial, any K is byte-identical.
+  int fan_out_shards = 0;
 };
 
 struct MobileDeviceResult {
@@ -43,6 +46,23 @@ struct MobileBenchmarkResult {
 
 MobileBenchmarkResult run_mobile_benchmark(const MobileBenchmarkConfig& config);
 
+/// One repetition of the mobile scenario as a self-contained session (its
+/// own testbed/platform world from `seed`, ignoring config.seed /
+/// config.repetitions) — the per-task unit parallel experiment runners
+/// drive; run_mobile_benchmark is the serial aggregation of these.
+struct MobileSessionResult {
+  std::vector<double> s10_cpu;
+  std::vector<double> j3_cpu;
+  double s10_download_kbps = 0.0;
+  double s10_upload_kbps = 0.0;
+  double s10_battery_pct_per_hour = 0.0;
+  double j3_download_kbps = 0.0;
+  double j3_upload_kbps = 0.0;
+  double j3_battery_pct_per_hour = 0.0;
+};
+
+MobileSessionResult run_mobile_session(const MobileBenchmarkConfig& config, std::uint64_t seed);
+
 /// Table 4: one host VM + two phones + (n_total - 3) extra VM participants,
 /// everyone streaming high-motion video; phones in full-screen or gallery.
 struct ScaleBenchmarkConfig {
@@ -52,6 +72,9 @@ struct ScaleBenchmarkConfig {
   int repetitions = 2;
   SimDuration duration = seconds(45);
   std::uint64_t seed = 13;
+  /// Intra-session relay fan-out sharding (PlatformConfig::fan_out_shards);
+  /// 0 = serial, any K is byte-identical.
+  int fan_out_shards = 0;
 };
 
 struct ScaleBenchmarkResult {

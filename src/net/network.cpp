@@ -15,14 +15,14 @@ Host& Network::add_host(std::string name, GeoPoint location) {
   const IpAddr ip{next_ip_++};
   auto host = std::make_unique<Host>(*this, std::move(name), location, ip);
   Host& ref = *host;
-  by_ip_.emplace(ip, host.get());
+  by_ip_.push_back(host.get());  // index = ip − kFirstIp by construction
   hosts_.push_back(std::move(host));
   return ref;
 }
 
 Host* Network::host(IpAddr ip) {
-  auto it = by_ip_.find(ip);
-  return it == by_ip_.end() ? nullptr : it->second;
+  const std::uint32_t index = ip.value() - kFirstIp;  // wraps below kFirstIp
+  return index < by_ip_.size() ? by_ip_[index] : nullptr;
 }
 
 void Network::attach_metrics(MetricsRegistry& registry, const std::string& prefix) {

@@ -14,7 +14,6 @@
 #include <cstdint>
 #include <memory>
 #include <string>
-#include <unordered_map>
 #include <vector>
 
 #include "common/metrics.h"
@@ -80,8 +79,13 @@ class Network {
   Rng rng_;
   std::unique_ptr<LossModel> loss_;
   std::vector<std::unique_ptr<Host>> hosts_;
-  std::unordered_map<IpAddr, Host*> by_ip_;
-  std::uint32_t next_ip_ = 0x0A000001;  // 10.0.0.1
+  /// Hosts get sequential 10.x addresses, so routing is a bounds check plus
+  /// a direct index instead of a hash probe — Network::send runs once per
+  /// simulated packet, and on relay fan-out sweeps the old unordered_map
+  /// lookup was a measurable slice of the per-copy cost.
+  std::vector<Host*> by_ip_;
+  static constexpr std::uint32_t kFirstIp = 0x0A000001;  // 10.0.0.1
+  std::uint32_t next_ip_ = kFirstIp;
   Stats stats_;
   MetricsRegistry::Histogram* m_batch_pkts_ = nullptr;
 };

@@ -6,7 +6,21 @@
 namespace vc::platform {
 
 BasePlatform::BasePlatform(net::Network& network, PlatformTraits traits, std::uint64_t seed)
-    : network_(network), traits_(traits), allocator_(network, traits.id, traits.media_port, seed) {}
+    : BasePlatform(network, traits, PlatformConfig{.seed = seed}) {}
+
+BasePlatform::BasePlatform(net::Network& network, PlatformTraits traits,
+                           const PlatformConfig& config)
+    : network_(network),
+      traits_(traits),
+      allocator_(network, traits.id, traits.media_port, config.seed) {
+  if (config.fan_out_shards > 0) {
+    const int workers = config.shard_workers >= 0
+                            ? config.shard_workers
+                            : ShardPool::auto_workers(config.fan_out_shards);
+    if (workers > 0) shard_pool_ = std::make_unique<ShardPool>(workers);
+    allocator_.set_fan_out_sharding(shard_pool_.get(), config.fan_out_shards);
+  }
+}
 
 MeetingId BasePlatform::create_meeting(const ClientRef& host,
                                        std::function<void(RouteInfo)> on_route) {
@@ -106,6 +120,18 @@ ZoomPlatform::ZoomPlatform(net::Network& network, std::uint64_t seed)
                    },
                    seed) {}
 
+ZoomPlatform::ZoomPlatform(net::Network& network, const PlatformConfig& config)
+    : BasePlatform(network,
+                   PlatformTraits{
+                       .id = PlatformId::kZoom,
+                       .media_port = 8801,
+                       .p2p_for_two = true,
+                       .supports_gallery = true,
+                       .max_tiles = 4,
+                       .audio_rate = DataRate::kbps(90),
+                   },
+                   config) {}
+
 void ZoomPlatform::assign_routes(Meeting& meeting) {
   if (traits_.p2p_for_two && meeting.members.size() == 2 && meeting.relays.empty()) {
     // Two-party: direct peer-to-peer streaming on the clients' own ports.
@@ -149,6 +175,19 @@ WebexPlatform::WebexPlatform(net::Network& network, std::uint64_t seed, WebexTie
                    seed),
       tier_(tier) {}
 
+WebexPlatform::WebexPlatform(net::Network& network, const PlatformConfig& config, WebexTier tier)
+    : BasePlatform(network,
+                   PlatformTraits{
+                       .id = PlatformId::kWebex,
+                       .media_port = 9000,
+                       .p2p_for_two = false,
+                       .supports_gallery = true,
+                       .max_tiles = 4,
+                       .audio_rate = DataRate::kbps(45),
+                   },
+                   config),
+      tier_(tier) {}
+
 void WebexPlatform::assign_routes(Meeting& meeting) {
   if (meeting.relays.empty()) {
     meeting.relays.push_back(
@@ -179,6 +218,18 @@ MeetPlatform::MeetPlatform(net::Network& network, std::uint64_t seed)
                    },
                    seed) {}
 
+MeetPlatform::MeetPlatform(net::Network& network, const PlatformConfig& config)
+    : BasePlatform(network,
+                   PlatformTraits{
+                       .id = PlatformId::kMeet,
+                       .media_port = 19305,
+                       .p2p_for_two = false,
+                       .supports_gallery = false,
+                       .max_tiles = 4,
+                       .audio_rate = DataRate::kbps(40),
+                   },
+                   config) {}
+
 void MeetPlatform::assign_routes(Meeting& meeting) {
   for (auto& m : meeting.members) {
     if (m.relay != nullptr) continue;
@@ -200,10 +251,15 @@ void MeetPlatform::assign_routes(Meeting& meeting) {
 
 std::unique_ptr<BasePlatform> make_platform(PlatformId id, net::Network& network,
                                             std::uint64_t seed) {
+  return make_platform(id, network, PlatformConfig{.seed = seed});
+}
+
+std::unique_ptr<BasePlatform> make_platform(PlatformId id, net::Network& network,
+                                            const PlatformConfig& config) {
   switch (id) {
-    case PlatformId::kZoom: return std::make_unique<ZoomPlatform>(network, seed);
-    case PlatformId::kWebex: return std::make_unique<WebexPlatform>(network, seed);
-    case PlatformId::kMeet: return std::make_unique<MeetPlatform>(network, seed);
+    case PlatformId::kZoom: return std::make_unique<ZoomPlatform>(network, config);
+    case PlatformId::kWebex: return std::make_unique<WebexPlatform>(network, config);
+    case PlatformId::kMeet: return std::make_unique<MeetPlatform>(network, config);
   }
   throw std::invalid_argument{"unknown platform"};
 }

@@ -15,6 +15,11 @@ namespace vc::platform {
 class BasePlatform : public VcaPlatform {
  public:
   BasePlatform(net::Network& network, PlatformTraits traits, std::uint64_t seed);
+  /// Full-config construction: seeds the allocator and, when
+  /// config.fan_out_shards > 0, provisions the shard pool every allocated
+  /// relay shares (sized per config.shard_workers; 0 resolved workers means
+  /// relays run their shards inline — staged path, no threads).
+  BasePlatform(net::Network& network, PlatformTraits traits, const PlatformConfig& config);
 
   const PlatformTraits& traits() const override { return traits_; }
 
@@ -31,6 +36,10 @@ class BasePlatform : public VcaPlatform {
 
   /// Instruments every relay this platform allocates from now on.
   void set_metrics(MetricsRegistry* registry) { allocator_.set_metrics(registry); }
+
+  /// The pool relays shard their fan-out on; nullptr when fan-out is serial
+  /// or the shards run inline (exposed so tests can assert the resolution).
+  ShardPool* shard_pool() { return shard_pool_.get(); }
 
  protected:
   struct Member {
@@ -61,6 +70,9 @@ class BasePlatform : public VcaPlatform {
 
   net::Network& network_;
   PlatformTraits traits_;
+  /// Declared before allocator_: the allocator hands the pool pointer to
+  /// every relay it creates, and relays must never outlive the pool.
+  std::unique_ptr<ShardPool> shard_pool_;
   RelayAllocator allocator_;
   std::unordered_map<MeetingId, Meeting> meetings_;
   MeetingId next_meeting_ = 1;
@@ -71,6 +83,7 @@ class BasePlatform : public VcaPlatform {
 class ZoomPlatform final : public BasePlatform {
  public:
   explicit ZoomPlatform(net::Network& network, std::uint64_t seed = 11);
+  ZoomPlatform(net::Network& network, const PlatformConfig& config);
 
  private:
   void assign_routes(Meeting& meeting) override;
@@ -87,6 +100,8 @@ class WebexPlatform final : public BasePlatform {
  public:
   explicit WebexPlatform(net::Network& network, std::uint64_t seed = 22,
                          WebexTier tier = WebexTier::kFree);
+  WebexPlatform(net::Network& network, const PlatformConfig& config,
+                WebexTier tier = WebexTier::kFree);
 
   WebexTier tier() const { return tier_; }
 
@@ -99,6 +114,7 @@ class WebexPlatform final : public BasePlatform {
 class MeetPlatform final : public BasePlatform {
  public:
   explicit MeetPlatform(net::Network& network, std::uint64_t seed = 33);
+  MeetPlatform(net::Network& network, const PlatformConfig& config);
 
  private:
   void assign_routes(Meeting& meeting) override;
@@ -107,5 +123,7 @@ class MeetPlatform final : public BasePlatform {
 /// Factory: the platform under test by id.
 std::unique_ptr<BasePlatform> make_platform(PlatformId id, net::Network& network,
                                             std::uint64_t seed = 7);
+std::unique_ptr<BasePlatform> make_platform(PlatformId id, net::Network& network,
+                                            const PlatformConfig& config);
 
 }  // namespace vc::platform

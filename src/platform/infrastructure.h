@@ -70,6 +70,14 @@ class RelayAllocator {
   /// nullptr to stop instrumenting new relays.
   void set_metrics(MetricsRegistry* registry) { metrics_ = registry; }
 
+  /// Every relay created from now on shards its fan-out `shards` ways on
+  /// `pool` (borrowed; may be nullptr = shards run inline). Results are
+  /// byte-identical at any setting — see RelayServer::set_fan_out_sharding.
+  void set_fan_out_sharding(ShardPool* pool, int shards) {
+    fan_out_pool_ = pool;
+    fan_out_shards_ = shards;
+  }
+
  private:
   RelayServer* new_relay(const Site& site);
   const Site& nearest_site(const GeoPoint& p) const;
@@ -84,6 +92,8 @@ class RelayAllocator {
   std::unordered_map<net::IpAddr, std::pair<RelayServer*, RelayServer*>> meet_front_ends_;
   int relay_counter_ = 0;
   MetricsRegistry* metrics_ = nullptr;
+  ShardPool* fan_out_pool_ = nullptr;
+  int fan_out_shards_ = 0;
 };
 
 }  // namespace vc::platform

@@ -2,8 +2,19 @@
 
 #include <algorithm>
 #include <cmath>
+#include <limits>
 
 namespace vc::platform {
+
+namespace {
+/// Below this many receivers a pool dispatch costs more than it saves, so
+/// shards run inline on the caller. Purely a performance cutoff: the staged
+/// code path (and therefore every observable result) is the same either way.
+constexpr std::size_t kMinReceiversForPool = 16;
+/// Cap on recycled candidate batches kept around (serial needs one in
+/// flight; a K-sharded relay pre-seeds K sub-batches per dispatch).
+constexpr std::size_t kMaxBatchSpares = 16;
+}  // namespace
 
 RelayServer::RelayServer(net::Network& network, std::string name, GeoPoint location,
                          std::uint16_t media_port)
@@ -22,21 +33,50 @@ RelayServer::RelayServer(net::Network& network, std::string name, GeoPoint locat
 void RelayServer::attach_metrics(MetricsRegistry& registry, const std::string& prefix) {
   m_media_in_ = &registry.counter(prefix + ".media_in");
   m_media_forwarded_ = &registry.counter(prefix + ".media_forwarded");
+  m_peer_forwarded_ = &registry.counter(prefix + ".peer_forwarded");
   m_probes_answered_ = &registry.counter(prefix + ".probes_answered");
   m_control_forwarded_ = &registry.counter(prefix + ".control_forwarded");
   m_fan_out_ = &registry.histogram(prefix + ".fan_out");
   m_departure_batch_pkts_ = &registry.histogram(prefix + ".departure_batch_pkts");
 }
 
-void RelayServer::send_delayed(net::Packet pkt, Departure& dep) {
+void RelayServer::attach_shard_metrics(MetricsRegistry& registry, const std::string& prefix) {
+  shard_registry_ = &registry;
+  shard_prefix_ = prefix;
+  rebuild_shard_metrics();
+}
+
+void RelayServer::rebuild_shard_metrics() {
+  m_shard_fan_out_.clear();
+  m_shard_imbalance_ = nullptr;
+  if (shard_registry_ == nullptr || shards_ <= 0) return;
+  m_shard_fan_out_.reserve(static_cast<std::size_t>(shards_));
+  for (int s = 0; s < shards_; ++s) {
+    m_shard_fan_out_.push_back(
+        &shard_registry_->counter(shard_prefix_ + ".shard" + std::to_string(s) + ".fan_out"));
+  }
+  m_shard_imbalance_ = &shard_registry_->histogram(shard_prefix_ + ".shard_imbalance");
+}
+
+void RelayServer::set_fan_out_sharding(ShardPool* pool, int shards) {
+  pool_ = pool;
+  shards_ = shards;
+  if (shards_ > 0) scratch_.resize(static_cast<std::size_t>(shards_));
+  rebuild_shard_metrics();
+}
+
+SimTime RelayServer::departure_candidate() {
   const SimDuration d =
       delay_.base + millis_f(network_.rng().exponential(delay_.jitter_mean_ms));
-  SimTime departure = network_.now() + d;
+  return network_.now() + d;
+}
+
+void RelayServer::send_with_candidate(net::Packet pkt, Departure& dep, SimTime candidate) {
   // FIFO per destination: a later packet never departs before an earlier one.
   // Under load the floor dominates the jittered delay, so consecutive
   // packets to one receiver collapse onto the same tick — those ride the
   // destination's open batch instead of scheduling fresh events.
-  if (departure < dep.floor) departure = dep.floor;
+  const SimTime departure = candidate < dep.floor ? dep.floor : candidate;
   dep.floor = departure;
   if (dep.open && !dep.open->sealed && dep.open_tick == departure) {
     dep.open->packets.push_back(std::move(pkt));
@@ -46,13 +86,48 @@ void RelayServer::send_delayed(net::Packet pkt, Departure& dep) {
   batch->packets.push_back(std::move(pkt));
   dep.open = batch;
   dep.open_tick = departure;
-  network_.loop().schedule_at(departure, [this, batch] {
+  schedule_departure(departure, std::move(batch));
+}
+
+void RelayServer::schedule_departure(SimTime tick, std::shared_ptr<DepartureBatch> batch) {
+  network_.loop().schedule_at(tick, [this, batch = std::move(batch)] {
     batch->sealed = true;
     if (m_departure_batch_pkts_ != nullptr) {
       m_departure_batch_pkts_->observe(static_cast<double>(batch->packets.size()));
     }
     for (net::Packet& p : batch->packets) socket_->send(std::move(p));
   });
+}
+
+void RelayServer::schedule_candidate_departure(SimTime tick,
+                                               std::shared_ptr<DepartureBatch> batch) {
+  network_.loop().schedule_at(tick, [this, batch = std::move(batch)]() mutable {
+    batch->sealed = true;
+    if (m_departure_batch_pkts_ != nullptr) {
+      m_departure_batch_pkts_->observe(static_cast<double>(batch->packets.size()));
+    }
+    for (net::Packet& p : batch->packets) socket_->send(std::move(p));
+    // Recycle only when this event holds the sole reference: a destination
+    // whose open-batch handle still points here may yet append at this tick
+    // (zero-delay pipelines), so its batch must stay sealed, not reused.
+    if (batch.use_count() == 1 && batch_spares_.size() < kMaxBatchSpares) {
+      batch->packets.clear();
+      batch->sealed = false;
+      batch_spares_.push_back(std::move(batch));
+    }
+  });
+}
+
+std::shared_ptr<RelayServer::DepartureBatch> RelayServer::acquire_batch(
+    std::size_t reserve_hint) {
+  if (!batch_spares_.empty()) {
+    std::shared_ptr<DepartureBatch> b = std::move(batch_spares_.back());
+    batch_spares_.pop_back();
+    return b;  // empty and unsealed, with its packet capacity retained
+  }
+  auto b = std::make_shared<DepartureBatch>();
+  b->packets.reserve(reserve_hint);
+  return b;
 }
 
 void RelayServer::add_participant(MeetingId meeting, ParticipantId id,
@@ -155,7 +230,197 @@ void RelayServer::on_packet(const net::Packet& pkt) {
   forward_media(m_it->second, pkt, /*from_peer=*/false);
 }
 
+template <class NewBatchSink, class OnCandidate, class OnAppend>
+std::int64_t RelayServer::fan_out_range(Meeting& meeting, const net::Packet& pkt,
+                                        SimTime candidate, std::size_t begin, std::size_t end,
+                                        NewBatchSink&& sink, OnCandidate&& on_candidate,
+                                        OnAppend&& on_append) {
+  std::int64_t copies = 0;
+  auto& parts = meeting.participants;
+  for (std::size_t i = begin; i < end; ++i) {
+    Participant& p = parts[i];
+    if (p.id == pkt.origin_id) continue;  // never echo back to the sender
+    net::Packet copy = pkt;
+    copy.dst = p.endpoint;
+    if (pkt.kind == net::StreamKind::kVideo) {
+      // video_scale is only ever populated together with subscriptions_set,
+      // so the (common) no-subscriptions receiver skips the hash probe.
+      double scale = 1.0;
+      if (p.subscriptions_set) {
+        const auto scale_it = p.video_scale.find(pkt.origin_id);
+        scale = scale_it != p.video_scale.end() ? scale_it->second : 0.0;
+      }
+      if (scale <= 0.0) continue;  // not subscribed
+      if (scale < 1.0) {
+        // Simulcast layer selection: a thinner encoding of the same stream.
+        // The thinned stream is not pixel-decodable (used by the mobile and
+        // gallery scenarios, which measure traffic/resources, not pixels).
+        copy.l7_len = std::max<std::int64_t>(
+            static_cast<std::int64_t>(
+                std::llround(static_cast<double>(pkt.l7_len) * scale)),
+            24);
+        copy.payload = nullptr;
+      }
+    }
+    // The destination's departure pipeline: depart at the ingest's shared
+    // candidate tick unless this flow's FIFO floor pushes the copy later.
+    Departure& dep = p.departure;
+    if (dep.floor < candidate) {
+      // Unconstrained: the copy rides the ingest-wide candidate batch. The
+      // caller repoints dep.open there (under sharding only the merge step
+      // knows the spliced batch), so open_tick is updated here to match.
+      dep.floor = candidate;
+      dep.open_tick = candidate;
+      on_candidate(dep, std::move(copy));
+    } else {
+      const SimTime departure = dep.floor;
+      if (dep.open && !dep.open->sealed && dep.open_tick == departure) {
+        on_append(*dep.open, std::move(copy));
+      } else {
+        auto batch = std::make_shared<DepartureBatch>();
+        batch->packets.push_back(std::move(copy));
+        dep.open = batch;
+        dep.open_tick = departure;
+        sink(departure, std::move(batch));
+      }
+    }
+    ++copies;
+  }
+  return copies;
+}
+
+std::int64_t RelayServer::fan_out_media(Meeting& meeting, const net::Packet& pkt,
+                                        SimTime candidate) {
+  const std::size_t n = meeting.participants.size();
+  if (shards_ <= 0) {
+    // Serial path: newly opened per-destination batches are scheduled as
+    // they open, unconstrained copies accumulate into one ingest-wide batch
+    // scheduled after the loop. Appends never schedule, so this is the same
+    // schedule_at sequence the staged path's merge reproduces.
+    std::shared_ptr<DepartureBatch> cand;
+    const std::int64_t copies = fan_out_range(
+        meeting, pkt, candidate, 0, n,
+        [this](SimTime tick, std::shared_ptr<DepartureBatch> batch) {
+          schedule_departure(tick, std::move(batch));
+        },
+        [this, &cand, n](Departure& dep, net::Packet&& copy) {
+          if (!cand) cand = acquire_batch(n);
+          dep.open = cand;
+          cand->packets.push_back(std::move(copy));
+        },
+        [](DepartureBatch& target, net::Packet&& copy) {
+          target.packets.push_back(std::move(copy));
+        });
+    if (cand) schedule_candidate_departure(candidate, std::move(cand));
+    return copies;
+  }
+
+  const int k = shards_;
+  const bool pooled = pool_ != nullptr && k > 1 && n >= kMinReceiversForPool;
+  // Pre-seed every shard's candidate sub-batch on the loop thread: workers
+  // then run allocation-free in the steady state (the merge splice leaves
+  // each retained sub-batch empty with its capacity intact).
+  for (int s = 0; s < k; ++s) {
+    ShardScratch& sc = scratch_[static_cast<std::size_t>(s)];
+    sc.staged.clear();
+    sc.appends.clear();
+    sc.cand_deps.clear();
+    if (!sc.cand) sc.cand = acquire_batch(n / static_cast<std::size_t>(k) + 1);
+  }
+  auto shard_job = [&](int s) {
+    ShardScratch& sc = scratch_[static_cast<std::size_t>(s)];
+    // Contiguous join-order partition: shard s owns [s*n/k, (s+1)*n/k).
+    // Participants are partitioned, and each Participant owns its departure
+    // pipeline inline, so shards touch disjoint mutable state; the only
+    // shared object a worker may see — a previous ingest's candidate batch,
+    // via dep.open — is read-only here (appends to it are staged).
+    const std::size_t begin = n * static_cast<std::size_t>(s) / static_cast<std::size_t>(k);
+    const std::size_t end = n * (static_cast<std::size_t>(s) + 1) / static_cast<std::size_t>(k);
+    sc.copies = fan_out_range(
+        meeting, pkt, candidate, begin, end,
+        [&sc](SimTime tick, std::shared_ptr<DepartureBatch> batch) {
+          sc.staged.push_back(StagedBatch{tick, std::move(batch)});
+        },
+        [&sc](Departure& dep, net::Packet&& copy) {
+          sc.cand_deps.push_back(&dep);  // repointed to the spliced batch below
+          sc.cand->packets.push_back(std::move(copy));
+        },
+        // Appends only need staging when shards truly run concurrently (the
+        // target may be a previous ingest's batch shared across shards).
+        // Inline shards execute sequentially in shard order — already the
+        // serial join order — so they append in place, identically.
+        [&sc, pooled](DepartureBatch& target, net::Packet&& copy) {
+          if (pooled) {
+            sc.appends.push_back(StagedAppend{&target, std::move(copy)});
+          } else {
+            target.packets.push_back(std::move(copy));
+          }
+        });
+  };
+  if (pooled) {
+    pool_->run(k, shard_job);  // full fork-join: all shard writes visible below
+  } else {
+    for (int s = 0; s < k; ++s) shard_job(s);
+  }
+
+  // Deterministic merge, all in shard-index order and join order within a
+  // shard — under the contiguous partition that concatenation IS the serial
+  // path's join order. Staged appends land first (they extend batches from
+  // earlier ingests, exactly where the serial loop would have put them),
+  // then staged per-destination batches are scheduled — the serial
+  // schedule_at sequence, so slot/EventId assignment and every downstream
+  // tiebreak are byte-identical to K=0.
+  std::int64_t copies = 0;
+  std::int64_t lo = std::numeric_limits<std::int64_t>::max();
+  std::int64_t hi = 0;
+  for (int s = 0; s < k; ++s) {
+    ShardScratch& sc = scratch_[static_cast<std::size_t>(s)];
+    for (StagedAppend& a : sc.appends) a.target->packets.push_back(std::move(a.pkt));
+    sc.appends.clear();
+    for (StagedBatch& sb : sc.staged) schedule_departure(sb.tick, std::move(sb.batch));
+    sc.staged.clear();
+    copies += sc.copies;
+    lo = std::min(lo, sc.copies);
+    hi = std::max(hi, sc.copies);
+    if (!m_shard_fan_out_.empty()) m_shard_fan_out_[static_cast<std::size_t>(s)]->add(sc.copies);
+  }
+  // Splice the shard sub-batches into the one ingest-wide candidate batch
+  // (global join order again), repoint every candidate destination's open-
+  // batch handle at it, and schedule it once — matching the serial path's
+  // single candidate event, content and histogram included.
+  std::shared_ptr<DepartureBatch> cand;
+  for (int s = 0; s < k; ++s) {
+    ShardScratch& sc = scratch_[static_cast<std::size_t>(s)];
+    if (sc.cand && !sc.cand->packets.empty()) {
+      if (!cand) {
+        cand = std::move(sc.cand);
+      } else {
+        cand->packets.insert(cand->packets.end(),
+                             std::make_move_iterator(sc.cand->packets.begin()),
+                             std::make_move_iterator(sc.cand->packets.end()));
+        sc.cand->packets.clear();
+      }
+    }
+    for (Departure* dep : sc.cand_deps) dep->open = cand;
+    sc.cand_deps.clear();
+  }
+  if (cand) schedule_candidate_departure(candidate, std::move(cand));
+  if (m_shard_imbalance_ != nullptr) m_shard_imbalance_->observe(static_cast<double>(hi - lo));
+  return copies;
+}
+
 void RelayServer::forward_media(Meeting& meeting, const net::Packet& pkt, bool from_peer) {
+  // ONE jitter draw per ingested packet, made here on the event-loop thread
+  // before any fan-out work: all forwarded copies of this packet share the
+  // candidate departure time (per-destination FIFO floors still apply on
+  // top). This models relay processing delay as a property of the ingest
+  // pipeline rather than of each egress copy, and it is the determinism
+  // linchpin of sharding — shard workers never touch the RNG, so the random
+  // stream is identical at every shard count K. It is also the dominant
+  // per-packet cost saving: the old per-copy draw paid an exponential (a
+  // log()) for every one of the N−1 copies.
+  const SimTime candidate = departure_candidate();
+
   // Control packets (e.g. receiver reports) are routed to the participant
   // the report concerns (pkt.origin_id), not fanned out.
   if (pkt.kind == net::StreamKind::kControl) {
@@ -163,7 +428,7 @@ void RelayServer::forward_media(Meeting& meeting, const net::Packet& pkt, bool f
       if (p.id != pkt.origin_id) continue;
       net::Packet copy = pkt;
       copy.dst = p.endpoint;
-      send_delayed(std::move(copy), p.departure);
+      send_with_candidate(std::move(copy), p.departure, candidate);
       ++stats_.control_forwarded;
       if (m_control_forwarded_) m_control_forwarded_->inc();
       return;
@@ -172,7 +437,7 @@ void RelayServer::forward_media(Meeting& meeting, const net::Packet& pkt, bool f
       for (PeerLink& pl : meeting.peers) {
         net::Packet copy = pkt;
         copy.dst = pl.relay->endpoint();
-        send_delayed(std::move(copy), pl.departure);
+        send_with_candidate(std::move(copy), pl.departure, candidate);
         ++stats_.control_forwarded;
         if (m_control_forwarded_) m_control_forwarded_->inc();
       }
@@ -180,46 +445,27 @@ void RelayServer::forward_media(Meeting& meeting, const net::Packet& pkt, bool f
     return;
   }
 
-  std::int64_t copies = 0;
-  for (auto& p : meeting.participants) {
-    if (p.id == pkt.origin_id) continue;  // never echo back to the sender
-    net::Packet copy = pkt;
-    copy.dst = p.endpoint;
-    if (pkt.kind == net::StreamKind::kVideo) {
-      const auto scale_it = p.video_scale.find(pkt.origin_id);
-      const double scale = scale_it != p.video_scale.end() ? scale_it->second
-                           : p.subscriptions_set           ? 0.0
-                                                           : 1.0;
-      if (scale <= 0.0) continue;  // not subscribed
-      if (scale < 1.0) {
-        // Simulcast layer selection: a thinner encoding of the same stream.
-        // The thinned stream is not pixel-decodable (used by the mobile and
-        // gallery scenarios, which measure traffic/resources, not pixels).
-        copy.l7_len = std::max<std::int64_t>(static_cast<std::int64_t>(
-                                                 std::llround(static_cast<double>(pkt.l7_len) * scale)),
-                                             24);
-        copy.payload = nullptr;
-      }
-    }
-    send_delayed(std::move(copy), p.departure);
-    ++stats_.media_forwarded;
-    ++copies;
-  }
+  const std::int64_t media_copies = fan_out_media(meeting, pkt, candidate);
+  stats_.media_forwarded += media_copies;
 
   // Fan out to peer front-ends exactly once (only for first-hop packets).
+  // Peer forwards are a different beast from participant copies — one link
+  // carries the whole meeting onward — so they are counted separately and
+  // excluded from the per-receiver fan_out distribution.
+  std::int64_t peer_copies = 0;
   if (!from_peer) {
     for (PeerLink& pl : meeting.peers) {
       net::Packet copy = pkt;
       copy.dst = pl.relay->endpoint();
-      send_delayed(std::move(copy), pl.departure);
-      ++stats_.media_forwarded;
-      ++copies;
+      send_with_candidate(std::move(copy), pl.departure, candidate);
+      ++peer_copies;
     }
+    stats_.peer_forwarded += peer_copies;
   }
-  if (m_media_forwarded_) {
-    m_media_forwarded_->add(copies);
-    m_fan_out_->observe(static_cast<double>(copies));
-  }
+
+  if (m_media_forwarded_) m_media_forwarded_->add(media_copies);
+  if (m_peer_forwarded_ && peer_copies > 0) m_peer_forwarded_->add(peer_copies);
+  if (m_fan_out_) m_fan_out_->observe(static_cast<double>(media_copies));
 }
 
 }  // namespace vc::platform

@@ -1,0 +1,110 @@
+// ShardPool unit tests: strided coverage, epoch reuse, inline fallback,
+// exception propagation, and cross-thread result visibility. These run in
+// the TSan CI job, so every assertion here doubles as a data-race probe on
+// the pool's epoch/done handshake.
+#include <gtest/gtest.h>
+
+#include <atomic>
+#include <cstdint>
+#include <numeric>
+#include <stdexcept>
+#include <thread>
+#include <vector>
+
+#include "common/shard_pool.h"
+
+namespace vc {
+namespace {
+
+TEST(ShardPool, RunsEveryShardExactlyOnce) {
+  ShardPool pool{3};
+  for (int shards : {1, 2, 3, 4, 7, 16}) {
+    std::vector<std::atomic<int>> hits(static_cast<std::size_t>(shards));
+    pool.run(shards, [&](int s) { hits[static_cast<std::size_t>(s)].fetch_add(1); });
+    for (int s = 0; s < shards; ++s) {
+      EXPECT_EQ(hits[static_cast<std::size_t>(s)].load(), 1) << "shards=" << shards << " s=" << s;
+    }
+  }
+}
+
+TEST(ShardPool, ReusableAcrossManyEpochs) {
+  // The epoch handshake must survive thousands of dispatches without a
+  // worker wedging on a stale epoch or double-running a job.
+  ShardPool pool{2};
+  std::atomic<std::int64_t> total{0};
+  for (int epoch = 0; epoch < 4000; ++epoch) {
+    pool.run(3, [&](int s) { total.fetch_add(s + 1, std::memory_order_relaxed); });
+  }
+  EXPECT_EQ(total.load(), 4000 * (1 + 2 + 3));
+}
+
+TEST(ShardPool, MoreShardsThanLanesAreStridedOverAllLanes) {
+  // With W workers there are W+1 lanes; shard s runs on lane s % (W+1).
+  // 10 shards over 3 lanes → every shard still runs exactly once.
+  ShardPool pool{2};
+  std::vector<std::atomic<int>> hits(10);
+  pool.run(10, [&](int s) { hits[static_cast<std::size_t>(s)].fetch_add(1); });
+  int sum = 0;
+  for (auto& h : hits) sum += h.load();
+  EXPECT_EQ(sum, 10);
+  for (std::size_t s = 0; s < hits.size(); ++s) EXPECT_EQ(hits[s].load(), 1) << s;
+}
+
+TEST(ShardPool, ZeroWorkersRunsInlineOnCaller) {
+  ShardPool pool{0};
+  EXPECT_EQ(pool.workers(), 0);
+  const auto caller = std::this_thread::get_id();
+  std::vector<std::thread::id> ran(4);
+  pool.run(4, [&](int s) { ran[static_cast<std::size_t>(s)] = std::this_thread::get_id(); });
+  for (const auto& id : ran) EXPECT_EQ(id, caller);
+}
+
+TEST(ShardPool, NonPositiveShardCountIsANoOp) {
+  ShardPool pool{1};
+  int calls = 0;
+  pool.run(0, [&](int) { ++calls; });
+  pool.run(-3, [&](int) { ++calls; });
+  EXPECT_EQ(calls, 0);
+}
+
+TEST(ShardPool, FirstExceptionPropagatesAndPoolSurvives) {
+  ShardPool pool{2};
+  EXPECT_THROW(
+      pool.run(6,
+               [&](int s) {
+                 if (s % 2 == 1) throw std::runtime_error{"shard failed"};
+               }),
+      std::runtime_error);
+  // The pool must still be usable after a throwing epoch.
+  std::atomic<int> ok{0};
+  pool.run(6, [&](int) { ok.fetch_add(1); });
+  EXPECT_EQ(ok.load(), 6);
+}
+
+TEST(ShardPool, ResultsWrittenByWorkersAreVisibleAfterRun) {
+  // The join handshake (per-lane done release-store, caller acquire-spin)
+  // must publish plain non-atomic writes made inside shard jobs.
+  ShardPool pool{3};
+  std::vector<std::int64_t> out(64, 0);
+  for (int round = 0; round < 200; ++round) {
+    pool.run(static_cast<int>(out.size()),
+             [&](int s) { out[static_cast<std::size_t>(s)] = 1000 + round + s; });
+    for (int s = 0; s < static_cast<int>(out.size()); ++s) {
+      ASSERT_EQ(out[static_cast<std::size_t>(s)], 1000 + round + s);
+    }
+  }
+}
+
+TEST(ShardPool, AutoWorkersNeverExceedsShardsOrCores) {
+  EXPECT_EQ(ShardPool::auto_workers(1), 0);  // one shard needs no helpers
+  for (int shards : {2, 4, 8, 64}) {
+    const int w = ShardPool::auto_workers(shards);
+    EXPECT_GE(w, 0);
+    EXPECT_LE(w, shards - 1);
+    const unsigned hw = std::thread::hardware_concurrency();
+    if (hw > 0) EXPECT_LE(w, static_cast<int>(hw) - 1);
+  }
+}
+
+}  // namespace
+}  // namespace vc

@@ -1,0 +1,71 @@
+// Regression for the event-loop slab-growth hazard under sharded fan-out.
+//
+// The event loop's slot slab grows in 1024-slot chunks, and growth may
+// happen while the loop is mid-invocation (the PR 2 hazard). Sharding adds
+// a cross-thread twist: the departure batches being scheduled during the
+// merge were just written by ShardPool workers, so the merge's thousands of
+// schedule_at calls must (a) survive multiple chunk growths inside a single
+// on_packet invocation and (b) read worker-written batch state strictly
+// after the pool's join handshake published it. A meeting large enough to
+// force several chunk growths per ingest exercises both at once; run under
+// TSan this is the data-race probe for the relay/pool boundary.
+#include <gtest/gtest.h>
+
+#include <memory>
+#include <string>
+#include <vector>
+
+#include "common/shard_pool.h"
+#include "platform/relay.h"
+
+namespace vc {
+namespace {
+
+TEST(ShardSlabGrowth, MergeSchedulingGrowsSlabMidInvocationAcrossThreads) {
+  // 1,500 receivers → one ingest schedules ~1,499 departure events during
+  // the merge (each crossing into fresh slab chunks), then their sends
+  // schedule another ~1,499 delivery events when the departures fire.
+  constexpr int kParticipants = 1'500;
+
+  net::Network net{std::make_unique<net::FixedLatencyModel>(millis(2)), 1};
+  platform::RelayServer relay{net, "relay", GeoPoint{38.9, -77.4}, 8801,
+                              platform::RelayServer::ForwardingDelay{millis(2), 0.0}};
+  ShardPool pool{3};
+  relay.set_fan_out_sharding(&pool, 4);
+
+  std::vector<int> received(kParticipants, 0);
+  std::vector<net::Host*> hosts;
+  hosts.reserve(kParticipants);
+  for (int i = 0; i < kParticipants; ++i) {
+    net::Host& h = net.add_host("c" + std::to_string(i), GeoPoint{40.0, -75.0});
+    auto& sock = h.udp_bind(100);
+    int* counter = &received[static_cast<std::size_t>(i)];
+    sock.on_receive([counter](const net::Packet&) { ++(*counter); });
+    relay.add_participant(1, static_cast<platform::ParticipantId>(i + 1), {h.ip(), 100});
+    hosts.push_back(&h);
+  }
+
+  // Three ingests from different senders so the pool dispatches repeatedly
+  // and slab reuse (free-list churn from the first wave) is in play too.
+  for (int sender : {0, 700, 1'499}) {
+    net::Packet p;
+    p.dst = relay.endpoint();
+    p.l7_len = 900;
+    p.kind = net::StreamKind::kVideo;
+    p.origin_id = static_cast<std::uint32_t>(sender + 1);
+    p.seq = static_cast<std::uint64_t>(sender);
+    hosts[static_cast<std::size_t>(sender)]->udp_socket(100)->send(std::move(p));
+  }
+  net.loop().run();
+
+  for (int i = 0; i < kParticipants; ++i) {
+    const int expected = (i == 0 || i == 700 || i == 1'499) ? 2 : 3;
+    ASSERT_EQ(received[static_cast<std::size_t>(i)], expected) << "participant " << i;
+  }
+  EXPECT_EQ(relay.stats().media_in, 3);
+  EXPECT_EQ(relay.stats().media_forwarded, 3 * (kParticipants - 1));
+  EXPECT_EQ(relay.stats().peer_forwarded, 0);
+}
+
+}  // namespace
+}  // namespace vc

@@ -194,6 +194,44 @@ TEST_F(RelayFixture, PeerForwardingOnceNoLoops) {
   EXPECT_TRUE(a_rx.empty());
 }
 
+TEST_F(RelayFixture, MediaAndPeerForwardsCountedSeparately) {
+  // Regression: the old single `media_forwarded` counter mixed participant
+  // copies with peer front-end forwards, overstating per-receiver fan-out.
+  // One ingest with one local receiver and one linked peer must count one
+  // media copy and one peer copy, never two of either.
+  RelayServer peer{net, "peer", GeoPoint{50.0, 8.0}, 8801,
+                   RelayServer::ForwardingDelay{millis(2), 0.0}};
+  MetricsRegistry metrics;
+  relay.attach_metrics(metrics, "relay");
+  std::vector<net::Packet> b_rx;
+  std::vector<net::Packet> c_rx;
+  net::Host& a = make_client("a", 100, nullptr);
+  net::Host& b = make_client("b", 100, &b_rx);
+  net::Host& c = make_client("c", 100, &c_rx);
+  relay.add_participant(1, 1, {a.ip(), 100});
+  relay.add_participant(1, 2, {b.ip(), 100});
+  peer.add_participant(1, 3, {c.ip(), 100});
+  relay.link_peer(1, &peer);
+  peer.link_peer(1, &relay);
+  send_media(a, 100, net::StreamKind::kVideo, 1);
+  net.loop().run();
+  ASSERT_EQ(b_rx.size(), 1u);
+  ASSERT_EQ(c_rx.size(), 1u);
+  EXPECT_EQ(relay.stats().media_forwarded, 1);
+  EXPECT_EQ(relay.stats().peer_forwarded, 1);
+  EXPECT_EQ(metrics.counters().at("relay.media_forwarded").value(), 1);
+  EXPECT_EQ(metrics.counters().at("relay.peer_forwarded").value(), 1);
+  // The fan-out histogram sees participant copies only: one observation of
+  // value 1, not 2.
+  const auto& fan_out = metrics.histograms().at("relay.fan_out").stats();
+  EXPECT_EQ(fan_out.count(), 1u);
+  EXPECT_EQ(fan_out.max(), 1.0);
+  // The peer relay forwarded to its own participant and, having received
+  // the packet from a peer, never forwarded onward to peers again.
+  EXPECT_EQ(peer.stats().media_forwarded, 1);
+  EXPECT_EQ(peer.stats().peer_forwarded, 0);
+}
+
 TEST_F(RelayFixture, DepartureStateReclaimedWithMembership) {
   // Regression: the predecessor kept departure state in an endpoint-keyed
   // map that only ever grew. It now lives inside the Participant/PeerLink
