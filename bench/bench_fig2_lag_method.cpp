@@ -1,26 +1,44 @@
 // Fig 2: packet streams observed on the meeting host (sender) and another
 // user (receiver) during the flash-feed lag measurement, plus the per-flash
 // lags the big-packet method extracts.
+//
+// The repetitions run on runner::ExperimentRunner: each repetition is an
+// independent single-session lag run recording per-flash lags and their
+// quantiles (lag.US-West.p10..p90 — the shape `vcbench_cli report --cdf`
+// renders). The run executes once on one thread and once on eight; the two
+// aggregate reports must be bit-identical. The ASCII timeline illustration
+// comes from one extra direct run (packet traces don't travel through run
+// reports).
 #include <cstdio>
 
 #include "bench/bench_util.h"
 #include "capture/lag_detector.h"
 #include "capture/timeline.h"
 #include "core/lag_benchmark.h"
+#include "runner/experiment_runner.h"
+
+namespace {
+
+vc::core::LagBenchmarkConfig fig2_config(bool paper, std::uint64_t seed) {
+  vc::core::LagBenchmarkConfig cfg;
+  cfg.platform = vc::platform::PlatformId::kZoom;
+  cfg.host_site = "US-East";
+  cfg.participant_sites = {"US-West"};
+  cfg.sessions = 1;
+  cfg.session_duration = paper ? vc::seconds(120) : vc::seconds(24);
+  cfg.seed = seed;
+  return cfg;
+}
+
+}  // namespace
 
 int main(int argc, char** argv) {
   using namespace vc;
   const bool paper = vcb::paper_scale(argc, argv);
   vcb::banner("Fig 2 — video lag measurement from packet streams (Zoom, US)", paper);
 
-  core::LagBenchmarkConfig cfg;
-  cfg.platform = platform::PlatformId::kZoom;
-  cfg.host_site = "US-East";
-  cfg.participant_sites = {"US-West"};
-  cfg.sessions = 1;
-  cfg.session_duration = paper ? seconds(120) : seconds(24);
-  const auto result = core::run_lag_benchmark(cfg);
-
+  // Timeline illustration from one direct run.
+  const auto result = core::run_lag_benchmark(fig2_config(paper, 1));
   const double window_sec = 12.0;
   const auto tx = capture::timeline_points(result.sample_sender_trace, net::Direction::kOutgoing);
   const auto rx = capture::timeline_points(result.sample_receiver_trace, net::Direction::kIncoming);
@@ -42,7 +60,42 @@ int main(int argc, char** argv) {
   std::printf("%s\n", table.render().c_str());
   std::printf("flashes detected: sender=%zu receiver=%zu, lags matched=%zu\n", tx_events.size(),
               rx_events.size(), lags.size());
-  std::printf("median lag US-East -> US-West: %.1f ms (paper: ~50 ms upper range of 20-50)\n",
-              lags.empty() ? 0.0 : median(std::vector<double>(lags)));
-  return 0;
+
+  // Repetition sweep on the runner.
+  const std::size_t reps = paper ? 4 : 2;
+  const bool paper_scale = paper;
+  const auto task = [paper_scale](runner::SessionContext& ctx) {
+    const auto r = core::run_lag_benchmark(fig2_config(paper_scale, ctx.seed));
+    const auto& p = r.participants.front();
+    ctx.sample("lag.US-West.flashes", static_cast<double>(p.lags_ms.size()));
+    for (double lag : p.lags_ms) ctx.sample("lag.US-West.ms", lag);
+    for (const double q : {0.1, 0.25, 0.5, 0.75, 0.9}) {
+      if (p.lags_ms.empty()) break;
+      ctx.sample("lag.US-West.p" + std::to_string(static_cast<int>(q * 100)),
+                 quantile(std::vector<double>(p.lags_ms), q));
+    }
+  };
+
+  runner::ExperimentRunner::Config rc;
+  rc.base_seed = 42;
+  rc.label = "fig2_lag_method";
+  rc.threads = 1;
+  const auto serial = runner::ExperimentRunner{rc}.run(reps, task);
+  rc.threads = 8;
+  const auto report = runner::ExperimentRunner{rc}.run(reps, task);
+
+  const auto* med = report.find_sample("lag.US-West.p50");
+  std::printf("median lag US-East -> US-West over %zu repetitions: %.1f ms "
+              "(paper: ~50 ms upper range of 20-50)\n",
+              reps, med != nullptr ? med->mean() : 0.0);
+
+  const bool identical = serial.aggregate_json() == report.aggregate_json();
+  std::printf("aggregate reports bit-identical across thread counts: %s\n",
+              identical ? "yes" : "NO — determinism regression!");
+  const std::string out_path = "bench_fig2_lag_method.report.json";
+  if (runner::write_text_file(out_path, report.to_json())) {
+    std::printf("report written to %s (render: vcbench_cli report %s --cdf lag.US-West)\n",
+                out_path.c_str(), out_path.c_str());
+  }
+  return identical ? 0 : 1;
 }

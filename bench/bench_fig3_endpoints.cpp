@@ -4,28 +4,54 @@
 //
 // Paper anchors: UDP/8801 (Zoom), UDP/9000 (Webex), UDP/19305 (Meet); over
 // 20 sessions a client meets on average 20 / 19.5 / 1.8 distinct endpoints.
+//
+// The three platforms run as independent runner::ExperimentRunner tasks,
+// once on one thread and once on eight; the two aggregate reports must be
+// bit-identical, and the table below is rendered from the report itself.
 #include <cstdio>
 
 #include "bench/bench_util.h"
 #include "core/lag_benchmark.h"
+#include "runner/experiment_runner.h"
 
 int main(int argc, char** argv) {
   using namespace vc;
   const bool paper = vcb::paper_scale(argc, argv);
   vcb::banner("Fig 3 — videoconferencing service endpoints", paper);
 
-  TextTable table{{"platform", "media port", "paper port", "endpoints/client",
-                   "paper endpoints", "topology"}};
-  for (const auto id : vcb::all_platforms()) {
+  const auto& platforms = vcb::all_platforms();
+  const int sessions = paper ? 20 : 10;
+  const SimDuration duration = paper ? seconds(120) : seconds(30);
+
+  const auto task = [&platforms, sessions, duration](runner::SessionContext& ctx) {
+    const auto id = platforms[ctx.task_index];
     core::LagBenchmarkConfig cfg;
     cfg.platform = id;
     cfg.host_site = "US-East";
     cfg.participant_sites = core::us_participant_sites(cfg.host_site);
-    cfg.sessions = paper ? 20 : 10;
-    cfg.session_duration = paper ? seconds(120) : seconds(30);
-    cfg.seed = 101;
+    cfg.sessions = sessions;
+    cfg.session_duration = duration;
+    cfg.seed = ctx.seed;
     const auto result = core::run_lag_benchmark(cfg);
+    const std::string base{platform_name(id)};
+    ctx.sample(base + ".mean_distinct_endpoints", result.mean_distinct_endpoints);
+    ctx.sample(base + ".dominant_port", static_cast<double>(result.dominant_media_port));
+  };
 
+  runner::ExperimentRunner::Config rc;
+  rc.base_seed = 101;
+  rc.label = "fig3_endpoints";
+  rc.threads = 1;
+  const auto serial = runner::ExperimentRunner{rc}.run(platforms.size(), task);
+  rc.threads = 8;
+  const auto report = runner::ExperimentRunner{rc}.run(platforms.size(), task);
+
+  TextTable table{{"platform", "media port", "paper port", "endpoints/client",
+                   "paper endpoints", "topology"}};
+  for (const auto id : platforms) {
+    const std::string base{platform_name(id)};
+    const auto* endpoints = report.find_sample(base + ".mean_distinct_endpoints");
+    const auto* port = report.find_sample(base + ".dominant_port");
     const char* expected_port = id == platform::PlatformId::kZoom    ? "8801"
                                 : id == platform::PlatformId::kWebex ? "9000"
                                                                      : "19305";
@@ -36,14 +62,28 @@ int main(int argc, char** argv) {
         id == platform::PlatformId::kMeet
             ? "per-client nearby endpoints, relayed between endpoints"
             : "single endpoint per session, all participants via it";
-    table.add_row({std::string(platform_name(id)),
-                   "UDP/" + std::to_string(result.dominant_media_port), expected_port,
-                   TextTable::num(result.mean_distinct_endpoints, 1) + " (over " +
-                       std::to_string(cfg.sessions) + ")",
+    table.add_row({base,
+                   port != nullptr
+                       ? "UDP/" + std::to_string(static_cast<int>(port->mean()))
+                       : "-",
+                   expected_port,
+                   endpoints != nullptr
+                       ? TextTable::num(endpoints->mean(), 1) + " (over " +
+                             std::to_string(sessions) + ")"
+                       : "-",
                    paper_endpoints + std::string(" (over 20)"), topology});
   }
   std::printf("%s\n", table.render().c_str());
   std::printf("Zoom/Webex churn a fresh endpoint almost every session; Meet clients\n"
               "stick to one or two nearby endpoints across sessions.\n");
-  return 0;
+
+  const bool identical = serial.aggregate_json() == report.aggregate_json();
+  std::printf("aggregate reports bit-identical across thread counts: %s\n",
+              identical ? "yes" : "NO — determinism regression!");
+  const std::string out_path = "bench_fig3_endpoints.report.json";
+  if (runner::write_text_file(out_path, report.to_json())) {
+    std::printf("report written to %s (render: vcbench_cli report %s)\n", out_path.c_str(),
+                out_path.c_str());
+  }
+  return identical ? 0 : 1;
 }

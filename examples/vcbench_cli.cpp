@@ -6,15 +6,22 @@
 //   vcbench_cli bwcap  --platform webex --cap-kbps 500 [--csv out.csv]
 //   vcbench_cli mobile --platform zoom --scenario LM-View
 //   vcbench_cli dump   --trace file.vctr [--max 50]
+//   vcbench_cli report run.json [--filter SUBSTR] [--cdf BASE]
+//   vcbench_cli trace  0.trace.json [--filter SUBSTR]
+#include <algorithm>
+#include <cctype>
 #include <cstdio>
 #include <cstdlib>
 #include <fstream>
 #include <map>
+#include <sstream>
 #include <string>
+#include <vector>
 
 #include "capture/trace_dump.h"
 #include "capture/trace_io.h"
 #include "common/csv.h"
+#include "common/json.h"
 #include "common/stats.h"
 #include "common/table.h"
 #include "core/vcbench.h"
@@ -172,14 +179,239 @@ int run_dump(const std::map<std::string, std::string>& flags) {
   return 0;
 }
 
+// ---------------------------------------------------------------------------
+// report: render tables (and optional ASCII CDFs) from a saved run report, as
+// written by runner::RunReport::to_json() / aggregate_json().
+// ---------------------------------------------------------------------------
+
+bool read_whole_file(const std::string& path, std::string* out) {
+  std::ifstream in{path, std::ios::binary};
+  if (!in) return false;
+  std::ostringstream ss;
+  ss << in.rdbuf();
+  *out = ss.str();
+  return true;
+}
+
+// Case-insensitive substring match so `--filter zoom` finds "Zoom/n3/...".
+bool name_matches(const std::string& name, const std::string& filter) {
+  if (filter.empty()) return true;
+  auto lower = [](std::string s) {
+    std::transform(s.begin(), s.end(), s.begin(),
+                   [](unsigned char c) { return static_cast<char>(std::tolower(c)); });
+    return s;
+  };
+  return lower(name).find(lower(filter)) != std::string::npos;
+}
+
+// Renders one {name: {count,mean,stddev,min,max,sum}} stats section.
+void render_stats_section(const char* title, const json::Value& section,
+                          const std::string& filter) {
+  if (!section.is_object() || section.object_items.empty()) return;
+  TextTable table{{"name", "count", "mean", "stddev", "min", "max", "sum"}};
+  std::size_t rows = 0;
+  for (const auto& [name, stats] : section.object_items) {
+    if (!name_matches(name, filter) || !stats.is_object()) continue;
+    auto field = [&stats](const char* key) {
+      const json::Value* v = stats.find(key);
+      return v != nullptr && v->is_number() ? TextTable::num(v->number_value, 4) : std::string("-");
+    };
+    const json::Value* count = stats.find("count");
+    table.add_row({name,
+                   count != nullptr && count->is_number()
+                       ? std::to_string(static_cast<long long>(count->number_value))
+                       : "-",
+                   field("mean"), field("stddev"), field("min"), field("max"), field("sum")});
+    ++rows;
+  }
+  if (rows == 0) return;
+  std::printf("%s\n%s", title, table.render().c_str());
+}
+
+// ASCII CDF from quantile samples named <base>.p10 / .p25 / .p50 / .p75 /
+// .p90 (the shape runner-converted benches record per distribution).
+void render_cdf(const json::Value& samples, const std::string& base) {
+  constexpr int kQuantiles[] = {10, 25, 50, 75, 90};
+  std::vector<std::pair<int, double>> points;
+  for (int q : kQuantiles) {
+    const json::Value* s = samples.find(base + ".p" + std::to_string(q));
+    if (s == nullptr || !s->is_object()) continue;
+    const json::Value* mean = s->find("mean");
+    if (mean != nullptr && mean->is_number()) points.emplace_back(q, mean->number_value);
+  }
+  if (points.empty()) {
+    std::printf("no quantile samples %s.p10..p90 in report\n", base.c_str());
+    return;
+  }
+  double max_v = 0.0;
+  for (const auto& [q, v] : points) max_v = std::max(max_v, v);
+  std::printf("%s CDF\n", base.c_str());
+  constexpr int kWidth = 48;
+  for (const auto& [q, v] : points) {
+    const int bar = max_v > 0.0 ? static_cast<int>(v / max_v * kWidth + 0.5) : 0;
+    std::printf("  p%-2d |%-*s %.2f\n", q, kWidth, std::string(static_cast<std::size_t>(bar), '#').c_str(), v);
+  }
+}
+
+int run_report(const std::string& path, const std::map<std::string, std::string>& flags) {
+  std::string text;
+  if (!read_whole_file(path, &text)) {
+    std::fprintf(stderr, "cannot read %s\n", path.c_str());
+    return 2;
+  }
+  json::Value root;
+  try {
+    root = json::parse(text);
+  } catch (const std::exception& e) {
+    std::fprintf(stderr, "%s: %s\n", path.c_str(), e.what());
+    return 2;
+  }
+  // Accept both the full to_json() shape and a bare aggregate_json().
+  const json::Value* agg = root.find("aggregate");
+  if (agg == nullptr) agg = &root;
+
+  const json::Value* label = agg->find("label");
+  const json::Value* sessions = agg->find("sessions");
+  const json::Value* seed = agg->find("base_seed");
+  std::printf("report %s  label=%s  sessions=%lld  base_seed=%llu\n", path.c_str(),
+              label != nullptr && label->is_string() ? label->string_value.c_str() : "?",
+              sessions != nullptr && sessions->is_number()
+                  ? static_cast<long long>(sessions->number_value)
+                  : -1,
+              seed != nullptr && seed->is_number()
+                  ? static_cast<unsigned long long>(seed->number_value)
+                  : 0ULL);
+  const json::Value* failures = agg->find("failures");
+  if (failures != nullptr && failures->is_array() && !failures->array_items.empty()) {
+    std::printf("FAILURES: %zu task(s) threw\n", failures->array_items.size());
+  }
+  const json::Value* trace = agg->find("trace");
+  if (trace != nullptr && trace->is_object()) {
+    auto tfield = [trace](const char* key) -> long long {
+      const json::Value* v = trace->find(key);
+      return v != nullptr && v->is_number() ? static_cast<long long>(v->number_value) : 0;
+    };
+    std::printf("trace: %lld records (%lld spans, %lld instants, %lld counter samples), %lld dropped\n",
+                tfield("records"), tfield("spans"), tfield("instants"), tfield("counter_samples"),
+                tfield("dropped"));
+  }
+
+  const std::string filter = flag_str(flags, "filter", "");
+  const auto cdf = flags.find("cdf");
+  const json::Value* samples = agg->find("samples");
+  if (cdf != flags.end()) {
+    if (samples == nullptr) {
+      std::fprintf(stderr, "report has no samples section\n");
+      return 2;
+    }
+    render_cdf(*samples, cdf->second);
+    return 0;
+  }
+  if (samples != nullptr) render_stats_section("samples", *samples, filter);
+  const json::Value* counters = agg->find("counters");
+  if (counters != nullptr && counters->is_object() && !counters->object_items.empty()) {
+    TextTable table{{"counter", "value"}};
+    std::size_t rows = 0;
+    for (const auto& [name, value] : counters->object_items) {
+      if (!name_matches(name, filter) || !value.is_number()) continue;
+      table.add_row({name, std::to_string(static_cast<long long>(value.number_value))});
+      ++rows;
+    }
+    if (rows > 0) std::printf("counters\n%s", table.render().c_str());
+  }
+  const json::Value* gauges = agg->find("gauges");
+  if (gauges != nullptr) render_stats_section("gauges", *gauges, filter);
+  const json::Value* histograms = agg->find("histograms");
+  if (histograms != nullptr) render_stats_section("histograms", *histograms, filter);
+  return 0;
+}
+
+// ---------------------------------------------------------------------------
+// trace: per-span-name duration summaries over a Chrome trace-event file (as
+// written by vc::Tracer::to_chrome_json()).
+// ---------------------------------------------------------------------------
+
+int run_trace_summary(const std::string& path, const std::map<std::string, std::string>& flags) {
+  std::string text;
+  if (!read_whole_file(path, &text)) {
+    std::fprintf(stderr, "cannot read %s\n", path.c_str());
+    return 2;
+  }
+  json::Value root;
+  try {
+    root = json::parse(text);
+  } catch (const std::exception& e) {
+    std::fprintf(stderr, "%s: %s\n", path.c_str(), e.what());
+    return 2;
+  }
+  const json::Value* events = root.find("traceEvents");
+  if (events == nullptr || !events->is_array()) {
+    std::fprintf(stderr, "%s: no traceEvents array\n", path.c_str());
+    return 2;
+  }
+  struct Agg {
+    std::size_t count = 0;
+    RunningStats dur_us;    // spans only
+    RunningStats value;     // args.value of every phase
+  };
+  // name -> per-phase aggregate, keyed "<name> <ph>"-style via nested map.
+  std::map<std::string, std::map<std::string, Agg>> by_name;
+  const std::string filter = flag_str(flags, "filter", "");
+  for (const auto& ev : events->array_items) {
+    if (!ev.is_object()) continue;
+    const json::Value* name = ev.find("name");
+    const json::Value* ph = ev.find("ph");
+    if (name == nullptr || !name->is_string() || ph == nullptr || !ph->is_string()) continue;
+    if (!name_matches(name->string_value, filter)) continue;
+    Agg& agg = by_name[name->string_value][ph->string_value];
+    ++agg.count;
+    const json::Value* dur = ev.find("dur");
+    if (ph->string_value == "X") {
+      agg.dur_us.add(dur != nullptr && dur->is_number() ? dur->number_value : 0.0);
+    }
+    const json::Value* args = ev.find("args");
+    if (args != nullptr && args->is_object()) {
+      const json::Value* value = args->find("value");
+      if (value != nullptr && value->is_number()) agg.value.add(value->number_value);
+    }
+  }
+  TextTable table{{"name", "ph", "count", "dur mean (us)", "dur min", "dur max", "value mean"}};
+  for (const auto& [name, phases] : by_name) {
+    for (const auto& [ph, agg] : phases) {
+      const bool span = ph == "X";
+      table.add_row({name, ph, std::to_string(agg.count),
+                     span ? TextTable::num(agg.dur_us.mean(), 1) : "-",
+                     span ? TextTable::num(agg.dur_us.min(), 1) : "-",
+                     span ? TextTable::num(agg.dur_us.max(), 1) : "-",
+                     agg.value.count() > 0 ? TextTable::num(agg.value.mean(), 3) : "-"});
+    }
+  }
+  std::printf("%s", table.render().c_str());
+  const json::Value* other = root.find("otherData");
+  if (other != nullptr && other->is_object()) {
+    const json::Value* dropped = other->find("dropped_records");
+    const json::Value* recorded = other->find("recorded");
+    if (dropped != nullptr && dropped->is_number()) {
+      std::printf("recorded %lld, dropped %lld (ring wrap)\n",
+                  recorded != nullptr && recorded->is_number()
+                      ? static_cast<long long>(recorded->number_value)
+                      : -1,
+                  static_cast<long long>(dropped->number_value));
+    }
+  }
+  return 0;
+}
+
 void usage() {
   std::fprintf(stderr,
-               "usage: vcbench_cli <lag|qoe|bwcap|mobile|dump> [--platform zoom|webex|meet]\n"
+               "usage: vcbench_cli <lag|qoe|bwcap|mobile|dump|report|trace> [flags]\n"
                "  lag    --host SITE [--sessions N] [--duration S] [--paid] [--csv FILE]\n"
                "  qoe    --receivers N --motion low|high [--sessions N] [--csv FILE]\n"
                "  bwcap  --cap-kbps K [--sessions N]\n"
                "  mobile --scenario LM|HM|LM-View|LM-Video-View|LM-Off\n"
-               "  dump   --trace FILE [--max N]\n");
+               "  dump   --trace FILE [--max N]\n"
+               "  report RUN.json [--filter SUBSTR] [--cdf BASE]   render run-report tables/CDFs\n"
+               "  trace  FILE.trace.json [--filter SUBSTR]         per-span duration summaries\n");
 }
 
 }  // namespace
@@ -190,6 +422,16 @@ int main(int argc, char** argv) {
     return 2;
   }
   const std::string command = argv[1];
+  if (command == "report" || command == "trace") {
+    // These take a positional input file before the flags.
+    if (argc < 3 || std::string(argv[2]).rfind("--", 0) == 0) {
+      usage();
+      return 2;
+    }
+    const std::string path = argv[2];
+    const auto flags = parse_flags(argc, argv, 3);
+    return command == "report" ? run_report(path, flags) : run_trace_summary(path, flags);
+  }
   const auto flags = parse_flags(argc, argv, 2);
   if (command == "lag") return run_lag(flags);
   if (command == "qoe") return run_qoe(flags);

@@ -16,6 +16,7 @@ RttProber::RttProber(net::Host& host) : host_(host) {
       m_answered_->inc();
       m_rtt_ms_->observe(rtt_ms);
     }
+    if (tracer_ != nullptr) tracer_->span("rtt.probe", it->second, host_.network().now(), rtt_ms);
     outstanding_.erase(it);
   });
 }

@@ -10,6 +10,7 @@
 
 #include "common/metrics.h"
 #include "common/time.h"
+#include "common/tracer.h"
 #include "net/network.h"
 
 namespace vc::client {
@@ -28,6 +29,10 @@ class RttProber {
   /// Mirrors probing into `<prefix>.sent` / `<prefix>.answered` counters and
   /// a `<prefix>.rtt_ms` histogram (ROADMAP: RTT prober metrics).
   void attach_metrics(MetricsRegistry& registry, const std::string& prefix = "probe");
+
+  /// Flight-recorder hook (borrowed; nullptr detaches): each answered probe
+  /// becomes an `rtt.probe` span from send to reply (value = RTT in ms).
+  void set_tracer(Tracer* tracer) { tracer_ = tracer; }
 
   const std::vector<double>& rtts_ms() const { return rtts_ms_; }
   double average_ms() const;
@@ -50,6 +55,7 @@ class RttProber {
   MetricsRegistry::Counter* m_sent_ = nullptr;
   MetricsRegistry::Counter* m_answered_ = nullptr;
   MetricsRegistry::Histogram* m_rtt_ms_ = nullptr;
+  Tracer* tracer_ = nullptr;
 };
 
 }  // namespace vc::client

@@ -97,6 +97,15 @@ void VcaClient::on_route(platform::RouteInfo route) {
   }
 }
 
+void VcaClient::attach_metrics(MetricsRegistry& registry, const std::string& prefix) {
+  m_video_encoded_ = &registry.counter(prefix + ".video.frames_encoded");
+  m_video_decoded_ = &registry.counter(prefix + ".video.frames_decoded");
+  m_video_encoded_bytes_ = &registry.counter(prefix + ".video.encoded_bytes");
+  m_audio_encoded_ = &registry.counter(prefix + ".audio.frames_encoded");
+  m_skip_ratio_ = &registry.histogram(prefix + ".video.skip_ratio");
+  m_qstep_ = &registry.histogram(prefix + ".video.qstep");
+}
+
 void VcaClient::update_video_target() {
   const int n = std::max(2, platform_.participant_count(meeting_));
   last_known_participants_ = n;
@@ -147,6 +156,19 @@ void VcaClient::video_tick() {
     }
     update_video_target();
     const auto frame = encoder_->encode(*latest);
+    if (m_video_encoded_ != nullptr) {
+      m_video_encoded_->inc();
+      m_video_encoded_bytes_->add(frame->bytes);
+      if (frame->total_blocks > 0) {
+        m_skip_ratio_->observe(static_cast<double>(frame->skip_blocks) /
+                               static_cast<double>(frame->total_blocks));
+      }
+      m_qstep_->observe(frame->qstep);
+    }
+    if (tracer_ != nullptr) {
+      const SimTime t = host_.network().now();
+      tracer_->span("codec.encode", t, t, static_cast<double>(frame->bytes));
+    }
     // FEC/redundancy padding up to the wire rate — but only when the encoder
     // is actually spending its quality budget (active content). A dormant
     // scene (blank screen between flashes) stays quiet on the wire.
@@ -190,6 +212,11 @@ void VcaClient::audio_tick() {
   const auto samples = audio_dev_.read(audio_cursor_, n);
   audio_cursor_ += n;
   const auto frame = audio_encoder_->encode(samples);
+  if (m_audio_encoded_ != nullptr) m_audio_encoded_->inc();
+  if (tracer_ != nullptr) {
+    tracer_->instant("codec.audio_encode", host_.network().now(),
+                     static_cast<double>(frame->bytes));
+  }
   net::Packet pkt;
   pkt.dst = route_.media_endpoint;
   pkt.l7_len = std::max<std::int64_t>(frame->bytes, 20);
@@ -255,6 +282,11 @@ void VcaClient::on_video_packet(const net::Packet& pkt) {
       rx.decoder = std::make_unique<media::VideoDecoder>(encoded->width, encoded->height);
     }
     rx.decoder->decode(*pending.frame);
+    if (m_video_decoded_ != nullptr) m_video_decoded_->inc();
+    if (tracer_ != nullptr) {
+      const SimTime t = host_.network().now();
+      tracer_->span("codec.decode", t, t, static_cast<double>(encoded->wire_bytes));
+    }
   }
   ++stats_.video_frames_completed;
   ++rx.window_completed;

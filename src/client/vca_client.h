@@ -72,6 +72,19 @@ class VcaClient {
 
   VcaClient(net::Host& host, platform::BasePlatform& platform, Config config);
   ~VcaClient();
+
+  /// Mirrors codec activity into `<prefix>.video.frames_encoded`,
+  /// `<prefix>.video.frames_decoded`, `<prefix>.video.encoded_bytes` and
+  /// `<prefix>.audio.frames_encoded` counters plus `<prefix>.video.skip_ratio`
+  /// (per-frame SKIP-block fraction) and `<prefix>.video.qstep` histograms.
+  /// Only real pixel encodes count — synthetic_video runs no codec.
+  void attach_metrics(MetricsRegistry& registry, const std::string& prefix = "codec");
+
+  /// Flight-recorder hook (borrowed; nullptr detaches): video encodes become
+  /// `codec.encode` spans (value = encoded bytes), completed-frame decodes
+  /// `codec.decode` spans (value = wire bytes), audio encodes
+  /// `codec.audio_encode` instants (value = encoded bytes).
+  void set_tracer(Tracer* tracer) { tracer_ = tracer; }
   VcaClient(const VcaClient&) = delete;
   VcaClient& operator=(const VcaClient&) = delete;
 
@@ -178,6 +191,13 @@ class VcaClient {
   std::size_t audio_mix_len_ = 0;
 
   Stats stats_;
+  MetricsRegistry::Counter* m_video_encoded_ = nullptr;
+  MetricsRegistry::Counter* m_video_decoded_ = nullptr;
+  MetricsRegistry::Counter* m_video_encoded_bytes_ = nullptr;
+  MetricsRegistry::Counter* m_audio_encoded_ = nullptr;
+  MetricsRegistry::Histogram* m_skip_ratio_ = nullptr;
+  MetricsRegistry::Histogram* m_qstep_ = nullptr;
+  Tracer* tracer_ = nullptr;
   std::uint64_t epoch_ = 0;  // invalidates scheduled ticks after leave()
   net::EventId video_ev_ = 0;
   net::EventId audio_ev_ = 0;

@@ -1,0 +1,49 @@
+// A minimal JSON reader for offline tooling (vcbench_cli report/trace and
+// schema-checking tests). This is deliberately NOT a serialization framework:
+// the simulator writes JSON by hand (runner reports, traces) and this parser
+// only has to read those files back plus any well-formed JSON a user points
+// the CLI at. Objects preserve key order so re-rendered tables match the
+// writer's deterministic ordering.
+#pragma once
+
+#include <cstdint>
+#include <string>
+#include <utility>
+#include <vector>
+
+namespace vc::json {
+
+class Value {
+ public:
+  enum class Type { kNull, kBool, kNumber, kString, kArray, kObject };
+
+  Type type = Type::kNull;
+  bool bool_value = false;
+  double number_value = 0.0;
+  std::string string_value;
+  std::vector<Value> array_items;
+  std::vector<std::pair<std::string, Value>> object_items;  // insertion order
+
+  bool is_null() const { return type == Type::kNull; }
+  bool is_bool() const { return type == Type::kBool; }
+  bool is_number() const { return type == Type::kNumber; }
+  bool is_string() const { return type == Type::kString; }
+  bool is_array() const { return type == Type::kArray; }
+  bool is_object() const { return type == Type::kObject; }
+
+  /// Object member lookup; nullptr when absent or not an object.
+  const Value* find(const std::string& key) const;
+  /// find() that throws std::runtime_error naming the missing key.
+  const Value& at(const std::string& key) const;
+
+  double as_number(double fallback = 0.0) const {
+    return is_number() ? number_value : fallback;
+  }
+  const std::string& as_string() const { return string_value; }
+};
+
+/// Parses a complete JSON document; throws std::runtime_error with a byte
+/// offset on malformed input or trailing garbage.
+Value parse(const std::string& text);
+
+}  // namespace vc::json

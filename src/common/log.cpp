@@ -2,6 +2,7 @@
 
 #include <atomic>
 #include <cstdio>
+#include <mutex>
 
 namespace vc {
 namespace {
@@ -27,7 +28,13 @@ LogLevel log_level() { return g_level.load(std::memory_order_relaxed); }
 
 namespace detail {
 void log_write(LogLevel level, const std::string& msg) {
+  // One formatted write under a mutex: parallel ExperimentRunner tasks were
+  // interleaving partial lines on stderr (stdio locks per fprintf call, not
+  // per log line — a long message can still split across buffer flushes).
+  static std::mutex mu;
+  std::lock_guard<std::mutex> lock(mu);
   std::fprintf(stderr, "[%s] %s\n", level_name(level), msg.c_str());
+  std::fflush(stderr);
 }
 }  // namespace detail
 

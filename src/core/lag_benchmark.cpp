@@ -58,6 +58,10 @@ LagBenchmarkResult run_lag_benchmark(const LagBenchmarkConfig& config) {
     bed.network().attach_metrics(*config.metrics);
     platform->set_metrics(config.metrics);
   }
+  if (config.tracer != nullptr) {
+    bed.network().set_tracer(config.tracer);
+    platform->set_tracer(config.tracer);
+  }
 
   // Provision VMs once; they persist across sessions (Meet endpoint
   // stickiness is keyed to the client VM's address).
@@ -94,6 +98,8 @@ LagBenchmarkResult run_lag_benchmark(const LagBenchmarkConfig& config) {
     host_cfg.fps = config.fps;
     host_cfg.seed = config.seed + static_cast<std::uint64_t>(s) * 7919;
     client::VcaClient host_client{host_vm, *platform, host_cfg};
+    if (config.metrics != nullptr) host_client.attach_metrics(*config.metrics);
+    if (config.tracer != nullptr) host_client.set_tracer(config.tracer);
     client::MediaFeeder feeder{bed.loop(), host_client.video_device(), host_client.audio_device()};
     capture::PacketCapture host_capture{host_vm, bed.clock_offset(host_vm)};
 
@@ -109,8 +115,11 @@ LagBenchmarkResult run_lag_benchmark(const LagBenchmarkConfig& config) {
       client::ClientMonitor::Config mon_cfg;
       mon_cfg.clock_offset = bed.clock_offset(*part_vms[i]);
       mon_cfg.probe_count = static_cast<int>(config.session_duration.seconds()) - 20;
+      if (config.metrics != nullptr) participants.back()->attach_metrics(*config.metrics);
+      if (config.tracer != nullptr) participants.back()->set_tracer(config.tracer);
       monitors.push_back(std::make_unique<client::ClientMonitor>(*part_vms[i], mon_cfg));
       if (config.metrics != nullptr) monitors.back()->attach_metrics(*config.metrics);
+      if (config.tracer != nullptr) monitors.back()->set_tracer(config.tracer);
     }
 
     testbed::SessionOrchestrator::Plan plan;

@@ -14,6 +14,7 @@
 #include "capture/trace.h"
 #include "common/metrics.h"
 #include "common/stats.h"
+#include "common/tracer.h"
 #include "platform/base_platform.h"
 
 namespace vc::core {
@@ -43,6 +44,10 @@ struct LagBenchmarkConfig {
   /// session orchestrator and client monitors attach here, so runner-based
   /// sweeps get event-loop, delivery-batch and RTT-probe metrics per task.
   MetricsRegistry* metrics = nullptr;
+  /// Optional flight recorder: wired into the event loop, links/shapers,
+  /// relays, codecs and RTT probers, so traced runner sweeps capture
+  /// loop.* / net.link.* / shaper.* / relay.* / codec.* / rtt.* records.
+  Tracer* tracer = nullptr;
 };
 
 /// Per-participant-VM aggregate across all sessions.

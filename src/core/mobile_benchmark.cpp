@@ -133,6 +133,10 @@ ScaleSessionResult run_scale_session(const ScaleBenchmarkConfig& config, std::ui
   auto platform = platform::make_platform(
       config.platform, bed.network(),
       platform::PlatformConfig{.seed = seed ^ 0x404, .fan_out_shards = config.fan_out_shards});
+  if (config.tracer != nullptr) {
+    bed.network().set_tracer(config.tracer);
+    platform->set_tracer(config.tracer);
+  }
 
   net::Host& host_vm = bed.create_vm(testbed::site_by_name("US-East"), 8);
   net::Host& s10_host = bed.create_vm(testbed::residential_us_east(), 0);

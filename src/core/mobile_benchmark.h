@@ -11,6 +11,7 @@
 #include <vector>
 
 #include "common/stats.h"
+#include "common/tracer.h"
 #include "common/units.h"
 #include "mobile/device.h"
 #include "platform/rate_policy.h"
@@ -75,6 +76,9 @@ struct ScaleBenchmarkConfig {
   /// Intra-session relay fan-out sharding (PlatformConfig::fan_out_shards);
   /// 0 = serial, any K is byte-identical.
   int fan_out_shards = 0;
+  /// Optional flight recorder wired into the event loop, links/shapers and
+  /// relays (see LagBenchmarkConfig::tracer).
+  Tracer* tracer = nullptr;
 };
 
 struct ScaleBenchmarkResult {

@@ -119,6 +119,7 @@ VideoEncoder::EncodeResult VideoEncoder::encode_pass(const Frame& frame, bool ke
         }
       }
       const bool inter = !keyframe && sad_inter <= sad_intra;
+      ++res.total_blocks;
       // SKIP decision before transform: when the block barely differs from
       // the reference, copy it (real codecs' SKIP mode). Without this, the
       // encoder would spend bits forever chasing its own quantization noise
@@ -127,6 +128,7 @@ VideoEncoder::EncodeResult VideoEncoder::encode_pass(const Frame& frame, bool ke
       constexpr double kSkipSad = 96.0;  // ~1.5 luma units/pixel
       if (inter && sad_inter < kSkipSad) {
         res.bits += 1;
+        ++res.skip_blocks;
         if (out != nullptr) {
           out->modes[static_cast<std::size_t>(byi) * bx + bxi] = BlockMode::kInter;
         }
@@ -166,7 +168,10 @@ VideoEncoder::EncodeResult VideoEncoder::encode_pass(const Frame& frame, bool ke
       // fraction of a bit (run-length coded), like real codecs' SKIP mode —
       // this is what makes a static scene nearly free (Finding 3) and keeps
       // the blank frames of the lag feed under the big-packet threshold.
-      if (inter && all_zero) block_bits = 1;
+      if (inter && all_zero) {
+        block_bits = 1;
+        ++res.skip_blocks;
+      }
       res.bits += block_bits;
       if (out != nullptr) {
         out->modes[static_cast<std::size_t>(byi) * bx + bxi] =
@@ -215,6 +220,8 @@ std::shared_ptr<EncodedFrame> VideoEncoder::encode(const Frame& frame) {
   const EncodeResult real = encode_pass(frame, keyframe, q, out.get(), &recon);
   out->bytes = std::max<std::int64_t>(div_round_up(real.bits, 8), 64);
   out->wire_bytes = out->bytes;
+  out->skip_blocks = real.skip_blocks;
+  out->total_blocks = real.total_blocks;
   recon_ = std::move(recon);
 
   // Buffer feedback nudges the starting quantizer of the next frame.

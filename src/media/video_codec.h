@@ -44,6 +44,11 @@ struct EncodedFrame final : public net::PacketPayload {
   std::int64_t wire_bytes = 0;
   /// Display sequence number assigned by the encoder.
   std::int64_t sequence = 0;
+  /// SKIP accounting: blocks coded as SKIP (early-skip copy or all-zero
+  /// inter residual) out of total_blocks. skip_blocks/total_blocks is the
+  /// frame's SKIP ratio — near 1.0 on static content (Finding 3).
+  std::int32_t skip_blocks = 0;
+  std::int32_t total_blocks = 0;
   std::vector<std::int16_t> coeffs;   // block-major, 64 per block
   std::vector<BlockMode> modes;       // one per block
 };
@@ -77,6 +82,8 @@ class VideoEncoder {
  private:
   struct EncodeResult {
     std::int64_t bits = 0;
+    std::int32_t skip_blocks = 0;
+    std::int32_t total_blocks = 0;
   };
   EncodeResult encode_pass(const Frame& frame, bool keyframe, double qstep, EncodedFrame* out,
                            Frame* recon) const;

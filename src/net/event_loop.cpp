@@ -95,6 +95,12 @@ void EventLoop::execute_ready(SimTime until) {
     now_ = SimTime{e.at_us};
     ++executed_;
     if (m_executed_ != nullptr) m_executed_->inc();
+    if (tracer_ != nullptr) {
+      tracer_->span("loop.exec", now_, now_, static_cast<double>(pending_));
+      if ((executed_ & 63u) == 0) {
+        tracer_->counter("loop.queue_depth", now_, static_cast<double>(pending_));
+      }
+    }
     try {
       s.fn.invoke();
     } catch (...) {

@@ -31,6 +31,7 @@
 
 #include "common/metrics.h"
 #include "common/time.h"
+#include "common/tracer.h"
 
 namespace vc::net {
 
@@ -239,6 +240,13 @@ class EventLoop {
   /// hot-path cheap.
   void attach_metrics(MetricsRegistry& registry, const std::string& prefix = "event_loop");
 
+  /// Flight-recorder hook: each executed event becomes a `loop.exec` span
+  /// (zero sim-duration, value = events still pending) and every 64th
+  /// execution samples a `loop.queue_depth` counter track. Borrowed pointer;
+  /// nullptr (the default) detaches.
+  void set_tracer(Tracer* tracer) { tracer_ = tracer; }
+  Tracer* tracer() const { return tracer_; }
+
  private:
   /// Low bits of an EventId address the slab slot; the high 40 bits are the
   /// schedule counter, so ids compare in schedule order and never repeat
@@ -308,6 +316,7 @@ class EventLoop {
   std::vector<HeapEntry> heap_;
   MetricsRegistry::Counter* m_executed_ = nullptr;
   MetricsRegistry::Gauge* m_depth_hwm_ = nullptr;
+  Tracer* tracer_ = nullptr;
 };
 
 }  // namespace vc::net

@@ -47,6 +47,7 @@ UdpSocket* Host::udp_socket(std::uint16_t port) {
 
 void Host::set_ingress_shaper(std::unique_ptr<TokenBucketShaper> shaper) {
   ingress_shaper_ = std::move(shaper);
+  if (ingress_shaper_) network_.wire_link_observability(*this);
 }
 
 std::uint64_t Host::add_tap(PacketTap tap) {

@@ -28,22 +28,55 @@ Host* Network::host(IpAddr ip) {
 void Network::attach_metrics(MetricsRegistry& registry, const std::string& prefix) {
   loop_.attach_metrics(registry, prefix + ".loop");
   m_batch_pkts_ = &registry.histogram(prefix + ".delivery_batch_pkts");
+  m_link_sent_ = &registry.counter(prefix + ".link.packets_sent");
+  m_link_delivered_ = &registry.counter(prefix + ".link.packets_delivered");
+  m_link_lost_ = &registry.counter(prefix + ".link.packets_lost");
+  m_link_unroutable_ = &registry.counter(prefix + ".link.packets_unroutable");
+  registry_ = &registry;
+  metrics_prefix_ = prefix;
+  for (auto& host : hosts_) wire_link_observability(*host);
+}
+
+void Network::set_tracer(Tracer* tracer) {
+  tracer_ = tracer;
+  loop_.set_tracer(tracer);
+  for (auto& host : hosts_) {
+    if (host->ingress_shaper() != nullptr) host->ingress_shaper()->set_tracer(tracer);
+  }
+}
+
+void Network::wire_link_observability(Host& host) {
+  TokenBucketShaper* shaper = host.ingress_shaper();
+  if (shaper == nullptr) return;
+  if (registry_ != nullptr) {
+    shaper->attach_metrics(*registry_, metrics_prefix_ + ".link." + host.name());
+  }
+  shaper->set_tracer(tracer_);
 }
 
 void Network::send(Host& from, Packet pkt) {
   pkt.sent_at = now();
   ++stats_.packets_sent;
   stats_.bytes_sent += pkt.wire_len();
+  if (m_link_sent_ != nullptr) m_link_sent_->inc();
+  if (tracer_ != nullptr) {
+    tracer_->instant("net.link.send", now(), static_cast<double>(pkt.wire_len()));
+  }
   from.notify_sent(pkt);
 
   Host* dst = host(pkt.dst.ip);
   if (dst == nullptr) {
     ++stats_.packets_unroutable;
+    if (m_link_unroutable_ != nullptr) m_link_unroutable_->inc();
     VC_LOG(kDebug) << from.name() << ": no route to " << pkt.dst.to_string();
     return;
   }
   if (loss_ && loss_->should_drop(rng_)) {
     ++stats_.packets_lost;
+    if (m_link_lost_ != nullptr) m_link_lost_->inc();
+    if (tracer_ != nullptr) {
+      tracer_->instant("net.link.drop", now(), static_cast<double>(pkt.wire_len()));
+    }
     return;
   }
   const SimDuration delay = latency_->one_way(from.location(), dst->location(), rng_);
@@ -79,6 +112,15 @@ void Network::deliver_batch(Host& dst, DeliveryBatch& batch) {
   ++stats_.delivery_batches;
   if (m_batch_pkts_ != nullptr) {
     m_batch_pkts_->observe(static_cast<double>(batch.packets.size()));
+  }
+  if (m_link_delivered_ != nullptr) {
+    m_link_delivered_->add(static_cast<std::int64_t>(batch.packets.size()));
+  }
+  if (tracer_ != nullptr) {
+    // One span per batch: from the first packet's send time to arrival — the
+    // propagation (plus coalescing) window of this link hop.
+    tracer_->span("net.link.deliver", batch.packets.front().sent_at, now(),
+                  static_cast<double>(batch.packets.size()));
   }
   for (Packet& p : batch.packets) {
     ++stats_.packets_delivered;

@@ -67,9 +67,25 @@ class Network {
   const Stats& stats() const { return stats_; }
 
   /// Mirrors loop activity (via EventLoop::attach_metrics under
-  /// `<prefix>.loop.*`) and records a `<prefix>.delivery_batch_pkts`
-  /// histogram of packets carried per scheduled delivery event.
+  /// `<prefix>.loop.*`), records a `<prefix>.delivery_batch_pkts` histogram
+  /// of packets carried per scheduled delivery event, and counts traffic
+  /// under `<prefix>.link.*` (packets_sent/delivered/lost/unroutable).
+  /// Host ingress shapers — installed now or later — additionally report
+  /// under `<prefix>.link.<host>.*` (per-link forward/drop counters and a
+  /// backlog_pkts queue-depth gauge).
   void attach_metrics(MetricsRegistry& registry, const std::string& prefix = "net");
+
+  /// Flight-recorder hook (borrowed; nullptr detaches). Propagates to the
+  /// event loop and to every host ingress shaper, present and future: sends
+  /// become `net.link.send` instants (value = wire bytes), losses
+  /// `net.link.drop` instants, and each delivery batch a `net.link.deliver`
+  /// span from the first packet's send time to arrival (value = batch size).
+  void set_tracer(Tracer* tracer);
+  Tracer* tracer() const { return tracer_; }
+
+  /// Called by Host when an ingress shaper is installed, so the shaper picks
+  /// up the network's attached registry/tracer without caller plumbing.
+  void wire_link_observability(Host& host);
 
  private:
   void deliver_batch(Host& dst, DeliveryBatch& batch);
@@ -88,6 +104,14 @@ class Network {
   std::uint32_t next_ip_ = kFirstIp;
   Stats stats_;
   MetricsRegistry::Histogram* m_batch_pkts_ = nullptr;
+  MetricsRegistry::Counter* m_link_sent_ = nullptr;
+  MetricsRegistry::Counter* m_link_delivered_ = nullptr;
+  MetricsRegistry::Counter* m_link_lost_ = nullptr;
+  MetricsRegistry::Counter* m_link_unroutable_ = nullptr;
+  /// Remembered for wiring shapers installed after attach_metrics().
+  MetricsRegistry* registry_ = nullptr;
+  std::string metrics_prefix_;
+  Tracer* tracer_ = nullptr;
 };
 
 }  // namespace vc::net

@@ -25,6 +25,8 @@ void TokenBucketShaper::attach_metrics(MetricsRegistry& registry, const std::str
   m_dropped_packets_ = &registry.counter(prefix + ".dropped_packets");
   m_dropped_bytes_ = &registry.counter(prefix + ".dropped_bytes");
   m_queue_delay_ms_ = &registry.histogram(prefix + ".queue_delay_ms");
+  m_backlog_pkts_ = &registry.gauge(prefix + ".backlog_pkts");
+  m_backlog_pkts_->set(static_cast<double>(queue_.size()));
 }
 
 void TokenBucketShaper::set_rate(DataRate rate) {
@@ -72,10 +74,15 @@ void TokenBucketShaper::submit(Packet pkt, std::function<void(Packet)> deliver) 
       m_dropped_packets_->inc();
       m_dropped_bytes_->add(size);
     }
+    if (tracer_ != nullptr) tracer_->instant("shaper.drop", loop_.now(), static_cast<double>(size));
     return;
   }
   queued_bytes_ += size;
   queue_.push_back(Queued{std::move(pkt), std::move(deliver), loop_.now()});
+  if (m_backlog_pkts_) m_backlog_pkts_->set(static_cast<double>(queue_.size()));
+  if (tracer_ != nullptr) {
+    tracer_->counter("shaper.backlog_pkts", loop_.now(), static_cast<double>(queue_.size()));
+  }
   schedule_drain();
 }
 
@@ -113,7 +120,14 @@ void TokenBucketShaper::drain() {
       m_forwarded_bytes_->add(size);
       m_queue_delay_ms_->observe((loop_.now() - q.enqueued_at).millis());
     }
+    if (tracer_ != nullptr) {
+      tracer_->span("shaper.queue", q.enqueued_at, loop_.now(), static_cast<double>(size));
+    }
     q.deliver(std::move(q.pkt));
+  }
+  if (m_backlog_pkts_) m_backlog_pkts_->set(static_cast<double>(queue_.size()));
+  if (tracer_ != nullptr) {
+    tracer_->counter("shaper.backlog_pkts", loop_.now(), static_cast<double>(queue_.size()));
   }
   if (!queue_.empty()) schedule_drain();
 }

@@ -14,6 +14,7 @@
 #include <string>
 
 #include "common/metrics.h"
+#include "common/tracer.h"
 #include "common/units.h"
 #include "net/event_loop.h"
 #include "net/packet.h"
@@ -51,6 +52,13 @@ class TokenBucketShaper {
   /// `<prefix>.dropped_bytes` counters plus a `<prefix>.queue_delay_ms`
   /// histogram. The registry must outlive the shaper.
   void attach_metrics(MetricsRegistry& registry, const std::string& prefix = "shaper");
+
+  /// Flight-recorder hook (borrowed; nullptr detaches): backlog state changes
+  /// become a `shaper.backlog_pkts` counter track, tail drops a `shaper.drop`
+  /// instant, and each queued-then-forwarded packet a `shaper.queue` span
+  /// from enqueue to drain (value = wire bytes).
+  void set_tracer(Tracer* tracer) { tracer_ = tracer; }
+
   std::size_t backlog_packets() const { return queue_.size(); }
   std::int64_t backlog_bytes() const { return queued_bytes_; }
 
@@ -90,6 +98,8 @@ class TokenBucketShaper {
   MetricsRegistry::Counter* m_dropped_packets_ = nullptr;
   MetricsRegistry::Counter* m_dropped_bytes_ = nullptr;
   MetricsRegistry::Histogram* m_queue_delay_ms_ = nullptr;
+  MetricsRegistry::Gauge* m_backlog_pkts_ = nullptr;
+  Tracer* tracer_ = nullptr;
 };
 
 }  // namespace vc::net

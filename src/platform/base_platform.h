@@ -37,6 +37,9 @@ class BasePlatform : public VcaPlatform {
   /// Instruments every relay this platform allocates from now on.
   void set_metrics(MetricsRegistry* registry) { allocator_.set_metrics(registry); }
 
+  /// Traces every relay this platform allocates from now on.
+  void set_tracer(Tracer* tracer) { allocator_.set_tracer(tracer); }
+
   /// The pool relays shard their fan-out on; nullptr when fan-out is serial
   /// or the shards run inline (exposed so tests can assert the resolution).
   ShardPool* shard_pool() { return shard_pool_.get(); }

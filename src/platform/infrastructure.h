@@ -70,6 +70,10 @@ class RelayAllocator {
   /// nullptr to stop instrumenting new relays.
   void set_metrics(MetricsRegistry* registry) { metrics_ = registry; }
 
+  /// Every relay allocated from now on records into `tracer` (borrowed;
+  /// nullptr to stop). See RelayServer::set_tracer for the record families.
+  void set_tracer(Tracer* tracer) { tracer_ = tracer; }
+
   /// Every relay created from now on shards its fan-out `shards` ways on
   /// `pool` (borrowed; may be nullptr = shards run inline). Results are
   /// byte-identical at any setting — see RelayServer::set_fan_out_sharding.
@@ -92,6 +96,7 @@ class RelayAllocator {
   std::unordered_map<net::IpAddr, std::pair<RelayServer*, RelayServer*>> meet_front_ends_;
   int relay_counter_ = 0;
   MetricsRegistry* metrics_ = nullptr;
+  Tracer* tracer_ = nullptr;
   ShardPool* fan_out_pool_ = nullptr;
   int fan_out_shards_ = 0;
 };

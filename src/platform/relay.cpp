@@ -95,6 +95,9 @@ void RelayServer::schedule_departure(SimTime tick, std::shared_ptr<DepartureBatc
     if (m_departure_batch_pkts_ != nullptr) {
       m_departure_batch_pkts_->observe(static_cast<double>(batch->packets.size()));
     }
+    if (tracer_ != nullptr) {
+      tracer_->instant("relay.depart", network_.now(), static_cast<double>(batch->packets.size()));
+    }
     for (net::Packet& p : batch->packets) socket_->send(std::move(p));
   });
 }
@@ -105,6 +108,9 @@ void RelayServer::schedule_candidate_departure(SimTime tick,
     batch->sealed = true;
     if (m_departure_batch_pkts_ != nullptr) {
       m_departure_batch_pkts_->observe(static_cast<double>(batch->packets.size()));
+    }
+    if (tracer_ != nullptr) {
+      tracer_->instant("relay.depart", network_.now(), static_cast<double>(batch->packets.size()));
     }
     for (net::Packet& p : batch->packets) socket_->send(std::move(p));
     // Recycle only when this event holds the sole reference: a destination
@@ -210,6 +216,9 @@ void RelayServer::on_packet(const net::Packet& pkt) {
     socket_->send(std::move(reply));
     ++stats_.probes_answered;
     if (m_probes_answered_) m_probes_answered_->inc();
+    if (tracer_ != nullptr) {
+      tracer_->instant("relay.probe", network_.now(), static_cast<double>(pkt.l7_len));
+    }
     return;
   }
 
@@ -383,6 +392,11 @@ std::int64_t RelayServer::fan_out_media(Meeting& meeting, const net::Packet& pkt
     lo = std::min(lo, sc.copies);
     hi = std::max(hi, sc.copies);
     if (!m_shard_fan_out_.empty()) m_shard_fan_out_[static_cast<std::size_t>(s)]->add(sc.copies);
+    if (tracer_ != nullptr && tracer_->shard_detail()) {
+      // Per-shard merge detail is K-dependent (outside the determinism
+      // contract), so it only records behind the opt-in shard_detail flag.
+      tracer_->instant("relay.shard_merge", network_.now(), static_cast<double>(sc.copies));
+    }
   }
   // Splice the shard sub-batches into the one ingest-wide candidate batch
   // (global join order again), repoint every candidate destination's open-
@@ -447,6 +461,11 @@ void RelayServer::forward_media(Meeting& meeting, const net::Packet& pkt, bool f
 
   const std::int64_t media_copies = fan_out_media(meeting, pkt, candidate);
   stats_.media_forwarded += media_copies;
+  if (tracer_ != nullptr) {
+    // Ingest → shared candidate departure tick: the relay's processing
+    // pipeline window for this packet, annotated with the fan-out width.
+    tracer_->span("relay.ingest", network_.now(), candidate, static_cast<double>(media_copies));
+  }
 
   // Fan out to peer front-ends exactly once (only for first-hop packets).
   // Peer forwards are a different beast from participant copies — one link

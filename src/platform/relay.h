@@ -40,6 +40,7 @@
 
 #include "common/metrics.h"
 #include "common/shard_pool.h"
+#include "common/tracer.h"
 #include "net/network.h"
 #include "platform/platform.h"
 
@@ -121,6 +122,17 @@ class RelayServer {
   /// depend on K by construction, so standard run reports must not include
   /// them — hence the separate attach.
   void attach_shard_metrics(MetricsRegistry& registry, const std::string& prefix = "relay");
+
+  /// Flight-recorder hook (borrowed; nullptr detaches). Media ingests become
+  /// `relay.ingest` spans (ingest time → shared candidate departure tick,
+  /// value = participant copies), departure events `relay.depart` instants
+  /// (value = batch size), probe answers `relay.probe` instants — all on the
+  /// loop thread and byte-identical at every shard count K. When the tracer's
+  /// shard_detail flag is set, each sharded fan-out additionally records one
+  /// `relay.shard_merge` instant per shard (value = that shard's copies) —
+  /// K-dependent by construction, hence OUTSIDE the determinism contract,
+  /// like attach_shard_metrics.
+  void set_tracer(Tracer* tracer) { tracer_ = tracer; }
 
   void add_participant(MeetingId meeting, ParticipantId id, net::Endpoint client_endpoint);
   void remove_participant(MeetingId meeting, ParticipantId id);
@@ -285,6 +297,8 @@ class RelayServer {
   MetricsRegistry::Counter* m_control_forwarded_ = nullptr;
   MetricsRegistry::Histogram* m_fan_out_ = nullptr;
   MetricsRegistry::Histogram* m_departure_batch_pkts_ = nullptr;
+
+  Tracer* tracer_ = nullptr;
 
   MetricsRegistry* shard_registry_ = nullptr;  // for rebuilds when K changes
   std::string shard_prefix_;

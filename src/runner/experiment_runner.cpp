@@ -3,7 +3,9 @@
 #include <atomic>
 #include <chrono>
 #include <cstdio>
+#include <filesystem>
 #include <fstream>
+#include <memory>
 #include <thread>
 
 namespace vc::runner {
@@ -72,6 +74,15 @@ std::string RunReport::aggregate_json() const {
            json_escape(failures[i].second) + "\"}";
   }
   out += "],";
+  if (trace.enabled) {
+    out += "\"trace\":{\"records\":" + std::to_string(trace.records);
+    out += ",\"dropped\":" + std::to_string(trace.dropped);
+    out += ",\"spans\":" + std::to_string(trace.spans);
+    out += ",\"instants\":" + std::to_string(trace.instants);
+    out += ",\"counter_samples\":" + std::to_string(trace.counter_samples);
+    out += ",\"write_failures\":" + std::to_string(trace.write_failures);
+    out += "},";
+  }
   append_stats_map(out, "samples", samples);
   out += ",\"counters\":{";
   bool first = true;
@@ -125,8 +136,21 @@ RunReport ExperimentRunner::run(std::size_t n_sessions, const Task& task) const 
     std::string error;
     std::vector<std::pair<std::string, double>> samples;
     MetricsRegistry metrics;
+    // Flight-recorder accounting (zeros when tracing is off).
+    std::uint64_t trace_records = 0;
+    std::uint64_t trace_dropped = 0;
+    std::uint64_t trace_spans = 0;
+    std::uint64_t trace_instants = 0;
+    std::uint64_t trace_counters = 0;
+    bool trace_write_failed = false;
   };
   std::vector<Outcome> outcomes(n_sessions);
+
+  const bool tracing = !config_.trace_dir.empty();
+  if (tracing) {
+    std::error_code ec;
+    std::filesystem::create_directories(config_.trace_dir, ec);
+  }
 
   std::size_t threads = config_.threads != 0
                             ? config_.threads
@@ -141,6 +165,12 @@ RunReport ExperimentRunner::run(std::size_t n_sessions, const Task& task) const 
       SessionContext ctx;
       ctx.task_index = i;
       ctx.seed = config_.base_seed ^ static_cast<std::uint64_t>(i);
+      std::unique_ptr<Tracer> tracer;
+      if (tracing) {
+        tracer = std::make_unique<Tracer>(config_.trace_capacity);
+        tracer->set_enabled(true);
+        ctx.tracer = tracer.get();
+      }
       Outcome& out = outcomes[i];
       try {
         task(ctx);
@@ -152,6 +182,18 @@ RunReport ExperimentRunner::run(std::size_t n_sessions, const Task& task) const 
       }
       out.samples = std::move(ctx.samples);
       out.metrics = std::move(ctx.metrics);
+      if (tracer != nullptr) {
+        out.trace_records = tracer->size();
+        out.trace_dropped = tracer->dropped();
+        out.trace_spans = tracer->spans_recorded();
+        out.trace_instants = tracer->instants_recorded();
+        out.trace_counters = tracer->counters_recorded();
+        // One file per task index, written by whichever worker ran the task:
+        // filenames and contents depend only on the task, never the thread.
+        const std::string path =
+            config_.trace_dir + "/" + std::to_string(i) + ".trace.json";
+        out.trace_write_failed = !write_text_file(path, tracer->to_chrome_json());
+      }
     }
   };
 
@@ -175,8 +217,17 @@ RunReport ExperimentRunner::run(std::size_t n_sessions, const Task& task) const 
   report.sessions = n_sessions;
   report.threads = threads;
   report.wall_seconds = std::chrono::duration<double>(t1 - t0).count();
+  report.trace.enabled = tracing;
   for (std::size_t i = 0; i < n_sessions; ++i) {
     const Outcome& out = outcomes[i];
+    if (tracing) {
+      report.trace.records += out.trace_records;
+      report.trace.dropped += out.trace_dropped;
+      report.trace.spans += out.trace_spans;
+      report.trace.instants += out.trace_instants;
+      report.trace.counter_samples += out.trace_counters;
+      if (out.trace_write_failed) ++report.trace.write_failures;
+    }
     if (!out.ok) {
       report.failures.emplace_back(i, out.error);
       continue;

@@ -22,6 +22,7 @@
 
 #include "common/metrics.h"
 #include "common/stats.h"
+#include "common/tracer.h"
 
 namespace vc::runner {
 
@@ -34,6 +35,10 @@ struct SessionContext {
   /// base_seed ^ task_index: a per-task deterministic stream.
   std::uint64_t seed = 0;
   MetricsRegistry metrics;
+  /// Per-task flight recorder, non-null iff Config::trace_dir is set. The
+  /// runner owns it and writes `<task_index>.trace.json` after the task
+  /// returns; the task just hands it to instrumented components.
+  Tracer* tracer = nullptr;
 
   void sample(const std::string& name, double value) { samples.emplace_back(name, value); }
 
@@ -55,6 +60,21 @@ struct RunReport {
   std::map<std::string, std::int64_t> counters;
   std::map<std::string, RunningStats> gauges;
   std::map<std::string, RunningStats> histograms;
+
+  /// Flight-recorder accounting when Config::trace_dir was set. All-integer
+  /// sums over tasks (in task-index order), so the block is bit-identical at
+  /// any thread count; when tracing is off the block is absent from
+  /// aggregate_json() entirely, keeping untraced reports unchanged.
+  struct TraceSummary {
+    bool enabled = false;
+    std::uint64_t records = 0;   // retained in the rings across all tasks
+    std::uint64_t dropped = 0;   // lost to ring wrap across all tasks
+    std::uint64_t spans = 0;
+    std::uint64_t instants = 0;
+    std::uint64_t counter_samples = 0;
+    std::uint64_t write_failures = 0;  // trace files that failed to write
+  };
+  TraceSummary trace;
 
   /// Wall-clock of the run. Timing metadata only — deliberately excluded
   /// from aggregate_json() so reports compare equal across thread counts.
@@ -81,6 +101,13 @@ class ExperimentRunner {
     std::size_t threads = 0;
     std::uint64_t base_seed = 1;
     std::string label = "experiment";
+    /// Non-empty: enable per-task flight recording and write one Chrome
+    /// trace-event file `<trace_dir>/<task_index>.trace.json` per task.
+    /// Files are keyed by task index (never by thread), so a traced run
+    /// emits byte-identical files at any thread count.
+    std::string trace_dir;
+    /// Ring capacity (records) of each per-task Tracer.
+    std::size_t trace_capacity = Tracer::kDefaultCapacity;
   };
 
   using Task = std::function<void(SessionContext&)>;

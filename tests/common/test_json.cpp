@@ -1,0 +1,76 @@
+#include "common/json.h"
+
+#include <gtest/gtest.h>
+
+#include <string>
+
+namespace vc::json {
+namespace {
+
+TEST(Json, ParsesScalars) {
+  EXPECT_TRUE(parse("null").is_null());
+  EXPECT_TRUE(parse("true").bool_value);
+  EXPECT_FALSE(parse("false").bool_value);
+  EXPECT_DOUBLE_EQ(parse("42").number_value, 42.0);
+  EXPECT_DOUBLE_EQ(parse("-3.5e2").number_value, -350.0);
+  EXPECT_EQ(parse("\"hi\"").string_value, "hi");
+}
+
+TEST(Json, ParsesNestedContainers) {
+  const Value v = parse(R"({"a":[1,2,{"b":"c"}],"d":{"e":false}})");
+  ASSERT_TRUE(v.is_object());
+  const Value* a = v.find("a");
+  ASSERT_NE(a, nullptr);
+  ASSERT_TRUE(a->is_array());
+  ASSERT_EQ(a->array_items.size(), 3u);
+  EXPECT_DOUBLE_EQ(a->array_items[1].number_value, 2.0);
+  EXPECT_EQ(a->array_items[2].at("b").string_value, "c");
+  EXPECT_FALSE(v.at("d").at("e").bool_value);
+}
+
+TEST(Json, ObjectPreservesInsertionOrder) {
+  const Value v = parse(R"({"z":1,"a":2,"m":3})");
+  ASSERT_EQ(v.object_items.size(), 3u);
+  EXPECT_EQ(v.object_items[0].first, "z");
+  EXPECT_EQ(v.object_items[1].first, "a");
+  EXPECT_EQ(v.object_items[2].first, "m");
+}
+
+TEST(Json, DecodesEscapes) {
+  const Value v = parse(R"("q\" b\\ n\n t\t r\r f\f b\b s\/")");
+  EXPECT_EQ(v.string_value, "q\" b\\ n\n t\t r\r f\f b\b s/");
+}
+
+TEST(Json, DecodesUnicodeEscapesAsUtf8) {
+  EXPECT_EQ(parse("\"\\u0041\"").string_value, "A");
+  EXPECT_EQ(parse("\"\\u00e9\"").string_value, "\xc3\xa9");  // é, 2-byte UTF-8
+  EXPECT_EQ(parse("\"\\u20ac\"").string_value, "\xe2\x82\xac");  // €, 3-byte UTF-8
+  EXPECT_EQ(parse("\"\\u0009\"").string_value, "\t");
+  // Raw UTF-8 bytes pass through untouched.
+  EXPECT_EQ(parse("\"\xc3\xa9\"").string_value, "\xc3\xa9");
+}
+
+TEST(Json, FindReturnsNullForMissingKeys) {
+  const Value v = parse(R"({"present":1})");
+  EXPECT_NE(v.find("present"), nullptr);
+  EXPECT_EQ(v.find("absent"), nullptr);
+  EXPECT_THROW(v.at("absent"), std::exception);
+}
+
+TEST(Json, RejectsMalformedDocuments) {
+  EXPECT_THROW(parse(""), std::runtime_error);
+  EXPECT_THROW(parse("{"), std::runtime_error);
+  EXPECT_THROW(parse("[1,]"), std::runtime_error);
+  EXPECT_THROW(parse("{\"a\":}"), std::runtime_error);
+  EXPECT_THROW(parse("\"unterminated"), std::runtime_error);
+  EXPECT_THROW(parse("1 trailing"), std::runtime_error);
+  EXPECT_THROW(parse("nul"), std::runtime_error);
+}
+
+TEST(Json, AcceptsWhitespaceEverywhere) {
+  const Value v = parse(" {\n\t\"a\" :\t[ 1 , 2 ] \r\n} ");
+  EXPECT_EQ(v.at("a").array_items.size(), 2u);
+}
+
+}  // namespace
+}  // namespace vc::json
