@@ -1,0 +1,271 @@
+// Fault-recovery sweep (PR 5): outage duration × platform, on the seeded
+// fault-injection subsystem (src/fault).
+//
+// Each cell is one flash-feed session whose relay crashes mid-call and
+// restarts after the cell's outage duration; the clients reconnect through
+// client::ClientController's seeded backoff. Reported per cell: disconnect /
+// reconnect counts, time-to-recover (mean and worst), packets lost at the
+// crashed relay, the lag-spike high-water mark, and the streaming-lag
+// distribution split into before / during / after phases (the during and
+// after quantiles are recorded as `<cell>.lag_during.p10..p90` samples, the
+// shape `vcbench_cli report --cdf` renders).
+//
+// The sweep runs on runner::ExperimentRunner once at 1 thread and once at 8;
+// the aggregate reports must be bit-identical, and `--shards K` (intra-
+// session relay fan-out sharding) must not change a byte either — faulted
+// sessions obey the same determinism contract as healthy ones (exit 1).
+//
+// `--gate <ratio>` switches to the empty-plan overhead check CI's perf-smoke
+// job runs: interleaved A/B rounds of the same healthy session with no plan
+// vs an armed-but-empty FaultPlan. The two aggregate reports must be
+// byte-identical (exit 1) and best-of-rounds wall clock may not regress
+// below the gate ratio (e.g. --gate 0.98 = "an installed empty plan costs
+// <= 2%", exit 3). Best-of-rounds for the same reason as bench_shard_fanout's
+// trace gate: scheduler noise only ever adds time.
+#include <algorithm>
+#include <cstdio>
+#include <fstream>
+#include <sstream>
+#include <string>
+#include <vector>
+
+#include "bench/bench_util.h"
+#include "core/fault_recovery_benchmark.h"
+#include "runner/experiment_runner.h"
+
+namespace {
+
+using namespace vc;
+
+struct Cell {
+  platform::PlatformId id{};
+  SimDuration outage{};
+  std::uint64_t platform_seed = 0;
+  std::string key;  // e.g. "Zoom/out3s"
+};
+
+double flag_double(int argc, char** argv, const char* name, double fallback) {
+  for (int i = 1; i + 1 < argc; ++i) {
+    if (std::strcmp(argv[i], name) == 0) return std::atof(argv[i + 1]);
+  }
+  return fallback;
+}
+
+std::string flag_string(int argc, char** argv, const char* name, const char* fallback) {
+  for (int i = 1; i + 1 < argc; ++i) {
+    if (std::strcmp(argv[i], name) == 0) return argv[i + 1];
+  }
+  return fallback;
+}
+
+core::FaultRecoveryConfig base_config(SimDuration session_duration) {
+  core::FaultRecoveryConfig cfg;
+  cfg.session_duration = session_duration;
+  cfg.outage_start = seconds(8);
+  cfg.recovery_grace = seconds(5);
+  return cfg;
+}
+
+void sample_quantiles(runner::SessionContext& ctx, const std::string& base,
+                      const std::vector<double>& values) {
+  if (values.empty()) return;
+  for (double q : {0.1, 0.25, 0.5, 0.75, 0.9}) {
+    char suffix[8];
+    std::snprintf(suffix, sizeof(suffix), ".p%d", static_cast<int>(q * 100 + 0.5));
+    ctx.sample(base + suffix, quantile(std::vector<double>(values), q));
+  }
+}
+
+/// Empty-plan overhead gate (CI perf-smoke): A = no plan installed at all,
+/// B = armed-but-empty plan. Returns the process exit code.
+int run_gate(double gate, int rounds, int shards, const std::string& out_path) {
+  const SimDuration session_duration = seconds(12);
+  const auto make_task = [shards, session_duration](bool inject) {
+    return [shards, session_duration, inject](runner::SessionContext& ctx) {
+      core::FaultRecoveryConfig cfg = base_config(session_duration);
+      cfg.platform = vcb::all_platforms()[ctx.task_index % 3];
+      cfg.fan_out_shards = shards;
+      cfg.seed = ctx.seed;
+      cfg.inject = inject;
+      cfg.use_custom_plan = true;  // empty custom plan: arms, schedules nothing
+      const auto r = core::run_fault_recovery_benchmark(cfg);
+      ctx.sample("gate.lags_before", static_cast<double>(r.lags_before_ms.size()));
+      sample_quantiles(ctx, "gate.lag", r.lags_before_ms);
+      ctx.sample("gate.disconnects", static_cast<double>(r.disconnects));
+    };
+  };
+
+  runner::ExperimentRunner::Config rc;
+  rc.base_seed = 4242;
+  rc.label = "fault_gate";
+  rc.threads = 1;
+
+  std::string baseline_json;
+  double best_none = 0.0, best_empty = 0.0;
+  for (int r = 0; r < rounds; ++r) {
+    for (const bool inject : {false, true}) {
+      const auto report = runner::ExperimentRunner{rc}.run(3, make_task(inject));
+      if (!report.failures.empty()) {
+        std::printf("FAIL: gate session threw (%zu failures)\n", report.failures.size());
+        return 1;
+      }
+      if (baseline_json.empty()) {
+        baseline_json = report.aggregate_json();
+      } else if (report.aggregate_json() != baseline_json) {
+        std::printf("FAIL: %s-plan aggregate differs from no-plan baseline — an armed "
+                    "empty FaultPlan must be invisible\n",
+                    inject ? "empty" : "no");
+        return 1;
+      }
+      double& best = inject ? best_empty : best_none;
+      if (best == 0.0 || report.wall_seconds < best) best = report.wall_seconds;
+    }
+  }
+  const double ratio = best_empty > 0.0 ? best_none / best_empty : 0.0;
+  std::printf("empty-plan gate: best no-plan %.3f s, best empty-plan %.3f s, ratio %.3fx "
+              "(gate %.2fx), aggregates byte-identical: yes\n",
+              best_none, best_empty, ratio, gate);
+
+  char json[512];
+  std::snprintf(json, sizeof(json),
+                "{\n  \"benchmark\": \"fault_recovery_gate\",\n  \"rounds\": %d,\n"
+                "  \"best_no_plan_seconds\": %.6f,\n  \"best_empty_plan_seconds\": %.6f,\n"
+                "  \"empty_plan_speed_ratio\": %.4f,\n  \"gate\": %.2f,\n"
+                "  \"aggregates_byte_identical\": true\n}\n",
+                rounds, best_none, best_empty, ratio, gate);
+  if (runner::write_text_file(out_path, json)) {
+    std::printf("report written to %s\n", out_path.c_str());
+  }
+  if (ratio < gate) {
+    std::printf("FAIL: empty-plan overhead ratio %.3fx below gate %.2fx\n", ratio, gate);
+    return 3;
+  }
+  return 0;
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  const bool paper = vcb::paper_scale(argc, argv);
+  const int shards = vcb::int_flag(argc, argv, "--shards", 0);
+  const double gate = flag_double(argc, argv, "--gate", 0.0);
+  const int rounds = std::max(3, vcb::int_flag(argc, argv, "--rounds", 5));
+  const std::string out_path =
+      flag_string(argc, argv, "--out", "bench_fault_recovery.report.json");
+  if (gate > 0.0) return run_gate(gate, rounds, shards, out_path);
+
+  vcb::banner("Fault recovery — relay crash mid-call, outage sweep", paper);
+
+  // `--plan FILE` replaces the default relay-crash timeline in every cell
+  // with a scripted FaultPlan (see FaultPlan::from_json for the schema).
+  fault::FaultPlan custom_plan;
+  bool use_custom_plan = false;
+  const std::string plan_path = flag_string(argc, argv, "--plan", "");
+  if (!plan_path.empty()) {
+    std::ifstream in{plan_path, std::ios::binary};
+    if (!in) {
+      std::fprintf(stderr, "cannot read fault plan %s\n", plan_path.c_str());
+      return 2;
+    }
+    std::ostringstream ss;
+    ss << in.rdbuf();
+    try {
+      custom_plan = fault::FaultPlan::from_json(ss.str());
+    } catch (const std::exception& e) {
+      std::fprintf(stderr, "%s: %s\n", plan_path.c_str(), e.what());
+      return 2;
+    }
+    use_custom_plan = true;
+    std::printf("custom fault plan: %zu event(s) from %s\n", custom_plan.size(),
+                plan_path.c_str());
+  }
+
+  const std::vector<SimDuration> outages =
+      paper ? std::vector<SimDuration>{seconds(1), seconds(2), seconds(4), seconds(8)}
+            : std::vector<SimDuration>{seconds(1), seconds(3)};
+  const int sessions_per_cell = paper ? 5 : 1;
+  const SimDuration session_duration = paper ? seconds(60) : seconds(30);
+
+  std::vector<Cell> cells;
+  for (const auto id : vcb::all_platforms()) {
+    for (const auto outage : outages) {
+      Cell c;
+      c.id = id;
+      c.outage = outage;
+      c.platform_seed = 3301 + static_cast<std::uint64_t>(id) * 37;
+      c.key = std::string(platform_name(id)) + "/out" +
+              std::to_string(static_cast<long long>(outage.seconds())) + "s";
+      for (int s = 0; s < sessions_per_cell; ++s) cells.push_back(c);
+    }
+  }
+
+  const auto task = [&cells, session_duration, shards, &custom_plan,
+                     use_custom_plan](runner::SessionContext& ctx) {
+    const Cell& c = cells[ctx.task_index];
+    core::FaultRecoveryConfig cfg = base_config(session_duration);
+    cfg.platform = c.id;
+    cfg.outage_duration = c.outage;
+    cfg.custom_plan = custom_plan;
+    cfg.use_custom_plan = use_custom_plan;
+    cfg.fan_out_shards = shards;
+    cfg.seed = ctx.seed ^ c.platform_seed;
+    cfg.metrics = &ctx.metrics;
+    cfg.tracer = ctx.tracer;
+    const auto r = core::run_fault_recovery_benchmark(cfg);
+    ctx.sample(c.key + ".disconnects", static_cast<double>(r.disconnects));
+    ctx.sample(c.key + ".reconnects", static_cast<double>(r.reconnects));
+    ctx.sample(c.key + ".attempts", static_cast<double>(r.reconnect_attempts));
+    ctx.sample(c.key + ".giveups", static_cast<double>(r.reconnect_giveups));
+    if (r.reconnects > 0) {
+      ctx.sample(c.key + ".time_to_recover_ms", r.mean_time_to_reconnect_ms);
+      ctx.sample(c.key + ".worst_time_to_recover_ms", r.max_time_to_reconnect_ms);
+    }
+    ctx.sample(c.key + ".packets_lost", static_cast<double>(r.packets_lost_in_outage));
+    ctx.sample(c.key + ".lag_spike_hwm_ms", r.lag_spike_hwm_ms);
+    sample_quantiles(ctx, c.key + ".lag_before", r.lags_before_ms);
+    sample_quantiles(ctx, c.key + ".lag_during", r.lags_during_ms);
+    sample_quantiles(ctx, c.key + ".lag_after", r.lags_after_ms);
+  };
+
+  runner::ExperimentRunner::Config rc;
+  rc.base_seed = 3301;
+  rc.label = "fault_recovery";
+  rc.threads = 1;
+  const auto serial = runner::ExperimentRunner{rc}.run(cells.size(), task);
+  rc.threads = 8;
+  const auto report = runner::ExperimentRunner{rc}.run(cells.size(), task);
+
+  TextTable table{{"platform", "outage", "reconn", "TTR (ms)", "worst TTR", "lost pkts",
+                   "during p50 (ms)", "after p50 (ms)", "HWM (ms)"}};
+  auto cell = [&report](const std::string& key, int digits) {
+    const auto* s = report.find_sample(key);
+    return s ? TextTable::num(s->mean(), digits) : std::string{"-"};
+  };
+  for (const auto id : vcb::all_platforms()) {
+    for (const auto outage : outages) {
+      const std::string k = std::string(platform_name(id)) + "/out" +
+                            std::to_string(static_cast<long long>(outage.seconds())) + "s";
+      table.add_row({std::string(platform_name(id)),
+                     std::to_string(static_cast<long long>(outage.seconds())) + " s",
+                     cell(k + ".reconnects", 1), cell(k + ".time_to_recover_ms", 0),
+                     cell(k + ".worst_time_to_recover_ms", 0), cell(k + ".packets_lost", 0),
+                     cell(k + ".lag_during.p50", 1), cell(k + ".lag_after.p50", 1),
+                     cell(k + ".lag_spike_hwm_ms", 1)});
+    }
+  }
+  std::printf("%s\n", table.render().c_str());
+
+  const bool identical = serial.aggregate_json() == report.aggregate_json();
+  std::printf("sessions: %zu  failures: %zu  fan_out_shards: %d\n", report.sessions,
+              report.failures.size(), shards);
+  std::printf("wall clock: %.2f s at 1 thread, %.2f s at 8 threads — speedup %.2fx\n",
+              serial.wall_seconds, report.wall_seconds,
+              report.wall_seconds > 0 ? serial.wall_seconds / report.wall_seconds : 0.0);
+  std::printf("aggregate reports bit-identical across thread counts: %s\n",
+              identical ? "yes" : "NO — determinism regression!");
+
+  if (runner::write_text_file(out_path, report.to_json())) {
+    std::printf("report written to %s\n", out_path.c_str());
+  }
+  return identical && report.failures.empty() ? 0 : 1;
+}

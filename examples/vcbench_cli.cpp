@@ -299,6 +299,21 @@ int run_report(const std::string& path, const std::map<std::string, std::string>
   const std::string filter = flag_str(flags, "filter", "");
   const auto cdf = flags.find("cdf");
   const json::Value* samples = agg->find("samples");
+  if (flags.contains("list")) {
+    // Bare metric keys, one per line — greppable, and exactly the names
+    // `--filter` and `--cdf BASE` (for <base>.p10..p90 families) accept.
+    auto list_section = [&filter](const char* section, const json::Value* v) {
+      if (v == nullptr || !v->is_object()) return;
+      for (const auto& [name, _] : v->object_items) {
+        if (name_matches(name, filter)) std::printf("%s %s\n", section, name.c_str());
+      }
+    };
+    list_section("sample", samples);
+    list_section("counter", agg->find("counters"));
+    list_section("gauge", agg->find("gauges"));
+    list_section("histogram", agg->find("histograms"));
+    return 0;
+  }
   if (cdf != flags.end()) {
     if (samples == nullptr) {
       std::fprintf(stderr, "report has no samples section\n");
@@ -410,7 +425,8 @@ void usage() {
                "  bwcap  --cap-kbps K [--sessions N]\n"
                "  mobile --scenario LM|HM|LM-View|LM-Video-View|LM-Off\n"
                "  dump   --trace FILE [--max N]\n"
-               "  report RUN.json [--filter SUBSTR] [--cdf BASE]   render run-report tables/CDFs\n"
+               "  report RUN.json [--filter SUBSTR] [--cdf BASE] [--list]\n"
+               "         render run-report tables/CDFs; --list enumerates metric keys\n"
                "  trace  FILE.trace.json [--filter SUBSTR]         per-span duration summaries\n");
 }
 
@@ -422,22 +438,31 @@ int main(int argc, char** argv) {
     return 2;
   }
   const std::string command = argv[1];
-  if (command == "report" || command == "trace") {
-    // These take a positional input file before the flags.
-    if (argc < 3 || std::string(argv[2]).rfind("--", 0) == 0) {
-      usage();
-      return 2;
+  // Every failure mode — unknown subcommand, missing input file, malformed
+  // JSON, bad flag values that make a benchmark throw — reports to stderr
+  // and exits non-zero instead of aborting on an uncaught exception.
+  try {
+    if (command == "report" || command == "trace") {
+      // These take a positional input file before the flags.
+      if (argc < 3 || std::string(argv[2]).rfind("--", 0) == 0) {
+        usage();
+        return 2;
+      }
+      const std::string path = argv[2];
+      const auto flags = parse_flags(argc, argv, 3);
+      return command == "report" ? run_report(path, flags) : run_trace_summary(path, flags);
     }
-    const std::string path = argv[2];
-    const auto flags = parse_flags(argc, argv, 3);
-    return command == "report" ? run_report(path, flags) : run_trace_summary(path, flags);
+    const auto flags = parse_flags(argc, argv, 2);
+    if (command == "lag") return run_lag(flags);
+    if (command == "qoe") return run_qoe(flags);
+    if (command == "bwcap") return run_bwcap(flags);
+    if (command == "mobile") return run_mobile(flags);
+    if (command == "dump") return run_dump(flags);
+  } catch (const std::exception& e) {
+    std::fprintf(stderr, "vcbench_cli %s: %s\n", command.c_str(), e.what());
+    return 2;
   }
-  const auto flags = parse_flags(argc, argv, 2);
-  if (command == "lag") return run_lag(flags);
-  if (command == "qoe") return run_qoe(flags);
-  if (command == "bwcap") return run_bwcap(flags);
-  if (command == "mobile") return run_mobile(flags);
-  if (command == "dump") return run_dump(flags);
+  std::fprintf(stderr, "vcbench_cli: unknown subcommand '%s'\n", command.c_str());
   usage();
   return 2;
 }

@@ -8,6 +8,8 @@
 
 #include "client/vca_client.h"
 #include "common/metrics.h"
+#include "common/rng.h"
+#include "common/tracer.h"
 
 namespace vc::client {
 
@@ -21,8 +23,21 @@ class ClientController {
     SimDuration join = seconds(1);
   };
 
-  enum class State { kIdle, kLaunching, kLoggingIn, kCreating, kJoining, kInMeeting, kLeft,
-                     kAborted };
+  enum class State { kIdle, kLaunching, kLoggingIn, kCreating, kJoining, kInMeeting,
+                     kReconnecting, kLeft, kAborted };
+
+  /// Exponential-backoff reconnection after a lost route (relay crash):
+  /// attempt k waits min(initial·multiplier^k, max) ± jitter, re-joining
+  /// through the platform until it succeeds or max_attempts is exhausted.
+  struct ReconnectPolicy {
+    SimDuration initial_backoff = millis(500);
+    double multiplier = 2.0;
+    SimDuration max_backoff = seconds(8);
+    /// Uniform ± fraction applied to every backoff (decorrelates the
+    /// reconnect stampede across clients, like real jittered retry).
+    double jitter = 0.2;
+    int max_attempts = 20;
+  };
 
   ClientController(VcaClient& client, Script script);
   /// Uses per-platform default timings.
@@ -34,6 +49,20 @@ class ClientController {
   /// counters and a `client.join_latency_ms` histogram (start_join call to
   /// in-meeting, i.e. the scripted launch+login+join path).
   void set_metrics(MetricsRegistry* registry) { metrics_ = registry; }
+
+  /// Flight-recorder hook (borrowed; nullptr detaches): reconnection
+  /// lifecycle instants `client.connection_lost`, `client.reconnected`
+  /// (value = ms from loss to recovery) and `client.reconnect_giveup`.
+  void set_tracer(Tracer* tracer) { tracer_ = tracer; }
+
+  /// Arms automatic reconnection: when the in-meeting client loses its route
+  /// the controller enters kReconnecting and drives the backoff loop above.
+  /// Jitter draws come from a controller-owned Rng seeded here — the network
+  /// RNG stream never sees them, which keeps faulted runs deterministic.
+  /// Emits `client.disconnects` / `client.reconnect_attempts` /
+  /// `client.reconnects` / `client.reconnect_giveups` counters and a
+  /// `client.time_to_reconnect_ms` histogram via set_metrics.
+  void enable_reconnect(ReconnectPolicy policy, std::uint64_t seed);
 
   /// Abandons the scripted workflow: any still-pending step becomes a no-op
   /// and its callback never fires (used when an orchestrator gives up on a
@@ -51,11 +80,23 @@ class ClientController {
 
  private:
   net::EventLoop& loop();
+  void on_connection_lost();
+  void schedule_reconnect_attempt();
 
   VcaClient& client_;
   Script script_;
   State state_ = State::kIdle;
   MetricsRegistry* metrics_ = nullptr;
+  Tracer* tracer_ = nullptr;
+
+  bool reconnect_enabled_ = false;
+  ReconnectPolicy reconnect_;
+  Rng reconnect_rng_{0};
+  SimTime lost_at_{};
+  int attempt_ = 0;
+  /// Bumped on every disconnect and on leave: a pending backoff attempt from
+  /// a stale cycle sees a different epoch and becomes a no-op.
+  std::uint64_t reconnect_epoch_ = 0;
 };
 
 /// Platform-default workflow timings.

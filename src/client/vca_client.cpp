@@ -76,9 +76,17 @@ void VcaClient::set_view_mode(platform::ViewMode view) {
   if (in_meeting_) platform_.set_view_mode(meeting_, participant_id_, view);
 }
 
+bool VcaClient::rejoin() {
+  if (!in_meeting_) return false;
+  if (has_route_) return true;
+  return platform_.reconnect(meeting_, participant_id_);
+}
+
 void VcaClient::on_route(platform::RouteInfo route) {
+  const bool had_route = has_route_;
   route_ = route;
   has_route_ = !route.media_endpoint.ip.is_unspecified();
+  if (had_route && !has_route_ && in_meeting_ && on_connection_lost_) on_connection_lost_();
   if (has_route_ && config_.send_video && !encoder_ && !session_factor_drawn_) {
     // Per-session rate draw (the across-session variability of Fig 15).
     const auto& profile = platform::rate_profile(platform_.traits().id);

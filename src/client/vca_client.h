@@ -104,6 +104,21 @@ class VcaClient {
   platform::ParticipantId participant_id() const { return participant_id_; }
   platform::MeetingId meeting_id() const { return meeting_; }
 
+  /// True while the client holds a usable media route. A relay crash pushes
+  /// RouteInfo{} (unspecified endpoint), which drops this to false — media
+  /// ticks keep running but send nothing until the route is restored.
+  bool has_route() const { return has_route_; }
+
+  /// Fires when an in-meeting client's route is torn down (route held →
+  /// route lost, e.g. the serving relay crashed). The reconnection driver
+  /// (client::ClientController) hooks this to start its backoff loop.
+  void set_on_connection_lost(std::function<void()> cb) { on_connection_lost_ = std::move(cb); }
+
+  /// One reconnection attempt: asks the platform to re-attach this member
+  /// (re-register with the relay, re-push route and subscriptions). Returns
+  /// true once routed again; false while the infrastructure is still down.
+  bool rejoin();
+
   /// Switches the UI layout (full screen / gallery / screen-off).
   void set_view_mode(platform::ViewMode view);
   platform::ViewMode view_mode() const { return config_.view; }
@@ -168,6 +183,7 @@ class VcaClient {
   bool in_meeting_ = false;
   bool has_route_ = false;
   platform::RouteInfo route_;
+  std::function<void()> on_connection_lost_;
 
   // --- sending ---
   std::unique_ptr<media::VideoEncoder> encoder_;

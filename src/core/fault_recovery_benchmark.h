@@ -1,0 +1,74 @@
+// Fault-recovery benchmark: one flash-feed session per run with a scripted
+// mid-call fault (default: the session relay crashes and restarts), measuring
+// how the platform's clients ride it out — time to reconnect, packets lost in
+// the outage, and the streaming-lag distribution before / during / after the
+// fault window. The paper stops at static impairments (Figs 17–18); this is
+// the dynamic counterpart its Section 6 future work gestures at.
+#pragma once
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+#include "client/controller.h"
+#include "common/metrics.h"
+#include "common/tracer.h"
+#include "fault/fault_plan.h"
+#include "platform/base_platform.h"
+
+namespace vc::core {
+
+struct FaultRecoveryConfig {
+  platform::PlatformId platform = platform::PlatformId::kZoom;
+  std::string host_site = "US-East";
+  std::vector<std::string> participant_sites = {"US-West", "US-Central"};
+  SimDuration session_duration = seconds(40);
+  /// Fault window, relative to media start (the plan's arm origin) — the
+  /// same plan shape at every seed, which is what makes the outage sweep a
+  /// controlled experiment.
+  SimDuration outage_start = seconds(10);
+  SimDuration outage_duration = seconds(3);
+  /// Receiver flash events inside the outage window or within this grace
+  /// after it count as the "during" phase (the recovery tail — backoff,
+  /// re-join, re-subscription — is attributed to the fault, not to steady
+  /// state).
+  SimDuration recovery_grace = seconds(5);
+  int feed_width = 128;
+  int feed_height = 96;
+  double fps = 10.0;
+  std::uint64_t seed = 1;
+  int fan_out_shards = 0;
+  client::ClientController::ReconnectPolicy reconnect{};
+  /// Override the default timeline (crash relay 0 at outage_start for
+  /// outage_duration) with an arbitrary plan.
+  fault::FaultPlan custom_plan;
+  bool use_custom_plan = false;
+  /// false = control run: no plan is armed at all. Paired with an armed
+  /// empty plan this is the A side of the ≤2% empty-plan overhead gate.
+  bool inject = true;
+  MetricsRegistry* metrics = nullptr;
+  Tracer* tracer = nullptr;
+};
+
+struct FaultRecoveryResult {
+  platform::PlatformId platform{};
+  int clients = 0;  // host + participants
+  std::int64_t disconnects = 0;
+  std::int64_t reconnects = 0;
+  std::int64_t reconnect_attempts = 0;
+  std::int64_t reconnect_giveups = 0;
+  double mean_time_to_reconnect_ms = 0.0;
+  double max_time_to_reconnect_ms = 0.0;
+  /// Packets that arrived at crashed relays (summed across the platform's
+  /// relays) — the outage's direct loss.
+  std::int64_t packets_lost_in_outage = 0;
+  /// Worst flash lag observed at/after the fault (the lag-spike HWM).
+  double lag_spike_hwm_ms = 0.0;
+  std::vector<double> lags_before_ms;
+  std::vector<double> lags_during_ms;  // fault window + recovery grace
+  std::vector<double> lags_after_ms;
+};
+
+FaultRecoveryResult run_fault_recovery_benchmark(const FaultRecoveryConfig& config);
+
+}  // namespace vc::core

@@ -26,6 +26,142 @@ std::shared_ptr<const media::VideoFeed> make_content_feed(const QoeBenchmarkConf
   return std::make_shared<media::TalkingHeadFeed>(params);
 }
 
+/// One broadcast session against an existing world. Shared by the aggregate
+/// benchmark (persistent bed/VMs across sessions, like the paper's
+/// long-lived testbed) and the self-contained per-seed entry point.
+QoeSessionResult run_one_session(const QoeBenchmarkConfig& config, testbed::CloudTestbed& bed,
+                                 platform::BasePlatform& platform, net::Host& host_vm,
+                                 const std::vector<net::Host*>& rx_vms, std::uint64_t feed_seed,
+                                 std::uint64_t session_seed) {
+  const int padded_w = config.content_width + 2 * config.padding;
+  const int padded_h = config.content_height + 2 * config.padding;
+  const auto content = make_content_feed(config, feed_seed);
+  const auto padded = std::make_shared<media::PaddedFeed>(content, config.padding);
+
+  client::VcaClient::Config host_cfg;
+  host_cfg.send_video = true;
+  host_cfg.send_audio = true;
+  host_cfg.decode_video = false;
+  host_cfg.motion = config.motion;
+  host_cfg.video_width = padded_w;
+  host_cfg.video_height = padded_h;
+  host_cfg.fps = config.fps;
+  host_cfg.ui_border = config.padding > 8 ? config.padding - 8 : 0;
+  // Rates-only runs skip the pixel codec: frame sizes follow the same
+  // policy targets either way, and nobody scores pixels.
+  host_cfg.synthetic_video = !config.score_video;
+  host_cfg.seed = session_seed;
+  client::VcaClient host_client{host_vm, platform, host_cfg};
+  client::MediaFeeder feeder{bed.loop(), host_client.video_device(), host_client.audio_device()};
+  capture::PacketCapture host_capture{host_vm, bed.clock_offset(host_vm)};
+
+  std::vector<std::unique_ptr<client::VcaClient>> receivers;
+  std::vector<std::unique_ptr<client::DesktopRecorder>> recorders;
+  std::vector<std::unique_ptr<capture::PacketCapture>> captures;
+  for (std::size_t i = 0; i < rx_vms.size(); ++i) {
+    client::VcaClient::Config cfg;
+    cfg.send_video = false;
+    cfg.send_audio = false;
+    cfg.decode_video = true;
+    cfg.video_width = padded_w;
+    cfg.video_height = padded_h;
+    cfg.fps = config.fps;
+    cfg.ui_border = host_cfg.ui_border;
+    cfg.seed = session_seed + 17 * (i + 1);
+    cfg.decode_video = config.score_video;
+    receivers.push_back(std::make_unique<client::VcaClient>(*rx_vms[i], platform, cfg));
+    recorders.push_back(std::make_unique<client::DesktopRecorder>(*receivers.back(), config.fps));
+    captures.push_back(
+        std::make_unique<capture::PacketCapture>(*rx_vms[i], bed.clock_offset(*rx_vms[i])));
+  }
+
+  SimTime media_start{};
+  testbed::SessionOrchestrator::Plan plan;
+  plan.host = &host_client;
+  for (auto& r : receivers) plan.participants.push_back(r.get());
+  plan.media_duration = config.media_duration;
+  plan.on_all_joined = [&] {
+    media_start = bed.network().now();
+    feeder.play_video(padded, config.media_duration);
+    const double audio_sec = config.media_duration.seconds();
+    feeder.play_audio(media::synthesize_voice(audio_sec, session_seed ^ 0xA0D10));
+    if (config.score_video) {
+      for (auto& rec : recorders) rec->start(config.media_duration);
+    }
+  };
+  testbed::SessionOrchestrator orchestrator{std::move(plan)};
+  orchestrator.start();
+  bed.run_all();
+
+  // ---- scoring ----
+  QoeSessionResult out;
+  const capture::Trace host_trace = host_capture.trace();
+  const capture::RateAnalyzer host_rates{host_trace};
+  out.upload_kbps = host_rates.average(media_start).upload.as_kbps();
+
+  double session_download_acc = 0.0;
+  for (std::size_t i = 0; i < receivers.size(); ++i) {
+    QoeReceiverResult rx;
+    // Rates from the receiver's capture.
+    const capture::Trace rx_trace = captures[i]->trace();
+    const capture::RateAnalyzer rx_rates{rx_trace};
+    rx.download_kbps = rx_rates.average(media_start).download.as_kbps();
+    session_download_acc += rx.download_kbps;
+
+    // Delivery ratio (freezes under congestion show up here).
+    const auto& st = receivers[i]->stats();
+    if (host_client.stats().video_frames_sent > 0) {
+      rx.has_delivery_ratio = true;
+      rx.delivery_ratio = static_cast<double>(st.video_frames_completed) /
+                          static_cast<double>(host_client.stats().video_frames_sent);
+    }
+
+    if (config.score_video) {
+      // Recording post-processing: crop padding (which also removes the UI
+      // border), then temporal alignment to the injected feed.
+      const media::RecordedVideo cropped = media::crop_and_resize(
+          recorders[i]->video(), config.padding, config.content_width, config.content_height);
+      if (cropped.frames.size() >= 12) {  // shorter recordings can't be scored
+        std::vector<media::Frame> reference;
+        reference.reserve(cropped.frames.size());
+        for (std::size_t k = 0; k < cropped.frames.size(); ++k) {
+          reference.push_back(content->frame_at(static_cast<std::int64_t>(k)));
+        }
+        const std::int64_t shift =
+            media::best_temporal_shift(reference, cropped.frames, /*max_shift=*/10);
+        const auto aligned = media::align_sequences(reference, cropped.frames, shift);
+
+        std::vector<media::Frame> ref_sample;
+        std::vector<media::Frame> rec_sample;
+        for (std::size_t k = 0; k < aligned.reference.size();
+             k += static_cast<std::size_t>(config.metric_stride)) {
+          ref_sample.push_back(aligned.reference[k]);
+          rec_sample.push_back(aligned.recording[k]);
+        }
+        if (!ref_sample.empty()) {
+          const auto qoe = media::qoe::mean_video_qoe(ref_sample, rec_sample);
+          rx.has_video_qoe = true;
+          rx.psnr = qoe.psnr;
+          rx.ssim = qoe.ssim;
+          rx.vifp = qoe.vifp;
+        }
+      }
+    }
+    out.receivers.push_back(rx);
+  }
+  out.session_download_kbps = session_download_acc / static_cast<double>(receivers.size());
+  return out;
+}
+
+void validate_geometry(const QoeBenchmarkConfig& config) {
+  if (config.receiver_sites.empty()) throw std::invalid_argument{"need at least one receiver"};
+  const int padded_w = config.content_width + 2 * config.padding;
+  const int padded_h = config.content_height + 2 * config.padding;
+  if (padded_w % 8 != 0 || padded_h % 8 != 0) {
+    throw std::invalid_argument{"padded feed dimensions must be multiples of 8"};
+  }
+}
+
 }  // namespace
 
 std::vector<std::string> us_qoe_receiver_sites(int n) {
@@ -43,12 +179,7 @@ std::vector<std::string> europe_qoe_receiver_sites(int n) {
 }
 
 QoeBenchmarkResult run_qoe_benchmark(const QoeBenchmarkConfig& config) {
-  if (config.receiver_sites.empty()) throw std::invalid_argument{"need at least one receiver"};
-  const int padded_w = config.content_width + 2 * config.padding;
-  const int padded_h = config.content_height + 2 * config.padding;
-  if (padded_w % 8 != 0 || padded_h % 8 != 0) {
-    throw std::invalid_argument{"padded feed dimensions must be multiples of 8"};
-  }
+  validate_geometry(config);
 
   testbed::CloudTestbed bed{config.seed};
   auto platform = platform::make_platform(config.platform, bed.network(), config.seed ^ 0xBEEF);
@@ -67,118 +198,34 @@ QoeBenchmarkResult run_qoe_benchmark(const QoeBenchmarkConfig& config) {
 
   for (int s = 0; s < config.sessions; ++s) {
     const std::uint64_t session_seed = config.seed + static_cast<std::uint64_t>(s) * 6151;
-    const auto content = make_content_feed(config, config.seed ^ 0xC0FFEE);
-    const auto padded = std::make_shared<media::PaddedFeed>(content, config.padding);
-
-    client::VcaClient::Config host_cfg;
-    host_cfg.send_video = true;
-    host_cfg.send_audio = true;
-    host_cfg.decode_video = false;
-    host_cfg.motion = config.motion;
-    host_cfg.video_width = padded_w;
-    host_cfg.video_height = padded_h;
-    host_cfg.fps = config.fps;
-    host_cfg.ui_border = config.padding > 8 ? config.padding - 8 : 0;
-    // Rates-only runs skip the pixel codec: frame sizes follow the same
-    // policy targets either way, and nobody scores pixels.
-    host_cfg.synthetic_video = !config.score_video;
-    host_cfg.seed = session_seed;
-    client::VcaClient host_client{host_vm, *platform, host_cfg};
-    client::MediaFeeder feeder{bed.loop(), host_client.video_device(), host_client.audio_device()};
-    capture::PacketCapture host_capture{host_vm, bed.clock_offset(host_vm)};
-
-    std::vector<std::unique_ptr<client::VcaClient>> receivers;
-    std::vector<std::unique_ptr<client::DesktopRecorder>> recorders;
-    std::vector<std::unique_ptr<capture::PacketCapture>> captures;
-    for (std::size_t i = 0; i < rx_vms.size(); ++i) {
-      client::VcaClient::Config cfg;
-      cfg.send_video = false;
-      cfg.send_audio = false;
-      cfg.decode_video = true;
-      cfg.video_width = padded_w;
-      cfg.video_height = padded_h;
-      cfg.fps = config.fps;
-      cfg.ui_border = host_cfg.ui_border;
-      cfg.seed = session_seed + 17 * (i + 1);
-      cfg.decode_video = config.score_video;
-      receivers.push_back(std::make_unique<client::VcaClient>(*rx_vms[i], *platform, cfg));
-      recorders.push_back(std::make_unique<client::DesktopRecorder>(*receivers.back(), config.fps));
-      captures.push_back(
-          std::make_unique<capture::PacketCapture>(*rx_vms[i], bed.clock_offset(*rx_vms[i])));
+    const QoeSessionResult session = run_one_session(config, bed, *platform, host_vm, rx_vms,
+                                                     config.seed ^ 0xC0FFEE, session_seed);
+    result.upload_kbps.add(session.upload_kbps);
+    for (const QoeReceiverResult& rx : session.receivers) {
+      result.download_kbps.add(rx.download_kbps);
+      if (rx.has_delivery_ratio) result.delivery_ratio.add(rx.delivery_ratio);
+      if (rx.has_video_qoe) {
+        result.psnr.add(rx.psnr);
+        result.ssim.add(rx.ssim);
+        result.vifp.add(rx.vifp);
+      }
     }
-
-    SimTime media_start{};
-    testbed::SessionOrchestrator::Plan plan;
-    plan.host = &host_client;
-    for (auto& r : receivers) plan.participants.push_back(r.get());
-    plan.media_duration = config.media_duration;
-    plan.on_all_joined = [&] {
-      media_start = bed.network().now();
-      feeder.play_video(padded, config.media_duration);
-      const double audio_sec = config.media_duration.seconds();
-      feeder.play_audio(media::synthesize_voice(audio_sec, session_seed ^ 0xA0D10));
-      if (config.score_video) {
-        for (auto& rec : recorders) rec->start(config.media_duration);
-      }
-    };
-    testbed::SessionOrchestrator orchestrator{std::move(plan)};
-    orchestrator.start();
-    bed.run_all();
-
-    // ---- scoring ----
-    const capture::Trace host_trace = host_capture.trace();
-    const capture::RateAnalyzer host_rates{host_trace};
-    result.upload_kbps.add(host_rates.average(media_start).upload.as_kbps());
-
-    double session_download_acc = 0.0;
-    for (std::size_t i = 0; i < receivers.size(); ++i) {
-      // Rates from the receiver's capture.
-      const capture::Trace rx_trace = captures[i]->trace();
-      const capture::RateAnalyzer rx_rates{rx_trace};
-      const double down = rx_rates.average(media_start).download.as_kbps();
-      result.download_kbps.add(down);
-      session_download_acc += down;
-
-      // Delivery ratio (freezes under congestion show up here).
-      const auto& st = receivers[i]->stats();
-      if (host_client.stats().video_frames_sent > 0) {
-        result.delivery_ratio.add(static_cast<double>(st.video_frames_completed) /
-                                  static_cast<double>(host_client.stats().video_frames_sent));
-      }
-
-      if (!config.score_video) continue;
-      // Recording post-processing: crop padding (which also removes the UI
-      // border), then temporal alignment to the injected feed.
-      const media::RecordedVideo cropped = media::crop_and_resize(
-          recorders[i]->video(), config.padding, config.content_width, config.content_height);
-      if (cropped.frames.size() < 12) continue;  // recording too short to score
-
-      std::vector<media::Frame> reference;
-      reference.reserve(cropped.frames.size());
-      for (std::size_t k = 0; k < cropped.frames.size(); ++k) {
-        reference.push_back(content->frame_at(static_cast<std::int64_t>(k)));
-      }
-      const std::int64_t shift =
-          media::best_temporal_shift(reference, cropped.frames, /*max_shift=*/10);
-      const auto aligned = media::align_sequences(reference, cropped.frames, shift);
-
-      std::vector<media::Frame> ref_sample;
-      std::vector<media::Frame> rec_sample;
-      for (std::size_t k = 0; k < aligned.reference.size();
-           k += static_cast<std::size_t>(config.metric_stride)) {
-        ref_sample.push_back(aligned.reference[k]);
-        rec_sample.push_back(aligned.recording[k]);
-      }
-      if (ref_sample.empty()) continue;
-      const auto qoe = media::qoe::mean_video_qoe(ref_sample, rec_sample);
-      result.psnr.add(qoe.psnr);
-      result.ssim.add(qoe.ssim);
-      result.vifp.add(qoe.vifp);
-    }
-    result.session_download_kbps.push_back(session_download_acc /
-                                           static_cast<double>(receivers.size()));
+    result.session_download_kbps.push_back(session.session_download_kbps);
   }
   return result;
+}
+
+QoeSessionResult run_qoe_session(const QoeBenchmarkConfig& config, std::uint64_t seed) {
+  validate_geometry(config);
+  testbed::CloudTestbed bed{seed};
+  auto platform = platform::make_platform(config.platform, bed.network(), seed ^ 0xBEEF);
+  net::Host& host_vm = bed.create_vm(testbed::site_by_name(config.host_site), 8);
+  std::vector<net::Host*> rx_vms;
+  std::unordered_map<std::string, int> site_use;
+  for (const auto& site : config.receiver_sites) {
+    rx_vms.push_back(&bed.create_vm(testbed::site_by_name(site), site_use[site]++));
+  }
+  return run_one_session(config, bed, *platform, host_vm, rx_vms, seed ^ 0xC0FFEE, seed);
 }
 
 }  // namespace vc::core

@@ -59,6 +59,33 @@ struct QoeBenchmarkResult {
 
 QoeBenchmarkResult run_qoe_benchmark(const QoeBenchmarkConfig& config);
 
+/// One receiver's scores from a single session. `has_video_qoe` mirrors
+/// run_qoe_benchmark's conditional adds (scoring needs a long-enough
+/// recording); delivery ratio needs the host to have sent frames.
+struct QoeReceiverResult {
+  double download_kbps = 0.0;
+  bool has_delivery_ratio = false;
+  double delivery_ratio = 0.0;
+  bool has_video_qoe = false;
+  double psnr = 0.0;
+  double ssim = 0.0;
+  double vifp = 0.0;
+};
+
+struct QoeSessionResult {
+  double upload_kbps = 0.0;
+  /// Mean receiver download (the session_download_kbps entry of a pooled run).
+  double session_download_kbps = 0.0;
+  /// Index-aligned with config.receiver_sites.
+  std::vector<QoeReceiverResult> receivers;
+};
+
+/// One QoE session as a self-contained world: builds its own testbed and
+/// platform from `seed` (ignoring config.seed / config.sessions), so
+/// parallel experiment runners can drive it with per-task seed streams —
+/// the Fig 12/16 sweep runs these through runner::ExperimentRunner.
+QoeSessionResult run_qoe_session(const QoeBenchmarkConfig& config, std::uint64_t seed);
+
 /// Receiver site lists used by the paper's US and Europe QoE experiments.
 std::vector<std::string> us_qoe_receiver_sites(int n);
 std::vector<std::string> europe_qoe_receiver_sites(int n);

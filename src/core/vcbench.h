@@ -19,6 +19,7 @@
 #pragma once
 
 #include "core/bwcap_benchmark.h"   // Figs 17–18: QoE under bandwidth caps
+#include "core/fault_recovery_benchmark.h"  // mid-call faults and recovery
 #include "core/lag_benchmark.h"     // Figs 2, 4–11: streaming lag and RTTs
 #include "core/mobile_benchmark.h"  // Fig 19, Table 4: mobile resources
 #include "core/qoe_benchmark.h"     // Figs 12, 14–16: video QoE and rates

@@ -45,6 +45,11 @@ UdpSocket* Host::udp_socket(std::uint16_t port) {
   return it == sockets_.end() ? nullptr : it->second.get();
 }
 
+void Host::attach_link_metrics(MetricsRegistry& registry, const std::string& prefix) {
+  m_in_flight_pkts_ = &registry.gauge(prefix + ".in_flight_pkts");
+  m_in_flight_pkts_->set(static_cast<double>(in_flight_));
+}
+
 void Host::set_ingress_shaper(std::unique_ptr<TokenBucketShaper> shaper) {
   ingress_shaper_ = std::move(shaper);
   if (ingress_shaper_) network_.wire_link_observability(*this);

@@ -13,6 +13,7 @@
 #include <vector>
 
 #include "common/geo.h"
+#include "common/metrics.h"
 #include "net/packet.h"
 #include "net/loss.h"
 #include "net/shaper.h"
@@ -101,6 +102,15 @@ class Host {
   /// Packets addressed to a port with no socket (counted, then discarded).
   std::int64_t unroutable_packets() const { return unroutable_; }
 
+  /// Packets scheduled toward this host but not yet handed to deliver():
+  /// the propagation-pipe queue depth of the host's inbound link. The
+  /// ingress shaper's backlog (if any) sits behind this.
+  std::int64_t in_flight_packets() const { return in_flight_; }
+
+  /// Registers the `<prefix>.in_flight_pkts` queue-depth gauge. Called by
+  /// Network::wire_link_observability; every host gets one, shaped or not.
+  void attach_link_metrics(MetricsRegistry& registry, const std::string& prefix);
+
   // --- used by Network ---
   void notify_sent(const Packet& pkt);
   void deliver(Packet pkt);
@@ -110,6 +120,15 @@ class Host {
 
   void dispatch(Packet pkt);
   void run_taps(Direction dir, const Packet& pkt);
+
+  void link_enqueued() {
+    ++in_flight_;
+    if (m_in_flight_pkts_ != nullptr) m_in_flight_pkts_->set(static_cast<double>(in_flight_));
+  }
+  void link_drained(std::size_t n) {
+    in_flight_ -= static_cast<std::int64_t>(n);
+    if (m_in_flight_pkts_ != nullptr) m_in_flight_pkts_->set(static_cast<double>(in_flight_));
+  }
 
   // Most recently opened inbound delivery batch, kept inline so Network's
   // send path needs no hash lookup. -1 tick = no batch ever opened.
@@ -128,6 +147,8 @@ class Host {
   std::uint64_t next_tap_id_ = 1;
   std::uint16_t next_ephemeral_ = 32768;
   std::int64_t unroutable_ = 0;
+  std::int64_t in_flight_ = 0;
+  MetricsRegistry::Gauge* m_in_flight_pkts_ = nullptr;
 };
 
 }  // namespace vc::net

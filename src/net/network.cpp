@@ -17,6 +17,7 @@ Host& Network::add_host(std::string name, GeoPoint location) {
   Host& ref = *host;
   by_ip_.push_back(host.get());  // index = ip − kFirstIp by construction
   hosts_.push_back(std::move(host));
+  wire_link_observability(ref);  // no-op until metrics/tracer are attached
   return ref;
 }
 
@@ -46,12 +47,14 @@ void Network::set_tracer(Tracer* tracer) {
 }
 
 void Network::wire_link_observability(Host& host) {
-  TokenBucketShaper* shaper = host.ingress_shaper();
-  if (shaper == nullptr) return;
   if (registry_ != nullptr) {
-    shaper->attach_metrics(*registry_, metrics_prefix_ + ".link." + host.name());
+    const std::string prefix = metrics_prefix_ + ".link." + host.name();
+    // Every host's inbound link gets a queue-depth gauge; shaper instruments
+    // only exist where an ingress cap is installed.
+    host.attach_link_metrics(*registry_, prefix);
+    if (host.ingress_shaper() != nullptr) host.ingress_shaper()->attach_metrics(*registry_, prefix);
   }
-  shaper->set_tracer(tracer_);
+  if (host.ingress_shaper() != nullptr) host.ingress_shaper()->set_tracer(tracer_);
 }
 
 void Network::send(Host& from, Packet pkt) {
@@ -90,6 +93,7 @@ void Network::send(Host& from, Packet pkt) {
   // what per-packet scheduling produced). Keeping the one open batch inline
   // in Host makes the common case a pointer compare, no hash lookup.
   const std::int64_t tick = arrival.micros();
+  dst->link_enqueued();
   if (dst->open_batch_tick_ == tick && !dst->open_batch_->sealed) {
     dst->open_batch_->packets.push_back(std::move(pkt));
     return;
@@ -110,6 +114,7 @@ void Network::send(Host& from, Packet pkt) {
 
 void Network::deliver_batch(Host& dst, DeliveryBatch& batch) {
   ++stats_.delivery_batches;
+  dst.link_drained(batch.packets.size());
   if (m_batch_pkts_ != nullptr) {
     m_batch_pkts_->observe(static_cast<double>(batch.packets.size()));
   }

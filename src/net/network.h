@@ -70,9 +70,11 @@ class Network {
   /// `<prefix>.loop.*`), records a `<prefix>.delivery_batch_pkts` histogram
   /// of packets carried per scheduled delivery event, and counts traffic
   /// under `<prefix>.link.*` (packets_sent/delivered/lost/unroutable).
-  /// Host ingress shapers — installed now or later — additionally report
-  /// under `<prefix>.link.<host>.*` (per-link forward/drop counters and a
-  /// backlog_pkts queue-depth gauge).
+  /// Every host — present or added later — gets a per-link
+  /// `<prefix>.link.<host>.in_flight_pkts` queue-depth gauge (packets
+  /// scheduled toward it but not yet delivered); host ingress shapers
+  /// additionally report under the same per-link prefix (forward/drop
+  /// counters and a backlog_pkts queue-depth gauge).
   void attach_metrics(MetricsRegistry& registry, const std::string& prefix = "net");
 
   /// Flight-recorder hook (borrowed; nullptr detaches). Propagates to the

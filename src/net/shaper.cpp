@@ -40,6 +40,23 @@ void TokenBucketShaper::set_rate(DataRate rate) {
   if (!queue_.empty()) schedule_drain();
 }
 
+void TokenBucketShaper::set_down(bool down) {
+  if (down == down_) return;
+  down_ = down;
+  if (down_) {
+    // Freeze the link: nothing drains until it comes back up.
+    if (drain_scheduled_) {
+      loop_.cancel(drain_event_);
+      drain_scheduled_ = false;
+    }
+    return;
+  }
+  // Back up. Tokens must not have accrued over the outage — a dead link
+  // earns no transmission credit — so restart the refill clock at now.
+  last_refill_ = loop_.now();
+  if (!queue_.empty()) schedule_drain();
+}
+
 void TokenBucketShaper::refill() {
   const SimDuration elapsed = loop_.now() - last_refill_;
   last_refill_ = loop_.now();
@@ -54,6 +71,16 @@ void TokenBucketShaper::refill() {
 void TokenBucketShaper::submit(Packet pkt, std::function<void(Packet)> deliver) {
   const std::int64_t size = pkt.wire_len();
   max_packet_bytes_ = std::max(max_packet_bytes_, size);
+  if (down_) {
+    ++stats_.dropped_packets;
+    stats_.dropped_bytes += size;
+    if (m_dropped_packets_) {
+      m_dropped_packets_->inc();
+      m_dropped_bytes_->add(size);
+    }
+    if (tracer_ != nullptr) tracer_->instant("shaper.drop", loop_.now(), static_cast<double>(size));
+    return;
+  }
   refill();
   if (queue_.empty() && (rate_.is_unlimited() || bucket_bytes_ >= static_cast<double>(size))) {
     bucket_bytes_ -= static_cast<double>(size);
@@ -87,7 +114,7 @@ void TokenBucketShaper::submit(Packet pkt, std::function<void(Packet)> deliver) 
 }
 
 void TokenBucketShaper::schedule_drain() {
-  if (drain_scheduled_ || queue_.empty()) return;
+  if (drain_scheduled_ || queue_.empty() || down_) return;
   refill();
   const std::int64_t head = queue_.front().pkt.wire_len();
   SimDuration wait = SimDuration::zero();

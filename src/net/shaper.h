@@ -45,6 +45,14 @@ class TokenBucketShaper {
 
   void set_rate(DataRate rate);
   DataRate rate() const { return rate_; }
+
+  /// Outage switch: while down, every submitted packet is dropped (counted
+  /// in the drop stats, like a tail drop) and the backlog keeps waiting for
+  /// tokens that only flow again after `set_down(false)`. One branch on the
+  /// fast path when up — the fault subsystem's "link dead" primitive.
+  void set_down(bool down);
+  bool is_down() const { return down_; }
+
   const Stats& stats() const { return stats_; }
 
   /// Mirrors forward/drop accounting into `<prefix>.forwarded_packets`,
@@ -88,6 +96,7 @@ class TokenBucketShaper {
   std::int64_t queued_bytes_ = 0;
   SimTime last_refill_;
   std::deque<Queued> queue_;
+  bool down_ = false;
   bool drain_scheduled_ = false;
   EventId drain_event_ = 0;
   Stats stats_;

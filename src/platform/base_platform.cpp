@@ -88,6 +88,43 @@ int BasePlatform::participant_count(MeetingId meeting) const {
   return it == meetings_.end() ? 0 : static_cast<int>(it->second.members.size());
 }
 
+void BasePlatform::notify_relay_crashed(RelayServer* relay) {
+  if (relay == nullptr) return;
+  for (auto& [id, meeting] : meetings_) {
+    for (auto& m : meeting.members) {
+      if (m.relay != relay) continue;
+      m.relay = nullptr;
+      m.on_route(RouteInfo{});  // unspecified endpoint: connection lost
+    }
+  }
+}
+
+bool BasePlatform::reconnect(MeetingId meeting, ParticipantId participant) {
+  auto it = meetings_.find(meeting);
+  if (it == meetings_.end()) return false;
+  Meeting& mt = it->second;
+  for (auto& m : mt.members) {
+    if (m.id != participant) continue;
+    if (mt.p2p || m.relay != nullptr) return true;  // still/already routed
+    if (!reattach_member(mt, m)) return false;
+    refresh_subscriptions(mt);
+    return true;
+  }
+  return false;  // left the meeting meanwhile
+}
+
+bool BasePlatform::reattach_member(Meeting& meeting, Member& member) {
+  // Zoom/Webex: the session relay is fixed for the meeting's lifetime, so a
+  // rejoin goes back to the same server — and fails until it restarts.
+  if (meeting.relays.empty()) return false;
+  RelayServer* relay = meeting.relays.front();
+  if (relay->crashed()) return false;
+  relay->add_participant(meeting.id, member.id, client_endpoint(member));
+  member.relay = relay;
+  member.on_route(RouteInfo{relay->endpoint(), false});
+  return true;
+}
+
 void BasePlatform::refresh_subscriptions(Meeting& meeting) {
   if (meeting.p2p) return;  // P2P: the full stream flows directly
   // Senders in join order — the meeting host (the broadcaster in every
@@ -247,6 +284,27 @@ void MeetPlatform::assign_routes(Meeting& meeting) {
       if (a != b) a->link_peer(meeting.id, b);
     }
   }
+}
+
+bool MeetPlatform::reattach_member(Meeting& meeting, Member& member) {
+  // Meet re-resolves the client's front-end (stickiness usually lands on the
+  // same one, so the rejoin keeps failing until it restarts).
+  RelayServer* fe = allocator().meet_front_end(*member.ref.host);
+  if (fe == nullptr || fe->crashed()) return false;
+  fe->add_participant(meeting.id, member.id, client_endpoint(member));
+  member.relay = fe;
+  if (std::find(meeting.relays.begin(), meeting.relays.end(), fe) == meeting.relays.end()) {
+    meeting.relays.push_back(fe);
+  }
+  // The crash wiped the front-end's peer links; re-mesh both directions
+  // (link_peer is idempotent for links that survived).
+  for (RelayServer* a : meeting.relays) {
+    for (RelayServer* b : meeting.relays) {
+      if (a != b) a->link_peer(meeting.id, b);
+    }
+  }
+  member.on_route(RouteInfo{fe->endpoint(), false});
+  return true;
 }
 
 std::unique_ptr<BasePlatform> make_platform(PlatformId id, net::Network& network,

@@ -34,6 +34,19 @@ class BasePlatform : public VcaPlatform {
 
   RelayAllocator& allocator() { return allocator_; }
 
+  /// Control-plane notification that `relay` crashed: every member routed
+  /// through it loses its relay binding and gets RouteInfo{} pushed (the
+  /// unspecified endpoint — clients stop sending and report a lost
+  /// connection). Meeting relay lists stay intact, so a reconnect attempted
+  /// while the relay is still down fails and the client keeps backing off.
+  void notify_relay_crashed(RelayServer* relay);
+
+  /// Client-driven re-join after a lost route: re-registers the member with
+  /// its serving relay/front-end, pushes a fresh route and re-establishes
+  /// subscriptions. Returns true once routed (or if already routed); false
+  /// while the infrastructure is still down — callers back off and retry.
+  bool reconnect(MeetingId meeting, ParticipantId participant);
+
   /// Instruments every relay this platform allocates from now on.
   void set_metrics(MetricsRegistry* registry) { allocator_.set_metrics(registry); }
 
@@ -62,6 +75,12 @@ class BasePlatform : public VcaPlatform {
   /// Platform-specific: picks relays/front-ends and pushes RouteInfo to
   /// every member whose routing changed (or to all of them).
   virtual void assign_routes(Meeting& meeting) = 0;
+
+  /// Platform-specific re-attachment of one disconnected member. The default
+  /// (Zoom/Webex: single session relay) re-registers with the meeting's
+  /// relay; Meet re-resolves the client's front-end and re-meshes the peer
+  /// links the crash wiped. Returns false while the target is still crashed.
+  virtual bool reattach_member(Meeting& meeting, Member& member);
 
   /// Recomputes every member's subscriptions from current membership and
   /// view modes and pushes them to the serving relays.
@@ -121,6 +140,7 @@ class MeetPlatform final : public BasePlatform {
 
  private:
   void assign_routes(Meeting& meeting) override;
+  bool reattach_member(Meeting& meeting, Member& member) override;
 };
 
 /// Factory: the platform under test by id.

@@ -65,6 +65,14 @@ class RelayAllocator {
 
   std::size_t relays_created() const { return relays_.size(); }
 
+  /// Relay by creation index (0-based), or nullptr when out of range. The
+  /// fault subsystem addresses crash targets this way: creation order is
+  /// deterministic, so "relay 0" names the same server at every thread and
+  /// shard count.
+  RelayServer* relay_at(std::size_t index) {
+    return index < relays_.size() ? relays_[index].get() : nullptr;
+  }
+
   /// Every relay created from now on reports into `registry` under the
   /// shared "relay" prefix (so counts aggregate infrastructure-wide). Pass
   /// nullptr to stop instrumenting new relays.

@@ -36,6 +36,9 @@ void RelayServer::attach_metrics(MetricsRegistry& registry, const std::string& p
   m_peer_forwarded_ = &registry.counter(prefix + ".peer_forwarded");
   m_probes_answered_ = &registry.counter(prefix + ".probes_answered");
   m_control_forwarded_ = &registry.counter(prefix + ".control_forwarded");
+  m_crash_dropped_ = &registry.counter(prefix + ".crash_dropped");
+  m_crashes_ = &registry.counter(prefix + ".crashes");
+  m_restarts_ = &registry.counter(prefix + ".restarts");
   m_fan_out_ = &registry.histogram(prefix + ".fan_out");
   m_departure_batch_pkts_ = &registry.histogram(prefix + ".departure_batch_pkts");
 }
@@ -205,7 +208,37 @@ void RelayServer::unlink_peer(MeetingId meeting, RelayServer* peer) {
   by_peer_.erase(peer->endpoint());
 }
 
+void RelayServer::crash() {
+  if (crashed_) return;
+  crashed_ = true;
+  ++stats_.crashes;
+  if (m_crashes_) m_crashes_->inc();
+  if (tracer_ != nullptr) tracer_->instant("relay.crash", network_.now(), 0.0);
+  // A process crash loses all session state: rejoining clients must
+  // re-register and have their subscriptions re-pushed by the control plane.
+  // (In-flight departure batches own their packet storage and fire normally
+  // — those packets already left this process.)
+  meetings_.clear();
+  by_sender_.clear();
+  by_peer_.clear();
+}
+
+void RelayServer::restart() {
+  if (!crashed_) return;
+  crashed_ = false;
+  ++stats_.restarts;
+  if (m_restarts_) m_restarts_->inc();
+  if (tracer_ != nullptr) tracer_->instant("relay.restart", network_.now(), 0.0);
+}
+
 void RelayServer::on_packet(const net::Packet& pkt) {
+  if (crashed_) {
+    // Dead process: everything — probes included — vanishes. No RNG draw,
+    // no reply, just the outage-loss counter.
+    ++stats_.crash_dropped;
+    if (m_crash_dropped_) m_crash_dropped_->inc();
+    return;
+  }
   // Probes are answered by the infrastructure itself, from any sender.
   if (pkt.kind == net::StreamKind::kProbe) {
     net::Packet reply;

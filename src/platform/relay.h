@@ -59,6 +59,11 @@ class RelayServer {
     std::int64_t peer_forwarded = 0;
     std::int64_t probes_answered = 0;
     std::int64_t control_forwarded = 0;
+    /// Packets (media, control and probes alike) that arrived while the
+    /// relay was crashed — the fault subsystem's "packets lost in outage".
+    std::int64_t crash_dropped = 0;
+    std::int64_t crashes = 0;
+    std::int64_t restarts = 0;
   };
 
   /// Media-plane processing latency added per forwarded packet (ingest,
@@ -133,6 +138,18 @@ class RelayServer {
   /// K-dependent by construction, hence OUTSIDE the determinism contract,
   /// like attach_shard_metrics.
   void set_tracer(Tracer* tracer) { tracer_ = tracer; }
+
+  /// Process crash: all meeting/participant/peer registrations are lost (a
+  /// real SFU restart loses its session state) and every packet arriving
+  /// until restart() is dropped and counted in `crash_dropped`. The control
+  /// plane (BasePlatform::notify_relay_crashed) is responsible for telling
+  /// clients their route died; rejoining clients re-register and get their
+  /// subscriptions re-pushed. Deterministic: a crashed relay draws no
+  /// randomness, so the network RNG stream is byte-identical to a run where
+  /// the dropped packets simply never existed downstream.
+  void crash();
+  void restart();
+  bool crashed() const { return crashed_; }
 
   void add_participant(MeetingId meeting, ParticipantId id, net::Endpoint client_endpoint);
   void remove_participant(MeetingId meeting, ParticipantId id);
@@ -283,6 +300,7 @@ class RelayServer {
   /// peer relay endpoint → meeting id.
   std::unordered_map<net::Endpoint, MeetingId> by_peer_;
   Stats stats_;
+  bool crashed_ = false;
 
   ShardPool* pool_ = nullptr;  // borrowed; nullptr ⇒ shards run inline
   int shards_ = 0;             // <= 0 ⇒ serial fan-out
@@ -295,6 +313,9 @@ class RelayServer {
   MetricsRegistry::Counter* m_peer_forwarded_ = nullptr;
   MetricsRegistry::Counter* m_probes_answered_ = nullptr;
   MetricsRegistry::Counter* m_control_forwarded_ = nullptr;
+  MetricsRegistry::Counter* m_crash_dropped_ = nullptr;
+  MetricsRegistry::Counter* m_crashes_ = nullptr;
+  MetricsRegistry::Counter* m_restarts_ = nullptr;
   MetricsRegistry::Histogram* m_fan_out_ = nullptr;
   MetricsRegistry::Histogram* m_departure_batch_pkts_ = nullptr;
 

@@ -17,6 +17,15 @@ std::unique_ptr<client::ClientController> SessionOrchestrator::make_controller(
                         ? std::make_unique<client::ClientController>(client, *plan_.script)
                         : std::make_unique<client::ClientController>(client);
   controller->set_metrics(plan_.metrics);
+  controller->set_tracer(plan_.tracer);
+  if (plan_.reconnect) {
+    // Creation order (host, then participants in index order) is fixed, so
+    // the derived jitter seed names the same controller in every run.
+    controller->enable_reconnect(
+        *plan_.reconnect,
+        plan_.reconnect_seed + 0x9E3779B97F4A7C15ULL * (controllers_made_ + 1));
+  }
+  ++controllers_made_;
   return controller;
 }
 

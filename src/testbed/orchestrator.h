@@ -50,6 +50,14 @@ class SessionOrchestrator {
     /// Optional: controllers record workflow metrics here, and the
     /// orchestrator counts `session.completed` / `session.join_timeouts`.
     MetricsRegistry* metrics = nullptr;
+    /// Optional: controllers record reconnection lifecycle instants here.
+    Tracer* tracer = nullptr;
+    /// Arm automatic reconnection (relay-crash recovery) on every
+    /// controller. Each controller's jitter RNG is seeded from
+    /// reconnect_seed and its creation index (host first, then participants
+    /// in order), so backoff schedules are deterministic and decorrelated.
+    std::optional<client::ClientController::ReconnectPolicy> reconnect;
+    std::uint64_t reconnect_seed = 0;
   };
 
   explicit SessionOrchestrator(Plan plan);
@@ -77,6 +85,7 @@ class SessionOrchestrator {
   platform::MeetingId meeting_ = 0;
   std::vector<bool> joined_;
   std::size_t joined_count_ = 0;
+  std::size_t controllers_made_ = 0;
   bool media_started_ = false;
   bool finished_ = false;
   bool timed_out_ = false;

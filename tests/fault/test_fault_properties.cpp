@@ -1,0 +1,112 @@
+// Property tests for the fault subsystem's determinism contract: randomly
+// generated fault plans (seeded, so each "random" plan is reproducible) must
+// yield byte-identical runner aggregate reports at every thread count and
+// every relay fan-out shard count K, and an armed-but-empty plan must be
+// indistinguishable from no plan at all.
+#include <gtest/gtest.h>
+
+#include <string>
+#include <vector>
+
+#include "common/rng.h"
+#include "core/fault_recovery_benchmark.h"
+#include "runner/experiment_runner.h"
+
+namespace vc::fault {
+namespace {
+
+/// A reproducible plan from `seed`: 2–5 events mixing every fault kind,
+/// aimed at the benchmark scenario's participant VMs and session relay.
+FaultPlan random_plan(std::uint64_t seed) {
+  Rng rng{seed};
+  const std::vector<std::string> hosts = {"US-West", "US-Central"};
+  FaultPlan plan;
+  const int n = static_cast<int>(rng.uniform_int(2, 5));
+  for (int i = 0; i < n; ++i) {
+    const SimDuration at = millis(rng.uniform_int(2000, 10'000));
+    switch (rng.index(5)) {
+      case 0:
+        plan.link_rate(at, hosts[rng.index(hosts.size())],
+                       DataRate::kbps(static_cast<double>(rng.uniform_int(1, 8)) * 250.0));
+        break;
+      case 1:
+        plan.link_ramp(at, hosts[rng.index(hosts.size())], DataRate::mbps(3.0),
+                       DataRate::kbps(300), seconds(2), 4);
+        break;
+      case 2:
+        plan.link_outage(at, hosts[rng.index(hosts.size())], millis(rng.uniform_int(500, 2000)));
+        break;
+      case 3:
+        plan.burst_loss(at, 0.02 * static_cast<double>(rng.uniform_int(1, 4)), 6.0,
+                        hosts[rng.index(hosts.size())]);
+        break;
+      default:
+        plan.relay_crash(at, 0, millis(rng.uniform_int(1000, 3000)));
+        break;
+    }
+  }
+  return plan;
+}
+
+std::string faulted_report_json(std::size_t threads, int fan_out_shards, const FaultPlan& plan,
+                                bool inject) {
+  runner::ExperimentRunner::Config rc;
+  rc.threads = threads;
+  rc.base_seed = 137;
+  rc.label = "fault-properties";
+  const auto report = runner::ExperimentRunner{rc}.run(
+      2, [fan_out_shards, &plan, inject](runner::SessionContext& ctx) {
+        core::FaultRecoveryConfig cfg;
+        cfg.session_duration = seconds(16);
+        cfg.outage_start = seconds(5);
+        cfg.outage_duration = seconds(2);
+        cfg.seed = ctx.seed;
+        cfg.fan_out_shards = fan_out_shards;
+        cfg.use_custom_plan = true;
+        cfg.custom_plan = plan;
+        cfg.inject = inject;
+        cfg.metrics = &ctx.metrics;
+        const auto r = core::run_fault_recovery_benchmark(cfg);
+        ctx.sample("disconnects", static_cast<double>(r.disconnects));
+        ctx.sample("reconnects", static_cast<double>(r.reconnects));
+        ctx.sample("packets_lost", static_cast<double>(r.packets_lost_in_outage));
+        ctx.sample("lag_spike_hwm_ms", r.lag_spike_hwm_ms);
+        for (double lag : r.lags_before_ms) ctx.sample("lag_before", lag);
+        for (double lag : r.lags_during_ms) ctx.sample("lag_during", lag);
+        for (double lag : r.lags_after_ms) ctx.sample("lag_after", lag);
+      });
+  EXPECT_TRUE(report.failures.empty());
+  return report.aggregate_json();
+}
+
+TEST(FaultProperties, RandomPlansAreThreadAndShardInvariant) {
+  for (const std::uint64_t plan_seed : {1ULL, 2ULL, 3ULL}) {
+    const FaultPlan plan = random_plan(plan_seed);
+    ASSERT_FALSE(plan.empty());
+    const std::string base = faulted_report_json(1, 0, plan, true);
+    EXPECT_EQ(faulted_report_json(8, 0, plan, true), base)
+        << "threads=8 drifted, plan seed " << plan_seed << "\n" << plan.to_json();
+    EXPECT_EQ(faulted_report_json(1, 8, plan, true), base)
+        << "K=8 drifted, plan seed " << plan_seed << "\n" << plan.to_json();
+    EXPECT_EQ(faulted_report_json(8, 8, plan, true), base)
+        << "threads=8 K=8 drifted, plan seed " << plan_seed << "\n" << plan.to_json();
+  }
+}
+
+TEST(FaultProperties, EmptyPlanReportMatchesNoPlanReport) {
+  const FaultPlan empty;
+  const std::string no_plan = faulted_report_json(1, 0, empty, false);
+  const std::string armed_empty = faulted_report_json(1, 0, empty, true);
+  EXPECT_EQ(armed_empty, no_plan);
+}
+
+TEST(FaultProperties, RandomPlanJsonRoundTripsExactly) {
+  for (const std::uint64_t plan_seed : {5ULL, 6ULL, 7ULL, 8ULL}) {
+    const FaultPlan plan = random_plan(plan_seed);
+    EXPECT_EQ(FaultPlan::from_json(plan.to_json()).to_json(), plan.to_json())
+        << "plan seed " << plan_seed;
+  }
+}
+
+}  // namespace
+}  // namespace vc::fault

@@ -58,6 +58,64 @@ TEST(GilbertElliott, LossIsBursty) {
   EXPECT_GT(bursty_follow, 4.0 * uniform_follow);
 }
 
+TEST(GilbertElliott, ExplicitParamsStationaryOccupancyIsPOverPPlusQ) {
+  // With p = P(good→bad) and q = P(bad→good), the chain spends pi_bad =
+  // p/(p+q) of its time in the bad state. Measure occupancy directly.
+  GilbertElliottLoss::Params params;
+  params.p_good_to_bad = 0.01;
+  params.p_bad_to_good = 0.15;
+  params.loss_good = 0.0;
+  params.loss_bad = 1.0;
+  GilbertElliottLoss ge{params};
+  const double pi_bad = 0.01 / (0.01 + 0.15);
+  EXPECT_NEAR(ge.average_loss(), pi_bad, 1e-12);  // loss_bad=1 ⇒ loss = occupancy
+  Rng rng{5};
+  int bad = 0;
+  const int n = 400'000;
+  for (int i = 0; i < n; ++i) {
+    ge.should_drop(rng);
+    bad += ge.in_bad_state() ? 1 : 0;
+  }
+  EXPECT_NEAR(static_cast<double>(bad) / n, pi_bad, 0.005);
+}
+
+TEST(GilbertElliott, MeanBurstLengthMatchesTarget) {
+  // Bad-state sojourns are geometric with mean 1/p_bad_to_good — the
+  // `mean_burst` knob of with_average().
+  const double mean_burst = 7.0;
+  auto ge = GilbertElliottLoss::with_average(0.05, mean_burst);
+  EXPECT_NEAR(ge.params().p_bad_to_good, 1.0 / mean_burst, 1e-12);
+  Rng rng{6};
+  int bursts = 0;
+  std::int64_t bad_packets = 0;
+  bool prev_bad = false;
+  for (int i = 0; i < 600'000; ++i) {
+    ge.should_drop(rng);
+    const bool bad = ge.in_bad_state();
+    if (bad && !prev_bad) ++bursts;
+    bad_packets += bad ? 1 : 0;
+    prev_bad = bad;
+  }
+  ASSERT_GT(bursts, 100);
+  EXPECT_NEAR(static_cast<double>(bad_packets) / bursts, mean_burst, 0.7);
+}
+
+TEST(GilbertElliott, SameSeedYieldsIdenticalDropSequence) {
+  auto a = GilbertElliottLoss::with_average(0.08, 9.0);
+  auto b = GilbertElliottLoss::with_average(0.08, 9.0);
+  Rng rng_a{42};
+  Rng rng_b{42};
+  Rng rng_c{43};
+  auto c = GilbertElliottLoss::with_average(0.08, 9.0);
+  bool any_differs = false;
+  for (int i = 0; i < 10'000; ++i) {
+    const bool da = a.should_drop(rng_a);
+    EXPECT_EQ(da, b.should_drop(rng_b)) << "diverged at packet " << i;
+    any_differs = any_differs || da != c.should_drop(rng_c);
+  }
+  EXPECT_TRUE(any_differs);  // a different seed is a different channel
+}
+
 TEST(GilbertElliott, RejectsBadTargets) {
   EXPECT_THROW(GilbertElliottLoss::with_average(0.0, 5.0), std::invalid_argument);
   EXPECT_THROW(GilbertElliottLoss::with_average(0.7, 2.0), std::invalid_argument);

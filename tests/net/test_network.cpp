@@ -165,6 +165,35 @@ TEST(Network, SameTickPacketsRideOneDeliveryBatch) {
   EXPECT_EQ(h.mean(), 5.0);
 }
 
+TEST(Network, PerLinkQueueDepthGaugeTracksInFlightPackets) {
+  auto net = fixed_net(millis(10));
+  MetricsRegistry registry;
+  net->attach_metrics(registry);
+  // Hosts created after attach_metrics are wired too — shaper or not.
+  Host& a = net->add_host("a", kEast);
+  Host& b = net->add_host("b", kWest);
+  auto& tx = a.udp_bind(1000);
+  b.udp_bind(2000).on_receive([](const Packet&) {});
+  ASSERT_TRUE(registry.gauges().contains("net.link.a.in_flight_pkts"));
+  ASSERT_TRUE(registry.gauges().contains("net.link.b.in_flight_pkts"));
+  const auto& gauge = registry.gauge("net.link.b.in_flight_pkts");
+  EXPECT_EQ(gauge.value(), 0.0);
+  for (int i = 0; i < 4; ++i) tx.send_to(Endpoint{b.ip(), 2000}, 100);
+  EXPECT_EQ(b.in_flight_packets(), 4);
+  EXPECT_EQ(gauge.value(), 4.0);
+  bool probed = false;
+  net->loop().schedule_after(millis(5), [&] {
+    probed = true;
+    EXPECT_EQ(gauge.value(), 4.0);  // still on the wire halfway to arrival
+  });
+  net->loop().run();
+  EXPECT_TRUE(probed);
+  EXPECT_EQ(b.in_flight_packets(), 0);
+  EXPECT_EQ(gauge.value(), 0.0);
+  // The sender's inbound link saw no traffic; its gauge just reads zero.
+  EXPECT_EQ(registry.gauge("net.link.a.in_flight_pkts").value(), 0.0);
+}
+
 TEST(Network, DifferentTicksDoNotShareBatches) {
   auto net = fixed_net(millis(10));
   Host& a = net->add_host("a", kEast);

@@ -121,6 +121,42 @@ TEST(Shaper, StatsCountBytes) {
   EXPECT_EQ(shaper.stats().forwarded_bytes, 1000);
 }
 
+TEST(Shaper, DownLinkDropsEverySubmission) {
+  EventLoop loop;
+  TokenBucketShaper shaper{loop, DataRate::unlimited()};
+  shaper.set_down(true);
+  EXPECT_TRUE(shaper.is_down());
+  int delivered = 0;
+  for (int i = 0; i < 8; ++i) shaper.submit(make_packet(972), [&](Packet) { ++delivered; });
+  loop.run();
+  EXPECT_EQ(delivered, 0);
+  EXPECT_EQ(shaper.stats().dropped_packets, 8);
+  shaper.set_down(false);
+  shaper.submit(make_packet(972), [&](Packet) { ++delivered; });
+  EXPECT_EQ(delivered, 1);
+}
+
+TEST(Shaper, DownLinkFreezesTheBacklog) {
+  EventLoop loop;
+  // 80 Kbps = 10 KB/s: three 1000 B packets ≈ 0.3 s to drain normally.
+  TokenBucketShaper shaper{loop, DataRate::kbps(80), /*burst=*/100, /*queue_limit_packets=*/10};
+  std::vector<SimTime> deliveries;
+  for (int i = 0; i < 3; ++i) {
+    shaper.submit(make_packet(972), [&](Packet) { deliveries.push_back(loop.now()); });
+  }
+  loop.schedule_at(SimTime::zero() + millis(50), [&] { shaper.set_down(true); });
+  loop.schedule_at(SimTime::zero() + seconds(2), [&] { shaper.set_down(false); });
+  loop.run();
+  ASSERT_EQ(deliveries.size(), 3u);
+  // Nothing drained inside the outage window, and the queued packets earned
+  // no tokens while the link was down (no burst at recovery: deliveries
+  // resume paced from the outage's end).
+  for (const SimTime at : deliveries) {
+    EXPECT_TRUE(at < SimTime::zero() + millis(50) || at >= SimTime::zero() + seconds(2));
+  }
+  EXPECT_GE((deliveries.back() - deliveries.front()).millis(), 100.0);
+}
+
 TEST(Shaper, SafeDestructionWithPendingDrain) {
   EventLoop loop;
   {
