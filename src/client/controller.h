@@ -64,6 +64,11 @@ class ClientController {
   /// `client.time_to_reconnect_ms` histogram via set_metrics.
   void enable_reconnect(ReconnectPolicy policy, std::uint64_t seed);
 
+  /// Arms client-side ABR on the underlying client (the workflow analogue of
+  /// flipping a bandwidth-saver setting in the real UI). Forwards to
+  /// VcaClient::set_abr; kNone disarms.
+  void enable_abr(const abr::AbrConfig& config) { client_.set_abr(config); }
+
   /// Abandons the scripted workflow: any still-pending step becomes a no-op
   /// and its callback never fires (used when an orchestrator gives up on a
   /// session). In-meeting clients are left untouched.

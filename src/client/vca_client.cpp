@@ -24,6 +24,18 @@ VcaClient::VcaClient(net::Host& host, platform::BasePlatform& platform, Config c
     : host_(host), platform_(platform), config_(config), rng_(config.seed) {
   socket_ = &host_.udp_bind(config_.media_port);
   socket_->on_receive([this](const net::Packet& pkt) { on_packet(pkt); });
+  // Per-client ABR wins; otherwise inherit the platform's default. kNone
+  // everywhere leaves the client exactly as it was before src/abr existed.
+  const abr::AbrConfig& abr_cfg = config_.abr.kind != abr::AbrKind::kNone
+                                      ? config_.abr
+                                      : platform_.config().default_client_abr;
+  if (abr_cfg.kind != abr::AbrKind::kNone) set_abr(abr_cfg);
+}
+
+void VcaClient::set_abr(const abr::AbrConfig& config) {
+  config_.abr = config;
+  abr_target_ = DataRate::zero();
+  abr_ = abr::make_abr(config, platform::tier_ladder(platform_.traits().id));
 }
 
 VcaClient::~VcaClient() {
@@ -86,6 +98,12 @@ void VcaClient::on_route(platform::RouteInfo route) {
   const bool had_route = has_route_;
   route_ = route;
   has_route_ = !route.media_endpoint.ip.is_unspecified();
+  if (had_route && !has_route_ && abr_) {
+    // Route torn down (e.g. relay crash): stale delivery state would poison
+    // the first post-reconnect decisions.
+    abr_->reset();
+    abr_target_ = DataRate::zero();
+  }
   if (had_route && !has_route_ && in_meeting_ && on_connection_lost_) on_connection_lost_();
   if (has_route_ && config_.send_video && !encoder_ && !session_factor_drawn_) {
     // Per-session rate draw (the across-session variability of Fig 15).
@@ -112,6 +130,14 @@ void VcaClient::attach_metrics(MetricsRegistry& registry, const std::string& pre
   m_audio_encoded_ = &registry.counter(prefix + ".audio.frames_encoded");
   m_skip_ratio_ = &registry.histogram(prefix + ".video.skip_ratio");
   m_qstep_ = &registry.histogram(prefix + ".video.qstep");
+  // ABR observability only when an adapter is armed for real: a shadow or
+  // disarmed client must leave the registry — and thus any serialized report
+  // built from it — byte-identical to a plain client.
+  if (abr_ && !config_.abr.shadow) {
+    m_abr_decisions_ = &registry.counter(prefix + ".abr.decisions");
+    m_abr_switches_ = &registry.counter(prefix + ".abr.tier_switches");
+    m_abr_tier_ = &registry.histogram(prefix + ".abr.tier");
+  }
 }
 
 void VcaClient::update_video_target() {
@@ -123,13 +149,23 @@ void VcaClient::update_video_target() {
   if (config_.motion == platform::MotionClass::kLowMotion) base = base * profile.low_motion_factor;
   session_base_ = base * session_factor_;
   if (emergency_) {
+    platform_target_ = kEmergencyRate;
     video_target_ = kEmergencyRate;
   } else {
     const double scaled = static_cast<double>(session_base_.bits_per_second()) * wobble_ * adapt_factor_;
     const auto floor_rate = std::min(profile.min_video_rate, session_base_);
-    video_target_ = DataRate::bps(std::clamp<std::int64_t>(
+    platform_target_ = DataRate::bps(std::clamp<std::int64_t>(
         static_cast<std::int64_t>(scaled), floor_rate.bits_per_second(),
         session_base_.bits_per_second() * 6 / 5));
+    video_target_ = platform_target_;
+    // A non-shadow ABR adapter overrides the platform's push, but inside the
+    // same session bounds — a client can't exceed what its session/encoder
+    // provisioned, and the survival floor still applies.
+    if (abr_ && !config_.abr.shadow && abr_target_ > DataRate::zero()) {
+      video_target_ = DataRate::bps(std::clamp<std::int64_t>(
+          abr_target_.bits_per_second(), floor_rate.bits_per_second(),
+          session_base_.bits_per_second() * 6 / 5));
+    }
   }
   if (encoder_) encoder_->set_target_bitrate(video_target_ * config_.content_rate_fraction);
 }
@@ -268,6 +304,16 @@ void VcaClient::on_packet(const net::Packet& pkt) {
 void VcaClient::on_video_packet(const net::Packet& pkt) {
   RxStream& rx = video_rx_[pkt.origin_id];
   rx.any_seen = true;
+  if (config_.abr_feedback) {
+    const SimTime now = host_.network().now();
+    if (rx.window_pkts == 0) rx.window_first_arrival = now;
+    rx.window_last_arrival = now;
+    ++rx.window_pkts;
+    rx.window_bytes += pkt.l7_len;
+    const double owd_ms = (now - pkt.sent_at).millis();
+    if (rx.base_delay_ms < 0.0 || owd_ms < rx.base_delay_ms) rx.base_delay_ms = owd_ms;
+    rx.window_delay_sum_ms += owd_ms;
+  }
   const std::uint64_t frame_seq = pkt.seq / 1024;
   rx.highest_seq_seen = std::max(rx.highest_seq_seen, frame_seq);
   if (!pkt.payload) return;  // thinned simulcast layer: traffic only
@@ -337,6 +383,32 @@ void VcaClient::on_control_packet(const net::Packet& pkt) {
     consecutive_loss_ = 0;
     if (emergency_ && consecutive_clean_ >= 8) emergency_ = false;
   }
+  // Receiver-side delivery feedback (if attached) drives the armed adapter.
+  if (abr_ && pkt.payload) {
+    const auto* fb = dynamic_cast<const AbrFeedback*>(pkt.payload.get());
+    if (fb == nullptr) return;
+    abr::AbrObservation obs;
+    obs.now = host_.network().now();
+    obs.window_seconds = fb->window_seconds;
+    obs.delivered_bytes = fb->delivered_bytes;
+    obs.inter_ack_ms = fb->inter_ack_ms;
+    obs.loss_fraction = fb->loss_fraction;
+    obs.queue_delay_ms = fb->queue_delay_ms;
+    obs.backlog_frames = fb->backlog_frames;
+    obs.platform_target = platform_target_ > DataRate::zero() ? platform_target_ : session_base_;
+    obs.current_target = video_target_;
+    const int before = abr_->last_tier();
+    const abr::AbrDecision decision = abr_->select(obs);
+    abr_target_ = decision.target;
+    ++stats_.abr_decisions;
+    const bool switched = before >= 0 && decision.tier != before;
+    if (switched) ++stats_.abr_tier_switches;
+    if (m_abr_decisions_ != nullptr) {
+      m_abr_decisions_->inc();
+      if (switched) m_abr_switches_->inc();
+      m_abr_tier_->observe(static_cast<double>(decision.tier));
+    }
+  }
 }
 
 void VcaClient::feedback_tick() {
@@ -361,6 +433,31 @@ void VcaClient::feedback_tick() {
     report.kind = net::StreamKind::kControl;
     report.origin_id = origin;  // the participant this report concerns
     report.seq = loss ? 1 : 0;
+    if (config_.abr_feedback) {
+      // Delivery feedback rides the report as a sim-side payload; the wire
+      // size above is untouched.
+      auto fb = std::make_shared<AbrFeedback>();
+      fb->delivered_bytes = rx.window_bytes;
+      fb->window_seconds = 0.5;
+      if (rx.window_pkts > 1) {
+        fb->inter_ack_ms = (rx.window_last_arrival - rx.window_first_arrival).millis() /
+                           static_cast<double>(rx.window_pkts - 1);
+      }
+      fb->loss_fraction = std::clamp(
+          static_cast<double>(rx.window_started - rx.window_completed) /
+              static_cast<double>(rx.window_started),
+          0.0, 1.0);
+      if (rx.window_pkts > 0 && rx.base_delay_ms >= 0.0) {
+        fb->queue_delay_ms =
+            std::max(0.0, rx.window_delay_sum_ms / static_cast<double>(rx.window_pkts) -
+                              rx.base_delay_ms);
+      }
+      fb->backlog_frames = static_cast<std::int64_t>(rx.pending.size());
+      report.payload = std::move(fb);
+      rx.window_bytes = 0;
+      rx.window_pkts = 0;
+      rx.window_delay_sum_ms = 0.0;
+    }
     socket_->send(std::move(report));
     if (loss) ++stats_.loss_reports_sent;
     rx.window_started = 0;

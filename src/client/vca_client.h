@@ -11,6 +11,7 @@
 #include <unordered_map>
 #include <vector>
 
+#include "abr/abr.h"
 #include "client/loopback.h"
 #include "media/audio_codec.h"
 #include "media/video_codec.h"
@@ -22,6 +23,25 @@ namespace vc::client {
 
 /// Media fragments at most this many L7 bytes (RTP-over-UDP sized).
 inline constexpr std::int64_t kFragmentBytes = 1150;
+
+/// Receiver-side delivery feedback riding the periodic 500 ms control report
+/// as a sim-side payload — the report's wire size (l7_len) is unchanged, the
+/// real report's 48 bytes would carry the same few numbers. The sending
+/// client turns one of these into an abr::AbrObservation.
+struct AbrFeedback final : public net::PacketPayload {
+  /// Video payload bytes of this origin delivered in the window.
+  std::int64_t delivered_bytes = 0;
+  double window_seconds = 0.5;
+  /// Mean spacing between delivered video packets in the window (ms).
+  double inter_ack_ms = 0.0;
+  /// Fraction of frames seen in the window that never completed.
+  double loss_fraction = 0.0;
+  /// Mean one-way delay in the window minus the session-minimum baseline
+  /// (ms): the self-inflicted/bottleneck queuing signal.
+  double queue_delay_ms = 0.0;
+  /// Frames seen but still incomplete at report time.
+  std::int64_t backlog_frames = 0;
+};
 
 class VcaClient {
  public:
@@ -57,6 +77,15 @@ class VcaClient {
     /// this base rate (mobile cameras; simulcast high layers for mobile
     /// receivers). Adaptation/wobble still apply on top.
     DataRate rate_override = DataRate::zero();
+    /// Client-side ABR (src/abr): kNone (default) falls back to the
+    /// platform's PlatformConfig::default_client_abr; if that is also kNone
+    /// the client follows the platform-pushed rate exactly as before —
+    /// byte-identical to a build without this field.
+    abr::AbrConfig abr{};
+    /// Attach AbrFeedback accounting/payloads to the control reports this
+    /// client *sends as a receiver*. Costless on the wire (l7_len unchanged)
+    /// but off by default so plain runs do no extra bookkeeping.
+    bool abr_feedback = false;
     std::uint64_t seed = 99;
   };
 
@@ -68,6 +97,8 @@ class VcaClient {
     std::int64_t audio_frames_received = 0;
     std::int64_t loss_reports_sent = 0;
     std::int64_t probe_replies = 0;
+    std::int64_t abr_decisions = 0;      // select() calls on this sender
+    std::int64_t abr_tier_switches = 0;  // decisions that changed the tier
   };
 
   VcaClient(net::Host& host, platform::BasePlatform& platform, Config config);
@@ -137,10 +168,21 @@ class VcaClient {
     return n;
   }
 
-  /// Current video encode target (after policy + adaptation).
+  /// Current video encode target (after policy + adaptation + ABR).
   DataRate current_video_target() const { return video_target_; }
   /// Sent video rate policy base for this session.
   DataRate session_base_rate() const { return session_base_; }
+  /// What the platform-pushed policy alone would encode at right now (equals
+  /// current_video_target() unless a non-shadow ABR adapter overrides it).
+  DataRate platform_video_target() const { return platform_target_; }
+
+  /// (Re)arms client-side ABR with `config` (kNone disarms); adapter state
+  /// resets. Safe at any time, including mid-meeting.
+  void set_abr(const abr::AbrConfig& config);
+  /// The armed adapter, nullptr when ABR is off.
+  const abr::AbrAlgo* abr() const { return abr_.get(); }
+  /// The adapter's most recent applied target; zero before any decision.
+  DataRate abr_target() const { return abr_target_; }
 
  private:
   struct RxStream {
@@ -156,6 +198,15 @@ class VcaClient {
     // Per-feedback-window accounting.
     std::int64_t window_started = 0;
     std::int64_t window_completed = 0;
+    // ABR feedback accounting (maintained only when Config.abr_feedback).
+    std::int64_t window_bytes = 0;
+    std::int64_t window_pkts = 0;
+    SimTime window_first_arrival{};
+    SimTime window_last_arrival{};
+    double window_delay_sum_ms = 0.0;
+    /// Session-minimum one-way delay: the propagation baseline subtracted
+    /// from the window mean to isolate queuing.
+    double base_delay_ms = -1.0;
   };
 
   void on_route(platform::RouteInfo route);
@@ -198,6 +249,9 @@ class VcaClient {
   int consecutive_clean_ = 0;
   bool emergency_ = false;        // video collapsed to survival rate
   DataRate video_target_ = DataRate::zero();
+  DataRate platform_target_ = DataRate::zero();
+  std::unique_ptr<abr::AbrAlgo> abr_;
+  DataRate abr_target_ = DataRate::zero();
   int last_known_participants_ = 1;
   std::int64_t synthetic_seq_ = 0;
 
@@ -213,6 +267,9 @@ class VcaClient {
   MetricsRegistry::Counter* m_audio_encoded_ = nullptr;
   MetricsRegistry::Histogram* m_skip_ratio_ = nullptr;
   MetricsRegistry::Histogram* m_qstep_ = nullptr;
+  MetricsRegistry::Counter* m_abr_decisions_ = nullptr;
+  MetricsRegistry::Counter* m_abr_switches_ = nullptr;
+  MetricsRegistry::Histogram* m_abr_tier_ = nullptr;
   Tracer* tracer_ = nullptr;
   std::uint64_t epoch_ = 0;  // invalidates scheduled ticks after leave()
   net::EventId video_ev_ = 0;

@@ -1,7 +1,8 @@
 #include "common/csv.h"
 
-#include <cstdio>
 #include <ostream>
+
+#include "common/json.h"
 
 namespace vc {
 
@@ -33,9 +34,9 @@ void CsvWriter::row(std::initializer_list<std::string> cells) {
 }
 
 std::string CsvWriter::num(double v) {
-  char buf[64];
-  std::snprintf(buf, sizeof buf, "%.17g", v);
-  return buf;
+  // Locale-independent: a decimal comma inside a CSV field would also
+  // collide with the delimiter.
+  return json::format_number(v);
 }
 
 }  // namespace vc

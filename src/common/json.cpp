@@ -1,7 +1,8 @@
 #include "common/json.h"
 
-#include <cstdlib>
+#include <charconv>
 #include <stdexcept>
+#include <system_error>
 
 namespace vc::json {
 namespace {
@@ -141,28 +142,29 @@ class Parser {
         case 'r': out += '\r'; break;
         case 't': out += '\t'; break;
         case 'u': {
-          if (pos_ + 4 > text_.size()) fail("truncated \\u escape");
-          unsigned code = 0;
-          for (int i = 0; i < 4; ++i) {
-            char h = text_[pos_++];
-            code <<= 4;
-            if (h >= '0' && h <= '9') code |= static_cast<unsigned>(h - '0');
-            else if (h >= 'a' && h <= 'f') code |= static_cast<unsigned>(h - 'a' + 10);
-            else if (h >= 'A' && h <= 'F') code |= static_cast<unsigned>(h - 'A' + 10);
-            else fail("bad hex digit in \\u escape");
+          unsigned code = parse_hex4();
+          // UTF-16 surrogate pair: a high half must be followed by an
+          // escaped low half; together they name one supplementary-plane
+          // code point. A lone half is not a character — substitute U+FFFD
+          // rather than emitting ill-formed UTF-8.
+          if (code >= 0xD800 && code <= 0xDBFF) {
+            if (pos_ + 2 <= text_.size() && text_[pos_] == '\\' && text_[pos_ + 1] == 'u') {
+              const std::size_t rewind = pos_;
+              pos_ += 2;
+              const unsigned low = parse_hex4();
+              if (low >= 0xDC00 && low <= 0xDFFF) {
+                code = 0x10000 + ((code - 0xD800) << 10) + (low - 0xDC00);
+              } else {
+                pos_ = rewind;  // the next escape stands alone; re-parse it
+                code = 0xFFFD;
+              }
+            } else {
+              code = 0xFFFD;
+            }
+          } else if (code >= 0xDC00 && code <= 0xDFFF) {
+            code = 0xFFFD;  // low half with no preceding high half
           }
-          // UTF-8 encode the code point (surrogate pairs are passed through
-          // as-is — the simulator never writes them).
-          if (code < 0x80) {
-            out += static_cast<char>(code);
-          } else if (code < 0x800) {
-            out += static_cast<char>(0xC0 | (code >> 6));
-            out += static_cast<char>(0x80 | (code & 0x3F));
-          } else {
-            out += static_cast<char>(0xE0 | (code >> 12));
-            out += static_cast<char>(0x80 | ((code >> 6) & 0x3F));
-            out += static_cast<char>(0x80 | (code & 0x3F));
-          }
+          append_utf8(out, code);
           break;
         }
         default: fail("bad escape character");
@@ -170,12 +172,47 @@ class Parser {
     }
   }
 
+  unsigned parse_hex4() {
+    if (pos_ + 4 > text_.size()) fail("truncated \\u escape");
+    unsigned code = 0;
+    for (int i = 0; i < 4; ++i) {
+      char h = text_[pos_++];
+      code <<= 4;
+      if (h >= '0' && h <= '9') code |= static_cast<unsigned>(h - '0');
+      else if (h >= 'a' && h <= 'f') code |= static_cast<unsigned>(h - 'a' + 10);
+      else if (h >= 'A' && h <= 'F') code |= static_cast<unsigned>(h - 'A' + 10);
+      else fail("bad hex digit in \\u escape");
+    }
+    return code;
+  }
+
+  static void append_utf8(std::string& out, unsigned code) {
+    if (code < 0x80) {
+      out += static_cast<char>(code);
+    } else if (code < 0x800) {
+      out += static_cast<char>(0xC0 | (code >> 6));
+      out += static_cast<char>(0x80 | (code & 0x3F));
+    } else if (code < 0x10000) {
+      out += static_cast<char>(0xE0 | (code >> 12));
+      out += static_cast<char>(0x80 | ((code >> 6) & 0x3F));
+      out += static_cast<char>(0x80 | (code & 0x3F));
+    } else {
+      out += static_cast<char>(0xF0 | (code >> 18));
+      out += static_cast<char>(0x80 | ((code >> 12) & 0x3F));
+      out += static_cast<char>(0x80 | ((code >> 6) & 0x3F));
+      out += static_cast<char>(0x80 | (code & 0x3F));
+    }
+  }
+
   Value parse_number() {
+    // std::from_chars, not strtod: strtod honors LC_NUMERIC, so a host
+    // locale with decimal commas would silently truncate "1.5" to 1.
     const char* start = text_.c_str() + pos_;
-    char* end = nullptr;
-    double d = std::strtod(start, &end);
-    if (end == start) fail("expected a value");
-    pos_ += static_cast<std::size_t>(end - start);
+    const char* end = text_.c_str() + text_.size();
+    double d = 0.0;
+    const auto [ptr, ec] = std::from_chars(start, end, d);
+    if (ptr == start || ec == std::errc::invalid_argument) fail("expected a value");
+    pos_ += static_cast<std::size_t>(ptr - start);
     Value v;
     v.type = Value::Type::kNumber;
     v.number_value = d;
@@ -203,5 +240,32 @@ const Value& Value::at(const std::string& key) const {
 }
 
 Value parse(const std::string& text) { return Parser(text).parse_document(); }
+
+namespace {
+
+std::string to_chars_string(double v, std::chars_format fmt, int precision) {
+  // 64 bytes covers every %.17g; fixed rendering of huge magnitudes (up to
+  // ~310 digits for 1e308) grows the buffer instead of truncating.
+  char stack_buf[64];
+  auto [ptr, ec] = std::to_chars(stack_buf, stack_buf + sizeof(stack_buf), v, fmt, precision);
+  if (ec == std::errc{}) return std::string(stack_buf, ptr);
+  std::string buf(352 + static_cast<std::size_t>(precision), '\0');
+  const auto [p2, e2] = std::to_chars(buf.data(), buf.data() + buf.size(), v, fmt, precision);
+  buf.resize(e2 == std::errc{} ? static_cast<std::size_t>(p2 - buf.data()) : 0);
+  return buf;
+}
+
+}  // namespace
+
+std::string format_number(double v, int precision) {
+  // std::to_chars(general, precision) is specified to match printf "%.*g" in
+  // the C locale — byte-identical to the old snprintf path there, but immune
+  // to LC_NUMERIC.
+  return to_chars_string(v, std::chars_format::general, precision);
+}
+
+std::string format_fixed(double v, int precision) {
+  return to_chars_string(v, std::chars_format::fixed, precision);
+}
 
 }  // namespace vc::json

@@ -46,4 +46,14 @@ class Value {
 /// offset on malformed input or trailing garbage.
 Value parse(const std::string& text);
 
+/// Renders `v` exactly as printf("%.{precision}g") would in the C locale,
+/// but via std::to_chars — independent of LC_NUMERIC, so reports stay
+/// byte-identical (and machine-parseable) under a de_DE-style locale that
+/// would otherwise print decimal commas. Every hand-rolled JSON/CSV/trace
+/// writer in the repo goes through this (or format_fixed).
+std::string format_number(double v, int precision = 17);
+
+/// The printf("%.{precision}f") equivalent, same locale independence.
+std::string format_fixed(double v, int precision);
+
 }  // namespace vc::json

@@ -2,6 +2,8 @@
 
 #include <cstdio>
 
+#include "common/json.h"
+
 namespace vc {
 namespace {
 
@@ -12,11 +14,10 @@ void append_i64(std::string& out, std::int64_t v) {
 }
 
 void append_value(std::string& out, float v) {
-  // %.9g round-trips any float; integral values (the common case — batch
-  // sizes, queue depths) print without an exponent or trailing zeros.
-  char buf[32];
-  std::snprintf(buf, sizeof buf, "%.9g", static_cast<double>(v));
-  out += buf;
+  // 9 significant digits round-trip any float; integral values (the common
+  // case — batch sizes, queue depths) print without an exponent or trailing
+  // zeros. Locale-independent via json::format_number.
+  out += json::format_number(static_cast<double>(v), 9);
 }
 
 }  // namespace

@@ -227,45 +227,39 @@ void FaultPlan::arm(const Bindings& b, SimTime origin) const {
 }
 
 std::string FaultPlan::to_json() const {
+  // json::format_fixed, not snprintf %f: the plan file must parse back with
+  // from_json regardless of the host's LC_NUMERIC.
+  const auto field = [](const char* key, double v, int precision = 3) {
+    return std::string(", \"") + key + "\": " + json::format_fixed(v, precision);
+  };
   std::string out = "{\n  \"fault_plan\": [\n";
-  char buf[256];
   for (std::size_t i = 0; i < events_.size(); ++i) {
     const FaultEvent& e = events_[i];
     out += "    {\"kind\": \"";
     out += kind_name(e.kind);
     out += "\"";
-    std::snprintf(buf, sizeof(buf), ", \"at_ms\": %.3f", e.at.millis());
-    out += buf;
+    out += field("at_ms", e.at.millis());
     switch (e.kind) {
       case FaultEvent::Kind::kLinkRate:
-        std::snprintf(buf, sizeof(buf), ", \"host\": \"%s\", \"rate_kbps\": %.3f",
-                      e.host.c_str(), e.rate.as_kbps());
-        out += buf;
+        out += ", \"host\": \"" + e.host + "\"" + field("rate_kbps", e.rate.as_kbps());
         break;
       case FaultEvent::Kind::kLinkRamp:
-        std::snprintf(buf, sizeof(buf),
-                      ", \"host\": \"%s\", \"rate_kbps\": %.3f, \"rate_end_kbps\": %.3f, "
-                      "\"duration_ms\": %.3f, \"steps\": %d",
-                      e.host.c_str(), e.rate.as_kbps(), e.rate_end.as_kbps(),
-                      e.duration.millis(), e.steps);
-        out += buf;
+        out += ", \"host\": \"" + e.host + "\"" + field("rate_kbps", e.rate.as_kbps()) +
+               field("rate_end_kbps", e.rate_end.as_kbps()) +
+               field("duration_ms", e.duration.millis()) +
+               ", \"steps\": " + std::to_string(e.steps);
         break;
       case FaultEvent::Kind::kLinkOutage:
-        std::snprintf(buf, sizeof(buf), ", \"host\": \"%s\", \"duration_ms\": %.3f",
-                      e.host.c_str(), e.duration.millis());
-        out += buf;
+        out += ", \"host\": \"" + e.host + "\"" + field("duration_ms", e.duration.millis());
         break;
       case FaultEvent::Kind::kBurstLoss:
-        std::snprintf(buf, sizeof(buf),
-                      ", \"host\": \"%s\", \"average\": %.6f, \"mean_burst\": %.3f",
-                      e.host.c_str(), e.loss_average, e.mean_burst);
-        out += buf;
+        out += ", \"host\": \"" + e.host + "\"" + field("average", e.loss_average, 6) +
+               field("mean_burst", e.mean_burst);
         break;
       case FaultEvent::Kind::kRelayCrash:
-        std::snprintf(buf, sizeof(buf),
-                      ", \"relay\": %zu, \"duration_ms\": %.3f, \"detection_ms\": %.3f",
-                      e.relay_index, e.duration.millis(), e.detection.millis());
-        out += buf;
+        out += ", \"relay\": " + std::to_string(e.relay_index) +
+               field("duration_ms", e.duration.millis()) +
+               field("detection_ms", e.detection.millis());
         break;
     }
     out += i + 1 < events_.size() ? "},\n" : "}\n";

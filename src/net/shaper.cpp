@@ -44,7 +44,11 @@ void TokenBucketShaper::set_down(bool down) {
   if (down == down_) return;
   down_ = down;
   if (down_) {
-    // Freeze the link: nothing drains until it comes back up.
+    // Freeze the link: nothing drains until it comes back up. Tokens banked
+    // before the outage are forfeited too — otherwise recovery starts with a
+    // full pre-outage bucket on top of the restarted refill clock and the
+    // first post-recovery burst can exceed the configured burst size.
+    bucket_bytes_ = 0.0;
     if (drain_scheduled_) {
       loop_.cancel(drain_event_);
       drain_scheduled_ = false;

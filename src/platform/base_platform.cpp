@@ -12,6 +12,7 @@ BasePlatform::BasePlatform(net::Network& network, PlatformTraits traits,
                            const PlatformConfig& config)
     : network_(network),
       traits_(traits),
+      config_(config),
       allocator_(network, traits.id, traits.media_port, config.seed) {
   if (config.fan_out_shards > 0) {
     const int workers = config.shard_workers >= 0

@@ -34,6 +34,9 @@ class BasePlatform : public VcaPlatform {
 
   RelayAllocator& allocator() { return allocator_; }
 
+  /// The construction-time config (clients read default_client_abr from it).
+  const PlatformConfig& config() const { return config_; }
+
   /// Control-plane notification that `relay` crashed: every member routed
   /// through it loses its relay binding and gets RouteInfo{} pushed (the
   /// unspecified endpoint — clients stop sending and report a lost
@@ -92,6 +95,7 @@ class BasePlatform : public VcaPlatform {
 
   net::Network& network_;
   PlatformTraits traits_;
+  PlatformConfig config_;
   /// Declared before allocator_: the allocator hands the pool pointer to
   /// every relay it creates, and relays must never outlive the pool.
   std::unique_ptr<ShardPool> shard_pool_;

@@ -13,6 +13,7 @@
 #include <string>
 #include <string_view>
 
+#include "abr/abr.h"
 #include "common/units.h"
 #include "net/host.h"
 
@@ -75,6 +76,10 @@ struct PlatformConfig {
   /// so a single-core host gets 0). 0 = run shards inline on the event-loop
   /// thread — same staged path, no threads.
   int shard_workers = -1;
+  /// Client-side ABR this platform hands to clients that don't configure
+  /// their own (VcaClient picks it up when its Config.abr.kind is kNone).
+  /// Defaults to kNone, so existing runs stay byte-identical.
+  abr::AbrConfig default_client_abr{};
 };
 
 /// Constants that identify a platform on the wire.

@@ -2,6 +2,7 @@
 
 #include <algorithm>
 #include <cmath>
+#include <iterator>
 #include <stdexcept>
 
 namespace vc::platform {
@@ -74,6 +75,31 @@ const RateProfile& rate_profile(PlatformId id) {
     case PlatformId::kMeet: return kMeet;
   }
   throw std::invalid_argument{"unknown platform"};
+}
+
+abr::TierLadder tier_ladder(PlatformId id) {
+  const RateProfile& p = rate_profile(id);
+  // Geometric rungs floor → two-party max; the 1.5× step matches typical
+  // simulcast layer spacing and gives Zoom 5, Webex 2 and Meet 8 rungs.
+  std::vector<DataRate> rates;
+  DataRate r = p.min_video_rate;
+  while (static_cast<double>(r.bits_per_second()) * 1.0 <
+         0.95 * static_cast<double>(p.video_two_party.bits_per_second())) {
+    rates.push_back(r);
+    r = r * 1.5;
+  }
+  rates.push_back(p.video_two_party);
+
+  // Frame height each budget buys, spread over the canonical resolutions.
+  static constexpr int kHeights[] = {144, 180, 240, 288, 360, 480, 720};
+  constexpr int kHeightCount = static_cast<int>(std::size(kHeights));
+  abr::TierLadder ladder;
+  const int n = static_cast<int>(rates.size());
+  for (int i = 0; i < n; ++i) {
+    const int hi = n <= 1 ? kHeightCount - 1 : (i * (kHeightCount - 1) + (n - 1) / 2) / (n - 1);
+    ladder.tiers.push_back(abr::Tier{rates[static_cast<std::size_t>(i)], kHeights[hi]});
+  }
+  return ladder;
 }
 
 DataRate session_video_rate(PlatformId id, int participants, MotionClass motion, Rng& rng) {

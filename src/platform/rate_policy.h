@@ -11,6 +11,7 @@
 
 #include <vector>
 
+#include "abr/abr.h"
 #include "common/rng.h"
 #include "common/units.h"
 #include "platform/platform.h"
@@ -61,6 +62,14 @@ struct RateProfile {
 
 /// The measured/derived profile for a platform.
 const RateProfile& rate_profile(PlatformId id);
+
+/// The platform's discrete encode ladder for client-side ABR (src/abr):
+/// geometric rungs from the adaptation floor (min_video_rate) up to the
+/// two-party maximum (video_two_party), each rung carrying the frame height
+/// that budget buys. Every rung therefore sits inside
+/// [min_video_rate, video_two_party] by construction — the bound the ABR
+/// property tests assert on every adapter decision.
+abr::TierLadder tier_ladder(PlatformId id);
 
 /// Sender video target rate for a session: draws the per-session component
 /// once (callers keep it for the session) and applies motion class.

@@ -8,16 +8,15 @@
 #include <memory>
 #include <thread>
 
+#include "common/json.h"
+
 namespace vc::runner {
 namespace {
 
-// Shortest round-trippable representation: aggregates built from identical
-// doubles render identically, which is all bit-identical reports need.
-std::string json_num(double v) {
-  char buf[32];
-  std::snprintf(buf, sizeof(buf), "%.17g", v);
-  return buf;
-}
+// Round-trippable representation: aggregates built from identical doubles
+// render identically, which is all bit-identical reports need. Goes through
+// json::format_number so the bytes don't depend on LC_NUMERIC.
+std::string json_num(double v) { return json::format_number(v); }
 
 std::string json_escape(const std::string& s) {
   std::string out;

@@ -2,7 +2,10 @@
 
 #include <gtest/gtest.h>
 
+#include <clocale>
+#include <cstdio>
 #include <string>
+#include <vector>
 
 namespace vc::json {
 namespace {
@@ -48,6 +51,85 @@ TEST(Json, DecodesUnicodeEscapesAsUtf8) {
   EXPECT_EQ(parse("\"\\u0009\"").string_value, "\t");
   // Raw UTF-8 bytes pass through untouched.
   EXPECT_EQ(parse("\"\xc3\xa9\"").string_value, "\xc3\xa9");
+}
+
+TEST(Json, CombinesSurrogatePairsIntoOneCodePoint) {
+  // U+1F600 (😀) = \uD83D\uDE00 → 4-byte UTF-8 F0 9F 98 80.
+  EXPECT_EQ(parse("\"\\ud83d\\ude00\"").string_value, "\xf0\x9f\x98\x80");
+  // U+10000, the first supplementary-plane code point.
+  EXPECT_EQ(parse("\"\\uD800\\uDC00\"").string_value, "\xf0\x90\x80\x80");
+  // U+10FFFF, the last one.
+  EXPECT_EQ(parse("\"\\uDBFF\\uDFFF\"").string_value, "\xf4\x8f\xbf\xbf");
+  // Pairs embedded in surrounding text keep their neighbours intact.
+  EXPECT_EQ(parse("\"a\\uD83D\\uDE00b\"").string_value, "a\xf0\x9f\x98\x80\x62");
+}
+
+TEST(Json, ReplacesLoneSurrogatesWithReplacementCharacter) {
+  const std::string fffd = "\xef\xbf\xbd";  // U+FFFD in UTF-8
+  // High half at end of string, high half followed by a non-escape, and a
+  // bare low half: all are unpaired — never emit ill-formed UTF-8.
+  EXPECT_EQ(parse("\"\\uD83D\"").string_value, fffd);
+  EXPECT_EQ(parse("\"\\uD83Dx\"").string_value, fffd + "x");
+  EXPECT_EQ(parse("\"\\uDE00\"").string_value, fffd);
+  // High half followed by an escaped non-surrogate: the second escape still
+  // decodes on its own.
+  EXPECT_EQ(parse("\"\\uD83D\\u0041\"").string_value, fffd + "A");
+  // Two high halves in a row: first is lone, second pairs with the low half.
+  EXPECT_EQ(parse("\"\\uD83D\\uD83D\\uDE00\"").string_value, fffd + "\xf0\x9f\x98\x80");
+}
+
+TEST(Json, FormatNumberMatchesPrintfInCLocale) {
+  // format_number must stay byte-identical to the snprintf("%.17g") the
+  // report writers used before — existing goldens depend on those bytes.
+  const std::vector<double> values = {0.0,    1.0,     -1.0,       42.0,   0.1,
+                                      1.5,    -3.25e7, 1e-9,       2.5e17, 1234.5678,
+                                      1.0 / 3.0, 6.02e23, -7.25e-12, 1e300};
+  char buf[512];  // %.3f of 1e300 runs ~305 digits
+  for (const double v : values) {
+    std::snprintf(buf, sizeof buf, "%.17g", v);
+    EXPECT_EQ(format_number(v), buf) << "v=" << v;
+    std::snprintf(buf, sizeof buf, "%.9g", v);
+    EXPECT_EQ(format_number(v, 9), buf) << "v=" << v;
+    std::snprintf(buf, sizeof buf, "%.3f", v);
+    EXPECT_EQ(format_fixed(v, 3), buf) << "v=" << v;
+  }
+}
+
+TEST(Json, NumbersRoundTripUnderCommaDecimalLocale) {
+  // strtod/printf honour LC_NUMERIC; std::from_chars/std::to_chars must not.
+  // Flip the process into a de_DE-style locale (decimal comma) and prove the
+  // parse → format → parse loop is unchanged. Skips when the container has
+  // no such locale installed.
+  const char* const candidates[] = {"de_DE.UTF-8", "de_DE.utf8", "de_DE",
+                                    "fr_FR.UTF-8", "fr_FR.utf8", "it_IT.UTF-8"};
+  const char* active = nullptr;
+  for (const char* c : candidates) {
+    if (std::setlocale(LC_NUMERIC, c) != nullptr) {
+      active = c;
+      break;
+    }
+  }
+  if (active == nullptr) {
+    GTEST_SKIP() << "no comma-decimal locale installed";
+  }
+  struct Restore {
+    ~Restore() { std::setlocale(LC_NUMERIC, "C"); }
+  } restore;
+  // Sanity: the locale really uses a comma (else this test proves nothing).
+  char probe[32];
+  std::snprintf(probe, sizeof probe, "%.1f", 1.5);
+  ASSERT_STREQ(probe, "1,5") << "locale " << active << " does not use a decimal comma";
+
+  EXPECT_DOUBLE_EQ(parse("1.5").number_value, 1.5);
+  EXPECT_DOUBLE_EQ(parse("-3.5e2").number_value, -350.0);
+  EXPECT_DOUBLE_EQ(parse("[0.25]").array_items[0].number_value, 0.25);
+  EXPECT_EQ(format_number(1.5), "1.5");
+  EXPECT_EQ(format_number(1234.5678), "1234.5678000000001");
+  EXPECT_EQ(format_fixed(0.125, 3), "0.125");
+  // Full loop: rendered text re-parses to the same bits.
+  for (const double v : {0.1, 1.5, -3.25e7, 1.0 / 3.0}) {
+    EXPECT_DOUBLE_EQ(parse(format_number(v)).number_value, v);
+  }
 }
 
 TEST(Json, FindReturnsNullForMissingKeys) {

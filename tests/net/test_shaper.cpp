@@ -157,6 +157,27 @@ TEST(Shaper, DownLinkFreezesTheBacklog) {
   EXPECT_GE((deliveries.back() - deliveries.front()).millis(), 100.0);
 }
 
+TEST(Shaper, OutageForfeitsBankedTokens) {
+  EventLoop loop;
+  // 80 Kbps with a generous 24 KB burst allowance. The bucket is full at
+  // construction and nothing spends it before the outage — so before the
+  // fix, recovery inherited 24 KB of pre-outage credit and the first packet
+  // sailed through instantly instead of waiting for fresh tokens.
+  TokenBucketShaper shaper{loop, DataRate::kbps(80), /*burst=*/24'000,
+                           /*queue_limit_packets=*/10};
+  SimTime delivered_at;
+  loop.schedule_at(SimTime::zero() + millis(10), [&] { shaper.set_down(true); });
+  loop.schedule_at(SimTime::zero() + seconds(1), [&] { shaper.set_down(false); });
+  loop.schedule_at(SimTime::zero() + seconds(1) + micros(1), [&] {
+    shaper.submit(make_packet(972), [&](Packet) { delivered_at = loop.now(); });
+  });
+  loop.run();
+  // 1000 wire bytes at 10 KB/s = 100 ms to earn; delivery must be paced from
+  // the recovery point, not instant on stale credit.
+  EXPECT_GE((delivered_at - (SimTime::zero() + seconds(1))).millis(), 90.0);
+  EXPECT_EQ(shaper.stats().forwarded_packets, 1);
+}
+
 TEST(Shaper, SafeDestructionWithPendingDrain) {
   EventLoop loop;
   {
