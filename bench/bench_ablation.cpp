@@ -6,7 +6,15 @@
 //  A2. Big-packet threshold / quiescence robustness (the Fig 2 parameters).
 //  A3. Skip-mode ablation in the codec: without SKIP blocks, "blank" video
 //      never goes quiet and the lag method collapses.
+//
+// Runs on runner::ExperimentRunner with typed cells: each A1 repetition is
+// a task running its own multi-session lag benchmark and re-measuring its
+// sample traces across the A2 (threshold × quiescence) grid; A3 is one
+// codec-only task. The serial and 8-thread aggregate reports must be
+// bit-identical.
+#include <algorithm>
 #include <cstdio>
+#include <string>
 #include <vector>
 
 #include "bench/bench_util.h"
@@ -14,33 +22,57 @@
 #include "core/lag_benchmark.h"
 #include "media/feeds.h"
 #include "media/video_codec.h"
+#include "runner/experiment_runner.h"
 
 namespace {
 
 using namespace vc;
 
-void ablation_threshold_sweep(const core::LagBenchmarkResult& result) {
-  std::printf("--- A2: detector parameter robustness (Zoom, US-East host) ---\n");
-  TextTable table{{"big-packet threshold (B)", "quiescence (ms)", "lags matched", "median (ms)"}};
-  for (const std::int64_t threshold : {100, 200, 400, 800}) {
-    for (const int quiescence_ms : {500, 1000, 1500}) {
-      capture::LagDetectorConfig cfg;
-      cfg.big_packet_bytes = threshold;
-      cfg.quiescence = millis(quiescence_ms);
+constexpr std::int64_t kThresholds[] = {100, 200, 400, 800};
+constexpr int kQuiescenceMs[] = {500, 1000, 1500};
+
+enum class CellKind { kLag, kSkip };
+
+struct Cell {
+  CellKind kind = CellKind::kLag;
+};
+
+void run_lag_cell(runner::SessionContext& ctx, bool paper) {
+  core::LagBenchmarkConfig cfg;
+  cfg.platform = platform::PlatformId::kZoom;
+  cfg.host_site = "US-East";
+  cfg.participant_sites = {"US-West", "US-Central"};
+  cfg.sessions = 2;
+  cfg.session_duration = paper ? seconds(120) : seconds(40);
+  cfg.seed = ctx.seed;
+  cfg.metrics = &ctx.metrics;
+  const auto result = core::run_lag_benchmark(cfg);
+  for (const auto& p : result.participants) {
+    const std::string base = "A1/" + p.label;
+    if (!p.lags_ms.empty()) {
+      ctx.sample(base + ".median_lag_ms", median(std::vector<double>(p.lags_ms)));
+    }
+    ctx.sample(base + ".lag_samples", static_cast<double>(p.lags_ms.size()));
+  }
+  // A2: re-measure this task's sample traces across the detector grid.
+  for (const std::int64_t threshold : kThresholds) {
+    for (const int quiescence_ms : kQuiescenceMs) {
+      capture::LagDetectorConfig dcfg;
+      dcfg.big_packet_bytes = threshold;
+      dcfg.quiescence = millis(quiescence_ms);
       const auto lags = capture::measure_streaming_lag_ms(result.sample_sender_trace,
-                                                          result.sample_receiver_trace, cfg);
-      table.add_row({std::to_string(threshold), std::to_string(quiescence_ms),
-                     std::to_string(lags.size()),
-                     lags.empty() ? "-" : TextTable::num(median(std::vector<double>(lags)), 1)});
+                                                          result.sample_receiver_trace, dcfg);
+      const std::string base =
+          "A2/t" + std::to_string(threshold) + "/q" + std::to_string(quiescence_ms);
+      ctx.sample(base + ".matched", static_cast<double>(lags.size()));
+      if (!lags.empty()) {
+        ctx.sample(base + ".median_ms", median(std::vector<double>(lags)));
+      }
     }
   }
-  std::printf("%s\n", table.render().c_str());
-  std::printf("the method is insensitive to the threshold across 100-800 B: every setting\n"
-              "finds the same flashes with the same median lag.\n\n");
 }
 
-void ablation_skip_mode() {
-  std::printf("--- A3: codec SKIP mode and the premise of the lag method ---\n");
+void run_skip_cell(runner::SessionContext& ctx) {
   // Encode the flash feed and compare quiescent-period frame sizes with the
   // real encoder vs a no-skip variant emulated by disabling inter SKIP via
   // noisy input (each pixel dithered, defeating the SKIP threshold).
@@ -70,11 +102,10 @@ void ablation_skip_mode() {
       ++quiescent_frames;
     }
   }
-  std::printf("mean quiescent-period frame size: with SKIP %lld B, without %lld B\n",
-              static_cast<long long>(quiescent_with / quiescent_frames),
-              static_cast<long long>(quiescent_without / quiescent_frames));
-  std::printf("(the big-packet method needs <200 B between flashes; noisy sensor input or a\n"
-              "codec without SKIP would keep the wire loud and hide the flashes)\n\n");
+  ctx.sample("A3.quiescent_with_skip_bytes",
+             static_cast<double>(quiescent_with / quiescent_frames));
+  ctx.sample("A3.quiescent_without_skip_bytes",
+             static_cast<double>(quiescent_without / quiescent_frames));
 }
 
 }  // namespace
@@ -83,29 +114,75 @@ int main(int argc, char** argv) {
   const bool paper = vcb::paper_scale(argc, argv);
   vcb::banner("Ablations — methodology accuracy and parameter robustness", paper);
 
-  // A1: run a lag benchmark where we can compare against physics. The
-  // expected one-way path through the relay is known to the simulator.
+  std::vector<Cell> cells;
+  const int lag_reps = paper ? 5 : 2;  // × 2 sessions each = the old totals
+  for (int i = 0; i < lag_reps; ++i) cells.push_back({CellKind::kLag});
+  cells.push_back({CellKind::kSkip});
+
+  const auto task = [&cells, paper](runner::SessionContext& ctx) {
+    if (cells[ctx.task_index].kind == CellKind::kLag) {
+      run_lag_cell(ctx, paper);
+    } else {
+      run_skip_cell(ctx);
+    }
+  };
+
+  runner::ExperimentRunner::Config rc;
+  rc.base_seed = 99;
+  rc.label = "ablation";
+  rc.threads = 1;
+  const auto serial = runner::ExperimentRunner{rc}.run(cells.size(), task);
+  rc.threads = 8;
+  const auto report = runner::ExperimentRunner{rc}.run(cells.size(), task);
+
   std::printf("--- A1: big-packet lag vs ground-truth path delay ---\n");
-  core::LagBenchmarkConfig cfg;
-  cfg.platform = platform::PlatformId::kZoom;
-  cfg.host_site = "US-East";
-  cfg.participant_sites = {"US-West", "US-Central"};
-  cfg.sessions = paper ? 10 : 4;
-  cfg.session_duration = paper ? seconds(120) : seconds(40);
-  cfg.seed = 99;
-  const auto result = core::run_lag_benchmark(cfg);
-  TextTable table{{"participant", "median measured lag (ms)", "samples"}};
-  for (const auto& p : result.participants) {
-    table.add_row({p.label,
-                   p.lags_ms.empty() ? "-" : TextTable::num(median(std::vector<double>(p.lags_ms)), 2),
-                   std::to_string(p.lags_ms.size())});
+  TextTable a1{{"participant", "median measured lag (ms)", "samples"}};
+  for (const char* label : {"US-West", "US-Central"}) {
+    const std::string base = std::string("A1/") + label;
+    const auto* med = report.find_sample(base + ".median_lag_ms");
+    const auto* count = report.find_sample(base + ".lag_samples");
+    a1.add_row({label, med != nullptr ? TextTable::num(med->mean(), 2) : "-",
+                std::to_string(count != nullptr ? static_cast<std::int64_t>(count->sum()) : 0)});
   }
-  std::printf("%s", table.render().c_str());
+  std::printf("%s", a1.render().c_str());
   std::printf("measured lag = propagation (host->relay->client) + relay processing +\n"
               "clock-sync error; the method's own error is bounded by the sync quality\n"
               "(~0.5 ms) plus one packet spacing.\n\n");
 
-  ablation_threshold_sweep(result);
-  ablation_skip_mode();
-  return 0;
+  std::printf("--- A2: detector parameter robustness (Zoom, US-East host) ---\n");
+  TextTable a2{{"big-packet threshold (B)", "quiescence (ms)", "lags matched", "median (ms)"}};
+  for (const std::int64_t threshold : kThresholds) {
+    for (const int quiescence_ms : kQuiescenceMs) {
+      const std::string base =
+          "A2/t" + std::to_string(threshold) + "/q" + std::to_string(quiescence_ms);
+      const auto* matched = report.find_sample(base + ".matched");
+      const auto* med = report.find_sample(base + ".median_ms");
+      a2.add_row({std::to_string(threshold), std::to_string(quiescence_ms),
+                  std::to_string(matched != nullptr ? static_cast<std::int64_t>(matched->sum())
+                                                    : 0),
+                  med != nullptr ? TextTable::num(med->mean(), 1) : "-"});
+    }
+  }
+  std::printf("%s\n", a2.render().c_str());
+  std::printf("the method is insensitive to the threshold across 100-800 B: every setting\n"
+              "finds the same flashes with the same median lag.\n\n");
+
+  std::printf("--- A3: codec SKIP mode and the premise of the lag method ---\n");
+  const auto* skip_with = report.find_sample("A3.quiescent_with_skip_bytes");
+  const auto* skip_without = report.find_sample("A3.quiescent_without_skip_bytes");
+  std::printf("mean quiescent-period frame size: with SKIP %lld B, without %lld B\n",
+              static_cast<long long>(skip_with != nullptr ? skip_with->mean() : 0.0),
+              static_cast<long long>(skip_without != nullptr ? skip_without->mean() : 0.0));
+  std::printf("(the big-packet method needs <200 B between flashes; noisy sensor input or a\n"
+              "codec without SKIP would keep the wire loud and hide the flashes)\n\n");
+
+  const bool identical = serial.aggregate_json() == report.aggregate_json();
+  std::printf("sessions: %zu  failures: %zu\n", report.sessions, report.failures.size());
+  std::printf("aggregate reports bit-identical across thread counts: %s\n",
+              identical ? "yes" : "NO — determinism regression!");
+  const std::string out_path = "bench_ablation.report.json";
+  if (runner::write_text_file(out_path, report.to_json())) {
+    std::printf("report written to %s\n", out_path.c_str());
+  }
+  return identical ? 0 : 1;
 }

@@ -2,34 +2,35 @@
 // verified that paid-tier Webex clients in US-west and Europe stream from
 // geographically close-by servers with RTTs under 20 ms. This bench runs the
 // same European lag experiment on both tiers.
+//
+// Each tier is one task on runner::ExperimentRunner running its whole
+// multi-session lag benchmark (the VMs persist across a config's sessions),
+// executed once on one thread and once on eight; the two aggregate reports
+// must be bit-identical.
 #include <cstdio>
+#include <string>
+#include <unordered_map>
+#include <vector>
 
 #include "bench/bench_util.h"
 #include "core/lag_benchmark.h"
+#include "runner/experiment_runner.h"
 
 namespace {
 
-void run_tier(vc::platform::WebexTier tier, const char* label, bool paper) {
-  using namespace vc;
-  std::printf("--- Webex %s: meeting host in CH, participants across Europe ---\n", label);
-  core::LagBenchmarkConfig cfg;
-  cfg.platform = platform::PlatformId::kWebex;
-  cfg.webex_tier = tier;
-  cfg.host_site = "CH";
-  cfg.participant_sites = core::europe_participant_sites("CH");
-  cfg.sessions = paper ? 20 : 5;
-  cfg.session_duration = paper ? seconds(120) : seconds(40);
-  cfg.seed = 71;
-  const auto result = core::run_lag_benchmark(cfg);
-  TextTable table{{"participant", "median lag (ms)", "median RTT (ms)"}};
-  for (const auto& p : result.participants) {
-    table.add_row({p.label,
-                   p.lags_ms.empty() ? "-" : TextTable::num(median(std::vector<double>(p.lags_ms)), 1),
-                   p.session_rtt_ms.empty()
-                       ? "-"
-                       : TextTable::num(median(std::vector<double>(p.session_rtt_ms)), 1)});
+using namespace vc;
+
+/// Participant labels exactly as run_lag_benchmark derives them (site name,
+/// disambiguated with -2, -3... for repeated sites).
+std::vector<std::string> participant_labels() {
+  const auto sites = core::europe_participant_sites("CH");
+  std::unordered_map<std::string, int> site_use;
+  std::vector<std::string> labels;
+  for (const auto& site : sites) {
+    const int idx = site_use[site]++;
+    labels.push_back(idx == 0 ? site : site + "-" + std::to_string(idx + 1));
   }
-  std::printf("%s\n", table.render().c_str());
+  return labels;
 }
 
 }  // namespace
@@ -37,10 +38,71 @@ void run_tier(vc::platform::WebexTier tier, const char* label, bool paper) {
 int main(int argc, char** argv) {
   const bool paper = vcb::paper_scale(argc, argv);
   vcb::banner("Extension — Webex free vs paid tier (European sessions)", paper);
-  run_tier(vc::platform::WebexTier::kFree, "free tier", paper);
-  run_tier(vc::platform::WebexTier::kPaid, "paid tier", paper);
+
+  const struct {
+    platform::WebexTier tier;
+    const char* key;
+    const char* label;
+  } tiers[] = {
+      {platform::WebexTier::kFree, "free", "free tier"},
+      {platform::WebexTier::kPaid, "paid", "paid tier"},
+  };
+
+  const auto task = [&tiers, paper](runner::SessionContext& ctx) {
+    const auto& t = tiers[ctx.task_index];
+    core::LagBenchmarkConfig cfg;
+    cfg.platform = platform::PlatformId::kWebex;
+    cfg.webex_tier = t.tier;
+    cfg.host_site = "CH";
+    cfg.participant_sites = core::europe_participant_sites("CH");
+    cfg.sessions = paper ? 20 : 5;
+    cfg.session_duration = paper ? seconds(120) : seconds(40);
+    cfg.seed = ctx.seed;
+    cfg.metrics = &ctx.metrics;
+    const auto result = core::run_lag_benchmark(cfg);
+    for (const auto& p : result.participants) {
+      const std::string base = std::string("paid_tier/") + t.key + "/" + p.label;
+      if (!p.lags_ms.empty()) {
+        ctx.sample(base + ".median_lag_ms", median(std::vector<double>(p.lags_ms)));
+      }
+      if (!p.session_rtt_ms.empty()) {
+        ctx.sample(base + ".median_rtt_ms", median(std::vector<double>(p.session_rtt_ms)));
+      }
+    }
+  };
+
+  runner::ExperimentRunner::Config rc;
+  rc.base_seed = 71;
+  rc.label = "ext_paid_tier";
+  rc.threads = 1;
+  const auto serial = runner::ExperimentRunner{rc}.run(std::size(tiers), task);
+  rc.threads = 8;
+  const auto report = runner::ExperimentRunner{rc}.run(std::size(tiers), task);
+
+  const auto labels = participant_labels();
+  for (const auto& t : tiers) {
+    std::printf("--- Webex %s: meeting host in CH, participants across Europe ---\n", t.label);
+    TextTable table{{"participant", "median lag (ms)", "median RTT (ms)"}};
+    for (const auto& label : labels) {
+      const std::string base = std::string("paid_tier/") + t.key + "/" + label;
+      const auto* lag = report.find_sample(base + ".median_lag_ms");
+      const auto* rtt = report.find_sample(base + ".median_rtt_ms");
+      table.add_row({label, lag != nullptr ? TextTable::num(lag->mean(), 1) : "-",
+                     rtt != nullptr ? TextTable::num(rtt->mean(), 1) : "-"});
+    }
+    std::printf("%s\n", table.render().c_str());
+  }
   std::printf("paper (Section 6): with a paid subscription, Webex clients in Europe\n"
               "stream from close-by servers with RTTs < 20 ms — the trans-Atlantic\n"
               "detour (and its ~100 ms lag floor) disappears.\n");
-  return 0;
+
+  const bool identical = serial.aggregate_json() == report.aggregate_json();
+  std::printf("\nsessions: %zu  failures: %zu\n", report.sessions, report.failures.size());
+  std::printf("aggregate reports bit-identical across thread counts: %s\n",
+              identical ? "yes" : "NO — determinism regression!");
+  const std::string out_path = "bench_ext_paid_tier.report.json";
+  if (runner::write_text_file(out_path, report.to_json())) {
+    std::printf("report written to %s\n", out_path.c_str());
+  }
+  return identical ? 0 : 1;
 }

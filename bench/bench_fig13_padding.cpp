@@ -7,8 +7,15 @@
 // quantifies the damage the trick avoids: QoE of the same received stream
 // scored (a) with the paper's padded/cropped pipeline and (b) naively, with
 // the UI widgets inside the scored area.
+//
+// Each repetition is one self-contained Zoom session on
+// runner::ExperimentRunner (both scoring pipelines run on the same recording
+// inside the task); the serial and 8-thread aggregate reports must be
+// bit-identical.
 #include <cstdio>
 #include <memory>
+#include <string>
+#include <vector>
 
 #include "bench/bench_util.h"
 #include "client/media_feeder.h"
@@ -18,34 +25,54 @@
 #include "media/feeds.h"
 #include "media/qoe/video_metrics.h"
 #include "platform/base_platform.h"
+#include "runner/experiment_runner.h"
 #include "testbed/cloud_testbed.h"
 #include "testbed/orchestrator.h"
 
-int main(int argc, char** argv) {
-  using namespace vc;
-  const bool paper = vcb::paper_scale(argc, argv);
-  vcb::banner("Fig 13 — the protective-padding pipeline, and what it avoids", paper);
+namespace {
 
-  const int content_w = 128;
-  const int content_h = 96;
-  const int pad = 16;
+using namespace vc;
 
-  testbed::CloudTestbed bed{77};
+constexpr int kContentW = 128;
+constexpr int kContentH = 96;
+constexpr int kPad = 16;
+constexpr int kUiBorder = 8;  // UI widgets occlude the outer 8 px of the screen
+
+struct PaddingResult {
+  media::qoe::VideoQoe with_padding;  // padded feed, padding cropped (paper)
+  media::qoe::VideoQoe naive;         // UI occlusion inside the scored area
+};
+
+media::qoe::VideoQoe mean_qoe(const media::AlignedPair& pair) {
+  media::qoe::VideoQoe acc;
+  int n = 0;
+  for (std::size_t k = 0; k < pair.reference.size(); k += 4) {
+    const auto q = media::qoe::video_qoe(pair.reference[k], pair.recording[k]);
+    acc.psnr += q.psnr;
+    acc.ssim += q.ssim;
+    acc.vifp += q.vifp;
+    ++n;
+  }
+  return media::qoe::VideoQoe{acc.psnr / n, acc.ssim / n, acc.vifp / n};
+}
+
+PaddingResult run_padding_session(std::uint64_t seed, SimDuration duration) {
+  testbed::CloudTestbed bed{seed};
   auto zoom = platform::make_platform(platform::PlatformId::kZoom, bed.network());
   net::Host& host_vm = bed.create_vm(testbed::site_by_name("US-East"), 0);
   net::Host& rx_vm = bed.create_vm(testbed::site_by_name("US-East"), 1);
 
   auto content = std::make_shared<media::TalkingHeadFeed>(
-      media::FeedParams{content_w, content_h, 10.0, 5});
-  auto padded = std::make_shared<media::PaddedFeed>(content, pad);
+      media::FeedParams{kContentW, kContentH, 10.0, 5});
+  auto padded = std::make_shared<media::PaddedFeed>(content, kPad);
 
   client::VcaClient::Config host_cfg;
   host_cfg.send_audio = false;
   host_cfg.decode_video = false;
-  host_cfg.video_width = content_w + 2 * pad;
-  host_cfg.video_height = content_h + 2 * pad;
+  host_cfg.video_width = kContentW + 2 * kPad;
+  host_cfg.video_height = kContentH + 2 * kPad;
   host_cfg.fps = 10.0;
-  host_cfg.ui_border = 8;  // UI widgets occlude the outer 8 px of the screen
+  host_cfg.ui_border = kUiBorder;
   host_cfg.motion = platform::MotionClass::kLowMotion;
   client::VcaClient host{host_vm, *zoom, host_cfg};
   auto rx_cfg = host_cfg;
@@ -55,7 +82,6 @@ int main(int argc, char** argv) {
   client::MediaFeeder feeder{bed.loop(), host.video_device(), host.audio_device()};
   client::DesktopRecorder recorder{rx, 10.0};
 
-  const auto duration = paper ? seconds(60) : seconds(12);
   testbed::SessionOrchestrator::Plan plan;
   plan.host = &host;
   plan.participants = {&rx};
@@ -70,7 +96,7 @@ int main(int argc, char** argv) {
 
   // (a) The paper's pipeline: crop the padding (removing the occluded
   // border with it), score content vs content.
-  const auto cropped = media::crop_and_resize(recorder.video(), pad, content_w, content_h);
+  const auto cropped = media::crop_and_resize(recorder.video(), kPad, kContentW, kContentH);
   std::vector<media::Frame> content_ref;
   for (std::size_t k = 0; k < cropped.frames.size(); ++k) {
     content_ref.push_back(content->frame_at(static_cast<std::int64_t>(k)));
@@ -85,33 +111,63 @@ int main(int argc, char** argv) {
     padded_ref.push_back(padded->frame_at(static_cast<std::int64_t>(k)));
   }
   const auto shift_b = media::best_temporal_shift(padded_ref, recorder.video().frames, 10);
-  const auto aligned_b =
-      media::align_sequences(padded_ref, recorder.video().frames, shift_b);
+  const auto aligned_b = media::align_sequences(padded_ref, recorder.video().frames, shift_b);
 
-  auto mean_qoe = [](const media::AlignedPair& pair) {
-    media::qoe::VideoQoe acc;
-    int n = 0;
-    for (std::size_t k = 0; k < pair.reference.size(); k += 4) {
-      const auto q = media::qoe::video_qoe(pair.reference[k], pair.recording[k]);
-      acc.psnr += q.psnr;
-      acc.ssim += q.ssim;
-      acc.vifp += q.vifp;
-      ++n;
-    }
-    return media::qoe::VideoQoe{acc.psnr / n, acc.ssim / n, acc.vifp / n};
+  return PaddingResult{mean_qoe(aligned_a), mean_qoe(aligned_b)};
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  const bool paper = vcb::paper_scale(argc, argv);
+  vcb::banner("Fig 13 — the protective-padding pipeline, and what it avoids", paper);
+
+  const std::size_t reps = paper ? 4 : 1;
+  const SimDuration duration = paper ? seconds(60) : seconds(12);
+
+  const auto task = [duration](runner::SessionContext& ctx) {
+    const PaddingResult r = run_padding_session(ctx.seed, duration);
+    ctx.sample("fig13/padded.psnr", r.with_padding.psnr);
+    ctx.sample("fig13/padded.ssim", r.with_padding.ssim);
+    ctx.sample("fig13/padded.vifp", r.with_padding.vifp);
+    ctx.sample("fig13/naive.psnr", r.naive.psnr);
+    ctx.sample("fig13/naive.ssim", r.naive.ssim);
+    ctx.sample("fig13/naive.vifp", r.naive.vifp);
+    ctx.sample("fig13.phantom_loss_db", r.with_padding.psnr - r.naive.psnr);
   };
-  const auto with_padding = mean_qoe(aligned_a);
-  const auto naive = mean_qoe(aligned_b);
 
+  runner::ExperimentRunner::Config rc;
+  rc.base_seed = 77;
+  rc.label = "fig13_padding";
+  rc.threads = 1;
+  const auto serial = runner::ExperimentRunner{rc}.run(reps, task);
+  rc.threads = 8;
+  const auto report = runner::ExperimentRunner{rc}.run(reps, task);
+
+  auto mean = [&report](const std::string& key) {
+    const auto* s = report.find_sample(key);
+    return s != nullptr ? s->mean() : 0.0;
+  };
   TextTable table{{"scoring pipeline", "PSNR (dB)", "SSIM", "VIFp"}};
-  table.add_row({"padded feed, padding cropped (paper)", TextTable::num(with_padding.psnr, 1),
-                 TextTable::num(with_padding.ssim, 3), TextTable::num(with_padding.vifp, 3)});
-  table.add_row({"naive (UI occlusion inside scored area)", TextTable::num(naive.psnr, 1),
-                 TextTable::num(naive.ssim, 3), TextTable::num(naive.vifp, 3)});
+  table.add_row({"padded feed, padding cropped (paper)", TextTable::num(mean("fig13/padded.psnr"), 1),
+                 TextTable::num(mean("fig13/padded.ssim"), 3),
+                 TextTable::num(mean("fig13/padded.vifp"), 3)});
+  table.add_row({"naive (UI occlusion inside scored area)", TextTable::num(mean("fig13/naive.psnr"), 1),
+                 TextTable::num(mean("fig13/naive.ssim"), 3),
+                 TextTable::num(mean("fig13/naive.vifp"), 3)});
   std::printf("%s\n", table.render().c_str());
   std::printf("UI widgets occlude the outer %d px of the screen; the %d px padding keeps\n"
               "them out of the content area, so the crop recovers a clean signal. Scoring\n"
               "naively attributes the occlusion to the platform: %.1f dB of phantom loss.\n",
-              host_cfg.ui_border, pad, with_padding.psnr - naive.psnr);
-  return 0;
+              kUiBorder, kPad, mean("fig13.phantom_loss_db"));
+
+  const bool identical = serial.aggregate_json() == report.aggregate_json();
+  std::printf("\nsessions: %zu  failures: %zu\n", report.sessions, report.failures.size());
+  std::printf("aggregate reports bit-identical across thread counts: %s\n",
+              identical ? "yes" : "NO — determinism regression!");
+  const std::string out_path = "bench_fig13_padding.report.json";
+  if (runner::write_text_file(out_path, report.to_json())) {
+    std::printf("report written to %s\n", out_path.c_str());
+  }
+  return identical ? 0 : 1;
 }

@@ -1,0 +1,497 @@
+// Long-run soak benchmark: the always-on perf trajectory (PR 7).
+//
+// Replays a mixed workload in timed epochs — video encode+decode, serial
+// relay fan-out, a competing-flow fairness session, and audio encode+decode
+// — and emits the whole time-series as one JSON report. Where the other
+// bench gates are point-in-time A/B comparisons, this one watches for
+// *drift within a single long run*: allocator fragmentation, cache
+// pollution, accidental state accumulation (growing maps, unbounded pools)
+// all show up as the later epochs running slower than the earlier ones.
+//
+// Checks, in order of exit code:
+//   1 — any leg's output digest changes between epochs: the workload is
+//       seeded and repeated verbatim, so a digest that moves means hidden
+//       mutable state leaked across epochs (a determinism regression);
+//   2 — `--gate <ratio>`: for each leg, drift = best epoch time of the
+//       first half / best of the second half, on calibration-normalized
+//       times; fails when any leg's drift falls below the ratio *relative
+//       to the median drift across legs* (CI runs --gate 0.80). Best-of-half
+//       rather than medians for the same reason bench_shard_fanout's trace
+//       gate uses best-of-rounds: scheduler noise only ever adds time, so
+//       min/min isolates intrinsic drift — a real leak slows even the best
+//       epoch. Relative rather than absolute because sustained co-tenant
+//       load can slow a whole half of the run on a shared machine; that
+//       moves every leg together and cancels out of the ratio, while a
+//       genuine leak slows its own leg relative to the rest;
+//   4 — `--baseline <file>`: the per-leg digests and work counts must match
+//       the checked-in baseline exactly — the cross-run determinism anchor
+//       (timings in the baseline are informational; machines differ).
+//
+// The report (default BENCH_SOAK.json, `--out` to move) is shaped like an
+// ExperimentRunner run report, so `vcbench_cli report BENCH_SOAK.json`
+// renders the per-leg epoch-time and throughput distributions; the raw
+// "epochs" array holds the full time-series for plotting.
+#include <algorithm>
+#include <bit>
+#include <chrono>
+#include <cmath>
+#include <cstdint>
+#include <cstdio>
+#include <cstring>
+#include <map>
+#include <memory>
+#include <string>
+#include <vector>
+
+#include "bench/bench_util.h"
+#include "common/json.h"
+#include "common/rng.h"
+#include "common/stats.h"
+#include "core/fairness_benchmark.h"
+#include "media/audio_codec.h"
+#include "media/dct8.h"
+#include "media/feeds.h"
+#include "media/video_codec.h"
+#include "platform/relay.h"
+#include "runner/experiment_runner.h"
+
+namespace {
+
+using namespace vc;
+using namespace vc::media;
+
+void fnv_mix(std::uint64_t& h, std::uint64_t v) {
+  h ^= v;
+  h *= 1099511628211ULL;
+}
+
+constexpr std::uint64_t kFnvBasis = 14695981039346656037ULL;
+
+struct LegResult {
+  double seconds = 0.0;
+  std::uint64_t digest = kFnvBasis;
+  std::int64_t items = 0;
+};
+
+// --- codec leg: video encode + decode, digesting the full output ----------
+
+struct CodecLeg {
+  std::vector<Frame> frames;
+  int frames_per_epoch;
+  CodecLeg(int w, int h, int n) : frames_per_epoch(n) {
+    TourGuideFeed feed{{w, h, 15.0, 3}};
+    for (int i = 0; i < 10; ++i) frames.push_back(feed.frame_at(i));
+  }
+  LegResult run() const {
+    const int w = frames[0].width();
+    const int h = frames[0].height();
+    VideoEncoder::Config cfg;
+    cfg.target_bitrate = DataRate::kbps(800);
+    cfg.fps = 15.0;
+    VideoEncoder enc{w, h, cfg};
+    VideoDecoder dec{w, h};
+    LegResult out{};
+    out.items = frames_per_epoch;
+    const auto t0 = std::chrono::steady_clock::now();
+    for (int i = 0; i < frames_per_epoch; ++i) {
+      const auto f = enc.encode(frames[static_cast<std::size_t>(i) % frames.size()]);
+      fnv_mix(out.digest, static_cast<std::uint64_t>(f->bytes));
+      for (const std::int16_t c : f->coeffs) {
+        fnv_mix(out.digest, static_cast<std::uint64_t>(static_cast<std::uint16_t>(c)));
+      }
+      dec.decode(*f);
+    }
+    const auto t1 = std::chrono::steady_clock::now();
+    out.seconds = std::chrono::duration<double>(t1 - t0).count();
+    const Frame& last = dec.current();
+    for (std::size_t i = 0; i < last.size(); ++i) fnv_mix(out.digest, last.data()[i]);
+    return out;
+  }
+};
+
+// --- relay leg: one serial fan-out meeting, digesting every delivery ------
+
+LegResult run_relay_leg(int n, int frames) {
+  net::Network net{std::make_unique<net::FixedLatencyModel>(millis(3)), 99};
+  platform::RelayServer relay{net, "relay", GeoPoint{38.9, -77.4}, 8801,
+                              platform::RelayServer::ForwardingDelay{millis(2), 2.0}};
+  LegResult out{};
+  out.items = static_cast<std::int64_t>(n) * frames;
+  auto* digest = &out.digest;
+  std::vector<net::Host*> hosts;
+  for (int i = 0; i < n; ++i) {
+    net::Host& h = net.add_host("c" + std::to_string(i), GeoPoint{40.0, -75.0});
+    auto& sock = h.udp_bind(100);
+    const std::uint64_t rx_tag = static_cast<std::uint64_t>(i) << 48;
+    sock.on_receive([digest, rx_tag, &net](const net::Packet& p) {
+      fnv_mix(*digest, rx_tag | p.origin_id);
+      fnv_mix(*digest, p.seq);
+      fnv_mix(*digest, static_cast<std::uint64_t>(net.now().micros()));
+    });
+    relay.add_participant(1, static_cast<platform::ParticipantId>(i + 1), {h.ip(), 100});
+    hosts.push_back(&h);
+  }
+  for (int f = 0; f < frames; ++f) {
+    for (int i = 0; i < n; ++i) {
+      net::Host* h = hosts[static_cast<std::size_t>(i)];
+      const std::uint32_t origin = static_cast<std::uint32_t>(i + 1);
+      const std::uint64_t seq = static_cast<std::uint64_t>(f);
+      const std::int64_t l7 = 700 + 53 * ((f + i) % 13);
+      net.loop().schedule_at(SimTime{f * 33'000 + i * 211}, [h, &relay, origin, seq, l7] {
+        net::Packet p;
+        p.dst = relay.endpoint();
+        p.l7_len = l7;
+        p.kind = net::StreamKind::kVideo;
+        p.origin_id = origin;
+        p.seq = seq;
+        h->udp_socket(100)->send(std::move(p));
+      });
+    }
+  }
+  const auto t0 = std::chrono::steady_clock::now();
+  net.loop().run();
+  const auto t1 = std::chrono::steady_clock::now();
+  out.seconds = std::chrono::duration<double>(t1 - t0).count();
+  return out;
+}
+
+// --- fairness leg: a short competing-flow session -------------------------
+
+LegResult run_fairness_leg() {
+  core::FairnessBenchmarkConfig cfg;
+  cfg.flows = core::default_fairness_flows(3);
+  cfg.media_duration = seconds(6);
+  LegResult out{};
+  const auto t0 = std::chrono::steady_clock::now();
+  const core::FairnessBenchmarkResult r = core::run_fairness_session(cfg, 424247);
+  const auto t1 = std::chrono::steady_clock::now();
+  out.seconds = std::chrono::duration<double>(t1 - t0).count();
+  out.items = static_cast<std::int64_t>(r.flows.size());
+  auto mix_d = [&out](double v) { fnv_mix(out.digest, std::bit_cast<std::uint64_t>(v)); };
+  mix_d(r.jain_index);
+  mix_d(r.utilization);
+  mix_d(r.drop_fraction);
+  mix_d(r.queue_delay_mean_ms);
+  for (const auto& f : r.flows) {
+    mix_d(f.achieved_kbps);
+    mix_d(f.share);
+    mix_d(f.convergence_seconds);
+    mix_d(f.final_target_kbps);
+    fnv_mix(out.digest, static_cast<std::uint64_t>(f.abr_decisions));
+  }
+  return out;
+}
+
+// --- audio leg: encode + decode deterministic PCM -------------------------
+
+struct AudioLeg {
+  std::vector<float> pcm;  // frames_per_epoch contiguous frames
+  int frames_per_epoch;
+  int frame_samples;
+  explicit AudioLeg(int n) : frames_per_epoch(n) {
+    AudioEncoder probe{{}};
+    frame_samples = probe.frame_samples();
+    Rng rng{777};
+    pcm.resize(static_cast<std::size_t>(n) * frame_samples);
+    for (std::size_t i = 0; i < pcm.size(); ++i) {
+      const double t = static_cast<double>(i) / 16'000.0;
+      pcm[i] = static_cast<float>(0.5 * std::sin(2.0 * 3.141592653589793 * 440.0 * t) +
+                                  0.1 * rng.uniform(-1.0, 1.0));
+    }
+  }
+  LegResult run() const {
+    AudioEncoder enc{{}};
+    AudioDecoder dec{frame_samples};
+    LegResult out{};
+    out.items = frames_per_epoch;
+    const auto t0 = std::chrono::steady_clock::now();
+    for (int i = 0; i < frames_per_epoch; ++i) {
+      const auto f = enc.encode(std::span<const float>{
+          pcm.data() + static_cast<std::size_t>(i) * frame_samples,
+          static_cast<std::size_t>(frame_samples)});
+      for (std::size_t k = 0; k < f->indices.size(); ++k) {
+        fnv_mix(out.digest, (static_cast<std::uint64_t>(f->indices[k]) << 16) |
+                                static_cast<std::uint16_t>(f->values[k]));
+      }
+      const auto decoded = dec.decode(*f);
+      fnv_mix(out.digest, std::bit_cast<std::uint32_t>(decoded[0]));
+      fnv_mix(out.digest, std::bit_cast<std::uint32_t>(decoded[decoded.size() / 2]));
+    }
+    const auto t1 = std::chrono::steady_clock::now();
+    out.seconds = std::chrono::duration<double>(t1 - t0).count();
+    return out;
+  }
+};
+
+// --------------------------------------------------------------------------
+
+struct LegSeries {
+  std::string name;
+  std::uint64_t digest = 0;
+  std::int64_t items = 0;
+  std::vector<double> seconds;     // one per epoch (raw wall clock)
+  std::vector<double> normalized;  // seconds / that epoch's calibration time
+  double drift = 1.0;              // second-half / first-half throughput
+  double drift_rel = 1.0;          // drift / median drift across legs
+};
+
+volatile std::uint64_t g_cal_sink = 0;
+
+// A fixed integer spin measuring the machine's *current* speed. Leg times
+// are divided by this before the drift comparison: machine-wide frequency
+// scaling or co-tenant contention slows the spin and the legs alike (all
+// are CPU-bound), so it cancels out, while a real regression in a leg slows
+// only that leg relative to the spin.
+double calibration_seconds() {
+  std::uint64_t h = 14695981039346656037ULL;
+  const auto t0 = std::chrono::steady_clock::now();
+  for (std::uint64_t i = 0; i < 20'000'000; ++i) {
+    h = (h ^ i) * 1099511628211ULL;
+  }
+  const auto t1 = std::chrono::steady_clock::now();
+  g_cal_sink = h;  // defeat dead-code elimination
+  return std::chrono::duration<double>(t1 - t0).count();
+}
+
+std::string hex64(std::uint64_t v) {
+  char buf[24];
+  std::snprintf(buf, sizeof(buf), "%016llx", static_cast<unsigned long long>(v));
+  return buf;
+}
+
+void append_stats(std::string& out, const char* name, const RunningStats& s, bool last = false) {
+  out += std::string{"    \""} + name + "\": {\"count\": " + std::to_string(s.count()) +
+         ", \"mean\": " + json::format_number(s.mean()) +
+         ", \"stddev\": " + json::format_number(s.stddev()) +
+         ", \"min\": " + json::format_number(s.min()) +
+         ", \"max\": " + json::format_number(s.max()) +
+         ", \"sum\": " + json::format_number(s.sum()) + "}";
+  out += last ? "\n" : ",\n";
+}
+
+double flag_double(int argc, char** argv, const char* name, double fallback) {
+  for (int i = 1; i + 1 < argc; ++i) {
+    if (std::strcmp(argv[i], name) == 0) return std::atof(argv[i + 1]);
+  }
+  return fallback;
+}
+
+std::string flag_string(int argc, char** argv, const char* name, const char* fallback) {
+  for (int i = 1; i + 1 < argc; ++i) {
+    if (std::strcmp(argv[i], name) == 0) return argv[i + 1];
+  }
+  return fallback;
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  const int epochs = std::max(4, vcb::int_flag(argc, argv, "--epochs", 12));
+  const int codec_frames = std::max(8, vcb::int_flag(argc, argv, "--codec-frames", 60));
+  const int audio_frames = std::max(8, vcb::int_flag(argc, argv, "--audio-frames", 200));
+  const int relay_n = std::max(8, vcb::int_flag(argc, argv, "--relay-n", 24));
+  const double gate = flag_double(argc, argv, "--gate", 0.0);
+  const std::string baseline_path = flag_string(argc, argv, "--baseline", "");
+  const std::string out_path = flag_string(argc, argv, "--out", "BENCH_SOAK.json");
+
+  std::printf("soak: %d epochs (codec %d frames, audio %d frames, relay n=%d), backend=%s, "
+              "gate=%.2f\n",
+              epochs, codec_frames, audio_frames, relay_n,
+              dct_backend_name(active_dct_backend()), gate);
+
+  const CodecLeg codec_leg{128, 96, codec_frames};
+  const AudioLeg audio_leg{audio_frames};
+  // Enough frames that the leg runs ~25 ms/epoch: the drift gate compares
+  // best-of-half wall clocks, and a leg in the low-millisecond range is
+  // dominated by scheduler noise rather than by its own speed.
+  const int relay_frames = 300;
+
+  std::vector<LegSeries> legs(4);
+  legs[0].name = "codec";
+  legs[1].name = "relay";
+  legs[2].name = "fairness";
+  legs[3].name = "audio";
+  auto run_leg = [&](std::size_t idx) -> LegResult {
+    switch (idx) {
+      case 0: return codec_leg.run();
+      case 1: return run_relay_leg(relay_n, relay_frames);
+      case 2: return run_fairness_leg();
+      default: return audio_leg.run();
+    }
+  };
+
+  // One untimed warm-up epoch pins each leg's digest and work count.
+  for (std::size_t i = 0; i < legs.size(); ++i) {
+    const LegResult warm = run_leg(i);
+    legs[i].digest = warm.digest;
+    legs[i].items = warm.items;
+  }
+  calibration_seconds();  // warm the spin too
+  std::vector<double> cal_seconds;
+  for (int e = 0; e < epochs; ++e) {
+    const double cal = calibration_seconds();
+    cal_seconds.push_back(cal);
+    for (std::size_t i = 0; i < legs.size(); ++i) {
+      const LegResult r = run_leg(i);
+      if (r.digest != legs[i].digest || r.items != legs[i].items) {
+        std::printf("FAIL: %s digest/work changed at epoch %d — state leaked across epochs\n",
+                    legs[i].name.c_str(), e);
+        return 1;
+      }
+      legs[i].seconds.push_back(r.seconds);
+      legs[i].normalized.push_back(cal > 0 ? r.seconds / cal : r.seconds);
+    }
+  }
+
+  // Drift: best epoch of the first half vs best of the second half, on
+  // calibration-normalized times (best-of because noise only adds time;
+  // normalized because machine-wide speed swings move every leg together).
+  // The gate is on *relative* drift — each leg against the median drift
+  // across legs — because sustained co-tenant load can slow a whole half of
+  // the run and no absolute threshold survives that, while a genuine leak
+  // (growing state, fragmentation) slows its leg relative to the others.
+  // Absolute drift is still reported and lands in the trajectory JSON.
+  bool drift_ok = true;
+  std::vector<double> drifts;
+  for (auto& leg : legs) {
+    const auto half =
+        leg.normalized.begin() + static_cast<std::ptrdiff_t>(leg.normalized.size() / 2);
+    const double best1 = *std::min_element(leg.normalized.begin(), half);
+    const double best2 = *std::min_element(half, leg.normalized.end());
+    leg.drift = best2 > 0 ? best1 / best2 : 0.0;  // >1 means the run sped up
+    drifts.push_back(leg.drift);
+  }
+  const double drift_med = median(std::vector<double>(drifts));
+  for (auto& leg : legs) {
+    leg.drift_rel = drift_med > 0 ? leg.drift / drift_med : 0.0;
+    if (gate > 0.0 && leg.drift_rel < gate) drift_ok = false;
+  }
+
+  TextTable table{{"leg", "items/epoch", "median (ms)", "items/s", "drift", "rel drift"}};
+  for (const auto& leg : legs) {
+    const double med = median(std::vector<double>(leg.seconds));
+    table.add_row({leg.name, std::to_string(leg.items), TextTable::num(med * 1e3, 2),
+                   TextTable::num(med > 0 ? static_cast<double>(leg.items) / med : 0.0, 0),
+                   TextTable::num(leg.drift, 3) + "x", TextTable::num(leg.drift_rel, 3) + "x"});
+  }
+  std::printf("%s\n", table.render().c_str());
+
+  // Baseline check: digests and work counts must match exactly.
+  bool baseline_ok = true;
+  if (!baseline_path.empty()) {
+    json::Value root;
+    {
+      std::FILE* f = std::fopen(baseline_path.c_str(), "rb");
+      if (f == nullptr) {
+        std::printf("FAIL: cannot read baseline %s\n", baseline_path.c_str());
+        return 4;
+      }
+      std::string text;
+      char chunk[4096];
+      std::size_t n = 0;
+      while ((n = std::fread(chunk, 1, sizeof(chunk), f)) > 0) text.append(chunk, n);
+      std::fclose(f);
+      try {
+        root = json::parse(text);
+      } catch (const std::exception& e) {
+        std::printf("FAIL: baseline %s: %s\n", baseline_path.c_str(), e.what());
+        return 4;
+      }
+    }
+    const json::Value* digests = root.find("digests");
+    const json::Value* items = root.find("items_per_epoch");
+    if (digests == nullptr || items == nullptr) {
+      std::printf("FAIL: baseline %s missing digests/items_per_epoch\n", baseline_path.c_str());
+      baseline_ok = false;
+    } else {
+      for (const auto& leg : legs) {
+        const json::Value* d = digests->find(leg.name);
+        const json::Value* it = items->find(leg.name);
+        if (d == nullptr || d->as_string() != hex64(leg.digest)) {
+          std::printf("FAIL: %s digest %s != baseline %s\n", leg.name.c_str(),
+                      hex64(leg.digest).c_str(),
+                      d != nullptr ? d->as_string().c_str() : "(missing)");
+          baseline_ok = false;
+        }
+        if (it == nullptr || static_cast<std::int64_t>(it->as_number()) != leg.items) {
+          std::printf("FAIL: %s items/epoch %lld != baseline\n", leg.name.c_str(),
+                      static_cast<long long>(leg.items));
+          baseline_ok = false;
+        }
+      }
+    }
+    std::printf("baseline %s: %s\n", baseline_path.c_str(), baseline_ok ? "match" : "MISMATCH");
+  }
+
+  // Report: ExperimentRunner-report shaped so `vcbench_cli report` renders
+  // it; the epochs array is the raw time-series.
+  std::string json = "{\n  \"label\": \"soak_trajectory\",\n";
+  json += "  \"base_seed\": 424247,\n";
+  json += "  \"sessions\": " + std::to_string(epochs) + ",\n";
+  json += "  \"failures\": 0,\n";
+  json += "  \"samples\": {\n";
+  for (std::size_t i = 0; i < legs.size(); ++i) {
+    const auto& leg = legs[i];
+    RunningStats ms, rate;
+    for (double s : leg.seconds) {
+      ms.add(s * 1e3);
+      if (s > 0) rate.add(static_cast<double>(leg.items) / s);
+    }
+    append_stats(json, (leg.name + ".epoch_ms").c_str(), ms);
+    append_stats(json, (leg.name + ".items_per_s").c_str(), rate, i + 1 == legs.size());
+  }
+  json += "  },\n  \"counters\": {";
+  for (std::size_t i = 0; i < legs.size(); ++i) {
+    json += "\"soak." + legs[i].name + ".items_per_epoch\": " + std::to_string(legs[i].items);
+    json += i + 1 < legs.size() ? ", " : "";
+  }
+  json += "},\n";
+  json += "  \"digests\": {";
+  for (std::size_t i = 0; i < legs.size(); ++i) {
+    json += "\"" + legs[i].name + "\": \"" + hex64(legs[i].digest) + "\"";
+    json += i + 1 < legs.size() ? ", " : "";
+  }
+  json += "},\n  \"items_per_epoch\": {";
+  for (std::size_t i = 0; i < legs.size(); ++i) {
+    json += "\"" + legs[i].name + "\": " + std::to_string(legs[i].items);
+    json += i + 1 < legs.size() ? ", " : "";
+  }
+  json += "},\n  \"drift\": {";
+  for (std::size_t i = 0; i < legs.size(); ++i) {
+    json += "\"" + legs[i].name + "\": " + json::format_number(legs[i].drift);
+    json += i + 1 < legs.size() ? ", " : "";
+  }
+  json += "},\n  \"drift_rel\": {";
+  for (std::size_t i = 0; i < legs.size(); ++i) {
+    json += "\"" + legs[i].name + "\": " + json::format_number(legs[i].drift_rel);
+    json += i + 1 < legs.size() ? ", " : "";
+  }
+  json += "},\n  \"gate\": " + json::format_number(gate) + ",\n";
+  json += "  \"epochs\": [\n";
+  for (int e = 0; e < epochs; ++e) {
+    json += "    {\"epoch\": " + std::to_string(e);
+    json += ", \"cal_ms\": " + json::format_number(cal_seconds[static_cast<std::size_t>(e)] * 1e3);
+    for (const auto& leg : legs) {
+      json += ", \"" + leg.name + "_ms\": " +
+              json::format_number(leg.seconds[static_cast<std::size_t>(e)] * 1e3);
+    }
+    json += e + 1 < epochs ? "},\n" : "}\n";
+  }
+  json += "  ]\n}\n";
+  if (runner::write_text_file(out_path, json)) {
+    std::printf("report written to %s\n", out_path.c_str());
+  }
+
+  if (!drift_ok) {
+    for (const auto& leg : legs) {
+      if (leg.drift_rel < gate) {
+        std::printf("FAIL: %s drifted to %.3fx of the run's median leg drift (gate %.2f, "
+                    "absolute drift %.3fx)\n",
+                    leg.name.c_str(), leg.drift_rel, gate, leg.drift);
+      }
+    }
+    return 2;
+  }
+  if (!baseline_ok) return 4;
+  return 0;
+}

@@ -10,37 +10,52 @@
 namespace vc::media {
 namespace {
 
-// Normalized DCT-II basis, cached per frame length: basis[k][i] =
-// norm(k) * cos(pi (i+0.5) k / n). O(N^2) transforms with no trig in the
-// inner loop (the naive per-sample std::cos dominated whole benchmark runs).
-const std::vector<std::vector<double>>& dct_basis(std::size_t n) {
+// Normalized DCT-II basis, cached per frame length as one contiguous n×n
+// matrix (row k at basis + k·n): basis[k·n + i] = norm(k) * cos(pi (i+0.5)
+// k / n). O(N^2) transforms with no trig in the inner loop (the naive
+// per-sample std::cos dominated whole benchmark runs), and one allocation
+// per (thread, n) instead of n+1 with the old vector-of-vectors.
+const double* dct_basis(std::size_t n) {
   // Per-thread cache: sessions running concurrently on an ExperimentRunner
   // pool each rebuild the handful of bases they use instead of contending on
-  // a mutex — this was the last lock on the codec path. Returned references
-  // stay valid: map nodes are stable and entries are never erased.
-  thread_local std::map<std::size_t, std::vector<std::vector<double>>> cache;
-  auto it = cache.find(n);
-  if (it != cache.end()) return it->second;
-  std::vector<std::vector<double>> basis(n, std::vector<double>(n));
-  const double norm0 = std::sqrt(1.0 / static_cast<double>(n));
-  const double norm = std::sqrt(2.0 / static_cast<double>(n));
-  for (std::size_t k = 0; k < n; ++k) {
-    for (std::size_t i = 0; i < n; ++i) {
-      basis[k][i] = (k == 0 ? norm0 : norm) *
-                    std::cos(std::numbers::pi * (static_cast<double>(i) + 0.5) *
-                             static_cast<double>(k) / static_cast<double>(n));
+  // a mutex — this was the last lock on the codec path. A codec instance
+  // uses one frame length for its whole life, so the steady-state lookup is
+  // a single integer compare against the last-used entry; the map only runs
+  // when the thread switches frame lengths. Returned pointers stay valid:
+  // map nodes are stable and entries are never erased.
+  struct BasisCache {
+    std::size_t last_n = 0;
+    const double* last = nullptr;
+    std::map<std::size_t, std::vector<double>> store;
+  };
+  thread_local BasisCache cache;
+  if (cache.last_n == n && cache.last != nullptr) return cache.last;
+  auto it = cache.store.find(n);
+  if (it == cache.store.end()) {
+    std::vector<double> basis(n * n);
+    const double norm0 = std::sqrt(1.0 / static_cast<double>(n));
+    const double norm = std::sqrt(2.0 / static_cast<double>(n));
+    for (std::size_t k = 0; k < n; ++k) {
+      for (std::size_t i = 0; i < n; ++i) {
+        basis[k * n + i] = (k == 0 ? norm0 : norm) *
+                           std::cos(std::numbers::pi * (static_cast<double>(i) + 0.5) *
+                                    static_cast<double>(k) / static_cast<double>(n));
+      }
     }
+    it = cache.store.emplace(n, std::move(basis)).first;
   }
-  return cache.emplace(n, std::move(basis)).first->second;
+  cache.last_n = n;
+  cache.last = it->second.data();
+  return cache.last;
 }
 
 std::vector<double> dct(std::span<const float> x) {
   const auto n = x.size();
-  const auto& basis = dct_basis(n);
+  const double* basis = dct_basis(n);
   std::vector<double> out(n);
   for (std::size_t k = 0; k < n; ++k) {
     double acc = 0.0;
-    const auto& row = basis[k];
+    const double* row = basis + k * n;
     for (std::size_t i = 0; i < n; ++i) acc += static_cast<double>(x[i]) * row[i];
     out[k] = acc;
   }
@@ -49,11 +64,11 @@ std::vector<double> dct(std::span<const float> x) {
 
 std::vector<float> idct(const std::vector<double>& c) {
   const auto n = c.size();
-  const auto& basis = dct_basis(n);
+  const double* basis = dct_basis(n);
   std::vector<double> acc(n, 0.0);
   for (std::size_t k = 0; k < n; ++k) {
     if (c[k] == 0.0) continue;  // sparse: only kept coefficients contribute
-    const auto& row = basis[k];
+    const double* row = basis + k * n;
     const double ck = c[k];
     for (std::size_t i = 0; i < n; ++i) acc[i] += ck * row[i];
   }

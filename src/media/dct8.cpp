@@ -1,0 +1,267 @@
+#include "media/dct8.h"
+
+#include <cmath>
+#include <numbers>
+
+#if defined(__x86_64__) || defined(__i386__)
+#define VC_DCT8_X86 1
+#include <immintrin.h>
+#endif
+
+namespace vc::media {
+namespace {
+
+constexpr int kN = 8;
+
+// Precomputed DCT-II basis, expression-for-expression the table the codec
+// always used — kFwd[u*8+x] = a(u) * cos((2x+1) u pi / 16) — so every
+// backend (and the scalar reference) reads identical bits.
+struct Tables {
+  alignas(32) double fwd[64];
+  alignas(32) double fwd_t[64];  // fwd_t[x*8+u] = fwd[u*8+x]
+  Tables() {
+    for (int u = 0; u < kN; ++u) {
+      const double a = u == 0 ? std::sqrt(1.0 / kN) : std::sqrt(2.0 / kN);
+      for (int x = 0; x < kN; ++x) {
+        fwd[u * kN + x] = a * std::cos((2 * x + 1) * u * std::numbers::pi / (2.0 * kN));
+      }
+    }
+    for (int u = 0; u < kN; ++u) {
+      for (int x = 0; x < kN; ++x) fwd_t[x * kN + u] = fwd[u * kN + x];
+    }
+  }
+};
+const Tables kT;
+
+// ---------------------------------------------------------------------------
+// The one primitive: out[l] = Σ_k s[k] · t[k*8 + l], k accumulated in order.
+//
+// Pass mapping (scalar loops on the left, primitive call on the right):
+//   DCT  rows:  tmp[y][u] = Σ_x fwd[u][x]·in[y][x]   = mac8(in+y·8, fwd_t)
+//   DCT  cols:  out[v][u] = Σ_y fwd[v][y]·tmp[y][u]  = mac8(fwd+v·8, tmp)
+//   IDCT rows:  tmp[v][x] = Σ_u fwd[u][x]·in[v][u]   = mac8(in+v·8, fwd)
+//   IDCT cols:  out[y][x] = Σ_v fwd[v][y]·tmp[v][x]  = mac8(fwd_t+y·8, tmp)
+// In every case the scalar loop's per-output accumulation index becomes k
+// and the free index becomes the lane, so per-lane arithmetic is unchanged.
+// ---------------------------------------------------------------------------
+
+inline void mac8_portable(const double* s, const double* t, double* out) {
+  double acc[8] = {0.0, 0.0, 0.0, 0.0, 0.0, 0.0, 0.0, 0.0};
+  for (int k = 0; k < kN; ++k) {
+    const double sk = s[k];
+    const double* row = t + k * kN;
+    for (int l = 0; l < kN; ++l) acc[l] += sk * row[l];
+  }
+  for (int l = 0; l < kN; ++l) out[l] = acc[l];
+}
+
+void dct2d_portable(const double* in, double* out) {
+  alignas(32) double tmp[64];
+  for (int y = 0; y < kN; ++y) mac8_portable(in + y * kN, kT.fwd_t, tmp + y * kN);
+  for (int v = 0; v < kN; ++v) mac8_portable(kT.fwd + v * kN, tmp, out + v * kN);
+}
+
+void idct2d_portable(const double* in, double* out) {
+  alignas(32) double tmp[64];
+  for (int v = 0; v < kN; ++v) mac8_portable(in + v * kN, kT.fwd, tmp + v * kN);
+  for (int y = 0; y < kN; ++y) mac8_portable(kT.fwd_t + y * kN, tmp, out + y * kN);
+}
+
+#ifdef VC_DCT8_X86
+
+inline void mac8_sse2(const double* s, const double* t, double* out) {
+  __m128d a0 = _mm_setzero_pd();
+  __m128d a1 = _mm_setzero_pd();
+  __m128d a2 = _mm_setzero_pd();
+  __m128d a3 = _mm_setzero_pd();
+  for (int k = 0; k < kN; ++k) {
+    const __m128d sk = _mm_set1_pd(s[k]);
+    const double* row = t + k * kN;
+    a0 = _mm_add_pd(a0, _mm_mul_pd(sk, _mm_loadu_pd(row + 0)));
+    a1 = _mm_add_pd(a1, _mm_mul_pd(sk, _mm_loadu_pd(row + 2)));
+    a2 = _mm_add_pd(a2, _mm_mul_pd(sk, _mm_loadu_pd(row + 4)));
+    a3 = _mm_add_pd(a3, _mm_mul_pd(sk, _mm_loadu_pd(row + 6)));
+  }
+  _mm_storeu_pd(out + 0, a0);
+  _mm_storeu_pd(out + 2, a1);
+  _mm_storeu_pd(out + 4, a2);
+  _mm_storeu_pd(out + 6, a3);
+}
+
+void dct2d_sse2(const double* in, double* out) {
+  alignas(32) double tmp[64];
+  for (int y = 0; y < kN; ++y) mac8_sse2(in + y * kN, kT.fwd_t, tmp + y * kN);
+  for (int v = 0; v < kN; ++v) mac8_sse2(kT.fwd + v * kN, tmp, out + v * kN);
+}
+
+void idct2d_sse2(const double* in, double* out) {
+  alignas(32) double tmp[64];
+  for (int v = 0; v < kN; ++v) mac8_sse2(in + v * kN, kT.fwd, tmp + v * kN);
+  for (int y = 0; y < kN; ++y) mac8_sse2(kT.fwd_t + y * kN, tmp, out + y * kN);
+}
+
+// AVX: 4 lanes per vector, two accumulators. Explicit mul+add — never
+// _mm256_fmadd_pd — because the scalar reference (built for baseline x86-64,
+// which has no FMA) rounds after the multiply; a fused path would produce
+// different low bits and break the equality contract.
+__attribute__((target("avx"))) inline void mac8_avx(const double* s, const double* t,
+                                                    double* out) {
+  __m256d a0 = _mm256_setzero_pd();
+  __m256d a1 = _mm256_setzero_pd();
+  for (int k = 0; k < kN; ++k) {
+    const __m256d sk = _mm256_set1_pd(s[k]);
+    const double* row = t + k * kN;
+    a0 = _mm256_add_pd(a0, _mm256_mul_pd(sk, _mm256_loadu_pd(row + 0)));
+    a1 = _mm256_add_pd(a1, _mm256_mul_pd(sk, _mm256_loadu_pd(row + 4)));
+  }
+  _mm256_storeu_pd(out + 0, a0);
+  _mm256_storeu_pd(out + 4, a1);
+}
+
+__attribute__((target("avx"))) void dct2d_avx(const double* in, double* out) {
+  alignas(32) double tmp[64];
+  for (int y = 0; y < kN; ++y) mac8_avx(in + y * kN, kT.fwd_t, tmp + y * kN);
+  for (int v = 0; v < kN; ++v) mac8_avx(kT.fwd + v * kN, tmp, out + v * kN);
+}
+
+__attribute__((target("avx"))) void idct2d_avx(const double* in, double* out) {
+  alignas(32) double tmp[64];
+  for (int v = 0; v < kN; ++v) mac8_avx(in + v * kN, kT.fwd, tmp + v * kN);
+  for (int y = 0; y < kN; ++y) mac8_avx(kT.fwd_t + y * kN, tmp, out + y * kN);
+}
+
+bool cpu_has_avx() {
+  __builtin_cpu_init();
+  return __builtin_cpu_supports("avx") != 0;
+}
+
+#endif  // VC_DCT8_X86
+
+void dct2d_scalar_impl(const double* in, double* out) {
+  double tmp[64];
+  for (int y = 0; y < kN; ++y) {
+    for (int u = 0; u < kN; ++u) {
+      double acc = 0.0;
+      for (int x = 0; x < kN; ++x) acc += kT.fwd[u * kN + x] * in[y * kN + x];
+      tmp[y * kN + u] = acc;
+    }
+  }
+  for (int u = 0; u < kN; ++u) {
+    for (int v = 0; v < kN; ++v) {
+      double acc = 0.0;
+      for (int y = 0; y < kN; ++y) acc += kT.fwd[v * kN + y] * tmp[y * kN + u];
+      out[v * kN + u] = acc;
+    }
+  }
+}
+
+void idct2d_scalar_impl(const double* in, double* out) {
+  double tmp[64];
+  for (int v = 0; v < kN; ++v) {
+    for (int x = 0; x < kN; ++x) {
+      double acc = 0.0;
+      for (int u = 0; u < kN; ++u) acc += kT.fwd[u * kN + x] * in[v * kN + u];
+      tmp[v * kN + x] = acc;
+    }
+  }
+  for (int x = 0; x < kN; ++x) {
+    for (int y = 0; y < kN; ++y) {
+      double acc = 0.0;
+      for (int v = 0; v < kN; ++v) acc += kT.fwd[v * kN + y] * tmp[v * kN + x];
+      out[y * kN + x] = acc;
+    }
+  }
+}
+
+using TransformFn = void (*)(const double*, double*);
+
+// Constant-initialized to the scalar reference so a caller running during
+// another TU's static initialization still gets correct (identical) bits;
+// the dynamic initializer below upgrades the dispatch to the best ISA.
+TransformFn g_dct2d = &dct2d_scalar_impl;
+TransformFn g_idct2d = &idct2d_scalar_impl;
+DctBackend g_backend = DctBackend::kScalar;
+
+[[maybe_unused]] const bool g_dispatch_init = [] {
+  set_dct_backend(best_dct_backend());
+  return true;
+}();
+
+}  // namespace
+
+DctBackend active_dct_backend() { return g_backend; }
+
+const char* dct_backend_name(DctBackend backend) {
+  switch (backend) {
+    case DctBackend::kScalar: return "scalar";
+    case DctBackend::kPortable: return "portable-lanes";
+    case DctBackend::kSse2: return "sse2";
+    case DctBackend::kAvx: return "avx";
+  }
+  return "?";
+}
+
+bool dct_backend_available(DctBackend backend) {
+  switch (backend) {
+    case DctBackend::kScalar:
+    case DctBackend::kPortable:
+      return true;
+    case DctBackend::kSse2:
+#ifdef VC_DCT8_X86
+      return true;
+#else
+      return false;
+#endif
+    case DctBackend::kAvx:
+#ifdef VC_DCT8_X86
+      return cpu_has_avx();
+#else
+      return false;
+#endif
+  }
+  return false;
+}
+
+bool set_dct_backend(DctBackend backend) {
+  if (!dct_backend_available(backend)) return false;
+  switch (backend) {
+    case DctBackend::kScalar:
+      g_dct2d = &dct2d_scalar_impl;
+      g_idct2d = &idct2d_scalar_impl;
+      break;
+    case DctBackend::kPortable:
+      g_dct2d = &dct2d_portable;
+      g_idct2d = &idct2d_portable;
+      break;
+#ifdef VC_DCT8_X86
+    case DctBackend::kSse2:
+      g_dct2d = &dct2d_sse2;
+      g_idct2d = &idct2d_sse2;
+      break;
+    case DctBackend::kAvx:
+      g_dct2d = &dct2d_avx;
+      g_idct2d = &idct2d_avx;
+      break;
+#else
+    default:
+      return false;
+#endif
+  }
+  g_backend = backend;
+  return true;
+}
+
+DctBackend best_dct_backend() {
+#ifdef VC_DCT8_X86
+  return cpu_has_avx() ? DctBackend::kAvx : DctBackend::kSse2;
+#else
+  return DctBackend::kPortable;
+#endif
+}
+
+void dct2d_8x8(const double* in, double* out) { g_dct2d(in, out); }
+void idct2d_8x8(const double* in, double* out) { g_idct2d(in, out); }
+void dct2d_8x8_scalar(const double* in, double* out) { dct2d_scalar_impl(in, out); }
+void idct2d_8x8_scalar(const double* in, double* out) { idct2d_scalar_impl(in, out); }
+
+}  // namespace vc::media

@@ -1,0 +1,50 @@
+// Vectorized 8×8 DCT-II / IDCT kernels with a bit-identical determinism
+// contract.
+//
+// Every pass of both separable transforms reduces to one primitive: eight
+// output lanes l, out[l] = Σ_k s[k] · t[k·8 + l], accumulated in k order.
+// The SIMD backends compute the eight lanes in parallel but each lane still
+// performs exactly the scalar reference's operation sequence — acc = acc +
+// s·t for k = 0…7, no FMA contraction, no reassociation — so the result is
+// bit-identical to the retained scalar triple loop by construction, on every
+// backend. tests/media/test_dct8.cpp enforces this exhaustively; the golden
+// transcripts and 1-vs-8-thread report identities therefore never move when
+// the backend changes.
+//
+// Backend selection is a process-wide dispatch set once at startup to the
+// best ISA the CPU supports (AVX → SSE2 → portable lane-parallel C). Benches
+// and tests may override it with set_dct_backend() — single-threaded setup
+// only, before sessions spawn.
+#pragma once
+
+namespace vc::media {
+
+enum class DctBackend {
+  kScalar = 0,   // the original triple loop, retained as the reference
+  kPortable,     // lane-parallel C (auto-vectorizable), any architecture
+  kSse2,         // x86-64 baseline, 2 lanes per vector
+  kAvx,          // runtime-detected, 4 lanes per vector
+};
+
+/// The backend the dct2d_8x8/idct2d_8x8 dispatch currently points at.
+DctBackend active_dct_backend();
+const char* dct_backend_name(DctBackend backend);
+/// Whether this build + CPU can run `backend`.
+bool dct_backend_available(DctBackend backend);
+/// Points the dispatch at `backend`; returns false (and leaves the dispatch
+/// untouched) when unavailable. Not thread-safe against concurrent encodes.
+bool set_dct_backend(DctBackend backend);
+/// Best available backend for this CPU (what startup selects).
+DctBackend best_dct_backend();
+
+/// F = C·B·Cᵀ and B = Cᵀ·F·C over row-major 8×8 blocks of doubles, through
+/// the active backend.
+void dct2d_8x8(const double* in, double* out);
+void idct2d_8x8(const double* in, double* out);
+
+/// The retained scalar reference (the exact pre-vectorization loops), always
+/// available regardless of the active backend — the equality oracle.
+void dct2d_8x8_scalar(const double* in, double* out);
+void idct2d_8x8_scalar(const double* in, double* out);
+
+}  // namespace vc::media

@@ -3,83 +3,50 @@
 #include <algorithm>
 #include <array>
 #include <cmath>
-#include <numbers>
+#include <cstring>
 #include <stdexcept>
+
+#include "media/dct8.h"
 
 namespace vc::media {
 namespace {
 
-// Precomputed DCT-II basis: kDct[u][x] = a(u) * cos((2x+1) u pi / 16).
-struct DctTables {
-  std::array<std::array<double, kBlock>, kBlock> fwd;
-  DctTables() {
-    for (int u = 0; u < kBlock; ++u) {
-      const double a = u == 0 ? std::sqrt(1.0 / kBlock) : std::sqrt(2.0 / kBlock);
-      for (int x = 0; x < kBlock; ++x) {
-        fwd[u][x] = a * std::cos((2 * x + 1) * u * std::numbers::pi / (2.0 * kBlock));
-      }
+using Block = std::array<double, kBlock * kBlock>;
+
+// Table-driven quantization: kQuant.weight is the frequency-weighted step
+// multiplier (1.0 + 0.12·(u+v), like JPEG/H.26x matrices) and kQuant.bits
+// the entropy estimate for one quantized coefficient (sign + magnitude
+// prefix). Both tables are generated from the exact expressions the hot
+// loop used to evaluate per coefficient — 2 + ⌊2·log2(1+|q|)⌋ cost a log2
+// per coefficient per pass — so every encoded bit count is unchanged.
+struct QuantTables {
+  double weight[kBlock * kBlock];
+  std::uint8_t bits[32769];  // index |q|, q clamped to int16 so |q| <= 32768
+  QuantTables() {
+    for (int v = 0; v < kBlock; ++v) {
+      for (int u = 0; u < kBlock; ++u) weight[v * kBlock + u] = 1.0 + 0.12 * (u + v);
+    }
+    bits[0] = 0;
+    for (int m = 1; m <= 32768; ++m) {
+      const double mag = static_cast<double>(m);
+      bits[m] = static_cast<std::uint8_t>(2 + static_cast<std::int64_t>(2.0 * std::log2(1.0 + mag)));
     }
   }
 };
-const DctTables kDct;
+const QuantTables kQuant;
 
-using Block = std::array<double, kBlock * kBlock>;
-
-// F = C * B * C^T (separable: rows then columns).
-void dct2d(const Block& in, Block& out) {
-  Block tmp;
-  for (int y = 0; y < kBlock; ++y) {
-    for (int u = 0; u < kBlock; ++u) {
-      double acc = 0.0;
-      for (int x = 0; x < kBlock; ++x) acc += kDct.fwd[u][x] * in[y * kBlock + x];
-      tmp[y * kBlock + u] = acc;
-    }
-  }
-  for (int u = 0; u < kBlock; ++u) {
-    for (int v = 0; v < kBlock; ++v) {
-      double acc = 0.0;
-      for (int y = 0; y < kBlock; ++y) acc += kDct.fwd[v][y] * tmp[y * kBlock + u];
-      out[v * kBlock + u] = acc;
-    }
-  }
-}
-
-// B = C^T * F * C.
-void idct2d(const Block& in, Block& out) {
-  Block tmp;
-  for (int v = 0; v < kBlock; ++v) {
-    for (int x = 0; x < kBlock; ++x) {
-      double acc = 0.0;
-      for (int u = 0; u < kBlock; ++u) acc += kDct.fwd[u][x] * in[v * kBlock + u];
-      tmp[v * kBlock + x] = acc;
-    }
-  }
-  for (int x = 0; x < kBlock; ++x) {
-    for (int y = 0; y < kBlock; ++y) {
-      double acc = 0.0;
-      for (int v = 0; v < kBlock; ++v) acc += kDct.fwd[v][y] * tmp[v * kBlock + x];
-      out[y * kBlock + x] = acc;
-    }
-  }
-}
-
-// Frequency-weighted quantization: higher frequencies get coarser steps,
-// like JPEG/H.26x quantization matrices.
-double quant_weight(int u, int v) { return 1.0 + 0.12 * (u + v); }
-
-// Entropy estimate for one quantized coefficient (sign + magnitude prefix).
-std::int64_t coeff_bits(std::int16_t q) {
-  if (q == 0) return 0;
-  const double mag = std::abs(static_cast<double>(q));
-  return 2 + static_cast<std::int64_t>(2.0 * std::log2(1.0 + mag));
-}
+// SKIP threshold: ~1.5 luma units/pixel. SAD sums of 8-bit pixels are exact
+// small integers, so integer accumulation reproduces the historical double
+// accumulation bit-for-bit in any order.
+constexpr std::int32_t kSkipSad = 96;
 
 std::int64_t div_round_up(std::int64_t a, std::int64_t b) { return (a + b - 1) / b; }
 
 }  // namespace
 
 VideoEncoder::VideoEncoder(int width, int height, Config cfg)
-    : width_(width), height_(height), cfg_(cfg), recon_(width, height, 0) {
+    : width_(width), height_(height), cfg_(cfg), recon_(width, height, 0),
+      recon_scratch_(width, height, 0) {
   if (width % kBlock != 0 || height % kBlock != 0) {
     throw std::invalid_argument{"frame dimensions must be multiples of 8"};
   }
@@ -95,74 +62,93 @@ VideoEncoder::EncodeResult VideoEncoder::encode_pass(const Frame& frame, bool ke
   const int by = height_ / kBlock;
   EncodeResult res;
   if (out != nullptr) {
+    // assign() within retained capacity: allocation-free after first use.
     out->coeffs.assign(static_cast<std::size_t>(bx) * by * kBlock * kBlock, 0);
     out->modes.assign(static_cast<std::size_t>(bx) * by, BlockMode::kIntra);
   }
-  Block pixels, pred, residual, coeffs, deq, rec;
+  alignas(32) Block pred, residual, coeffs, deq, rec;
+  const std::uint8_t* fdata = frame.data();
+  const std::uint8_t* rdata = recon_.data();
+  const int stride = width_;
   for (int byi = 0; byi < by; ++byi) {
     for (int bxi = 0; bxi < bx; ++bxi) {
       const int x0 = bxi * kBlock;
       const int y0 = byi * kBlock;
-      for (int y = 0; y < kBlock; ++y) {
-        for (int x = 0; x < kBlock; ++x) {
-          pixels[y * kBlock + x] = frame.at(x0 + x, y0 + y);
-        }
-      }
-      // Mode decision by SAD against each predictor.
-      double sad_intra = 0.0;
-      double sad_inter = 0.0;
-      for (int y = 0; y < kBlock; ++y) {
-        for (int x = 0; x < kBlock; ++x) {
-          const double px = pixels[y * kBlock + x];
-          sad_intra += std::abs(px - 128.0);
-          sad_inter += std::abs(px - static_cast<double>(recon_.at(x0 + x, y0 + y)));
-        }
-      }
-      const bool inter = !keyframe && sad_inter <= sad_intra;
+      const std::uint8_t* fblock = fdata + static_cast<std::size_t>(y0) * stride + x0;
+      const std::uint8_t* rblock = rdata + static_cast<std::size_t>(y0) * stride + x0;
       ++res.total_blocks;
-      // SKIP decision before transform: when the block barely differs from
-      // the reference, copy it (real codecs' SKIP mode). Without this, the
-      // encoder would spend bits forever chasing its own quantization noise
-      // on static content — and a "blank" screen would never go quiet on
-      // the wire, breaking the premise of the paper's lag measurement.
-      constexpr double kSkipSad = 96.0;  // ~1.5 luma units/pixel
-      if (inter && sad_inter < kSkipSad) {
+      // Mode decision by SAD against each predictor. On keyframes the mode
+      // is forced intra, so neither SAD is needed at all; otherwise the
+      // inter SAD exits early once it exceeds the (complete) intra SAD —
+      // SADs are monotone in pixels covered, so a partial sum past the
+      // intra SAD already decides the comparison and no quantity derived
+      // from the exact inter total is ever used on that path.
+      bool inter = false;
+      bool skip = false;
+      if (!keyframe) {
+        std::int32_t sad_intra = 0;
+        for (int y = 0; y < kBlock; ++y) {
+          const std::uint8_t* frow = fblock + static_cast<std::size_t>(y) * stride;
+          for (int x = 0; x < kBlock; ++x) {
+            sad_intra += std::abs(static_cast<int>(frow[x]) - 128);
+          }
+        }
+        std::int32_t sad_inter = 0;
+        for (int y = 0; y < kBlock && sad_inter <= sad_intra; ++y) {
+          const std::uint8_t* frow = fblock + static_cast<std::size_t>(y) * stride;
+          const std::uint8_t* rrow = rblock + static_cast<std::size_t>(y) * stride;
+          for (int x = 0; x < kBlock; ++x) {
+            sad_inter += std::abs(static_cast<int>(frow[x]) - static_cast<int>(rrow[x]));
+          }
+        }
+        inter = sad_inter <= sad_intra;
+        // SKIP decision before the transform: when the block barely differs
+        // from the reference, copy it (real codecs' SKIP mode). Without
+        // this, the encoder would spend bits forever chasing its own
+        // quantization noise on static content — and a "blank" screen would
+        // never go quiet on the wire, breaking the premise of the paper's
+        // lag measurement.
+        skip = inter && sad_inter < kSkipSad;
+      }
+      if (skip) {
         res.bits += 1;
         ++res.skip_blocks;
         if (out != nullptr) {
           out->modes[static_cast<std::size_t>(byi) * bx + bxi] = BlockMode::kInter;
         }
         if (recon != nullptr) {
+          std::uint8_t* dst = recon->data() + static_cast<std::size_t>(y0) * stride + x0;
           for (int y = 0; y < kBlock; ++y) {
-            for (int x = 0; x < kBlock; ++x) {
-              recon->set(x0 + x, y0 + y, recon_.at(x0 + x, y0 + y));
-            }
+            std::memcpy(dst + static_cast<std::size_t>(y) * stride,
+                        rblock + static_cast<std::size_t>(y) * stride, kBlock);
           }
         }
         continue;
       }
       for (int y = 0; y < kBlock; ++y) {
+        const std::uint8_t* frow = fblock + static_cast<std::size_t>(y) * stride;
+        const std::uint8_t* rrow = rblock + static_cast<std::size_t>(y) * stride;
         for (int x = 0; x < kBlock; ++x) {
-          pred[y * kBlock + x] = inter ? static_cast<double>(recon_.at(x0 + x, y0 + y)) : 128.0;
-          residual[y * kBlock + x] = pixels[y * kBlock + x] - pred[y * kBlock + x];
+          pred[y * kBlock + x] = inter ? static_cast<double>(rrow[x]) : 128.0;
+          residual[y * kBlock + x] = static_cast<double>(frow[x]) - pred[y * kBlock + x];
         }
       }
-      dct2d(residual, coeffs);
+      dct2d_8x8(residual.data(), coeffs.data());
       std::int64_t block_bits = 10;  // mode + qdelta + EOB overhead
       bool all_zero = true;
-      for (int v = 0; v < kBlock; ++v) {
-        for (int u = 0; u < kBlock; ++u) {
-          const double step = qstep * quant_weight(u, v);
-          const double c = coeffs[v * kBlock + u] / step;
-          const auto q = static_cast<std::int16_t>(std::clamp(
-              std::lround(c), static_cast<long>(INT16_MIN), static_cast<long>(INT16_MAX)));
-          block_bits += coeff_bits(q);
-          if (q != 0) all_zero = false;
-          deq[v * kBlock + u] = static_cast<double>(q) * step;
-          if (out != nullptr) {
-            out->coeffs[(static_cast<std::size_t>(byi) * bx + bxi) * kBlock * kBlock + v * kBlock + u] = q;
-          }
-        }
+      std::int16_t* out_coeffs =
+          out != nullptr
+              ? out->coeffs.data() + (static_cast<std::size_t>(byi) * bx + bxi) * kBlock * kBlock
+              : nullptr;
+      for (int i = 0; i < kBlock * kBlock; ++i) {
+        const double step = qstep * kQuant.weight[i];
+        const double c = coeffs[i] / step;
+        const auto q = static_cast<std::int16_t>(std::clamp(
+            std::lround(c), static_cast<long>(INT16_MIN), static_cast<long>(INT16_MAX)));
+        block_bits += kQuant.bits[q < 0 ? -static_cast<int>(q) : static_cast<int>(q)];
+        if (q != 0) all_zero = false;
+        deq[i] = static_cast<double>(q) * step;
+        if (out_coeffs != nullptr) out_coeffs[i] = q;
       }
       // Skip-block coding: an inter block with an all-zero residual costs a
       // fraction of a bit (run-length coded), like real codecs' SKIP mode —
@@ -178,7 +164,7 @@ VideoEncoder::EncodeResult VideoEncoder::encode_pass(const Frame& frame, bool ke
             inter ? BlockMode::kInter : BlockMode::kIntra;
       }
       if (recon != nullptr) {
-        idct2d(deq, rec);
+        idct2d_8x8(deq.data(), rec.data());
         for (int y = 0; y < kBlock; ++y) {
           for (int x = 0; x < kBlock; ++x) {
             const double v = pred[y * kBlock + x] + rec[y * kBlock + x];
@@ -189,6 +175,22 @@ VideoEncoder::EncodeResult VideoEncoder::encode_pass(const Frame& frame, bool ke
     }
   }
   return res;
+}
+
+std::shared_ptr<EncodedFrame> VideoEncoder::acquire_output_frame() {
+  // Recycle a pooled frame once its last external reference is gone: the
+  // coeffs/modes capacity survives, so the steady-state encode path makes
+  // zero heap allocations (tests/media/test_codec_hotpath.cpp). A frame the
+  // caller still holds is never touched — a fresh one is allocated instead —
+  // so recycling cannot change any encoded bit.
+  for (auto& slot : frame_pool_) {
+    if (slot == nullptr) {
+      slot = std::make_shared<EncodedFrame>();
+      return slot;
+    }
+    if (slot.use_count() == 1) return slot;
+  }
+  return std::make_shared<EncodedFrame>();
 }
 
 std::shared_ptr<EncodedFrame> VideoEncoder::encode(const Frame& frame) {
@@ -210,19 +212,21 @@ std::shared_ptr<EncodedFrame> VideoEncoder::encode(const Frame& frame) {
     q = std::clamp(qstep_ * std::pow(ratio, 0.8), cfg_.min_qstep, cfg_.max_qstep);
   }
 
-  auto out = std::make_shared<EncodedFrame>();
+  auto out = acquire_output_frame();
   out->width = width_;
   out->height = height_;
   out->keyframe = keyframe;
   out->qstep = q;
   out->sequence = next_seq_++;
-  Frame recon{width_, height_};
-  const EncodeResult real = encode_pass(frame, keyframe, q, out.get(), &recon);
+  const EncodeResult real = encode_pass(frame, keyframe, q, out.get(), &recon_scratch_);
   out->bytes = std::max<std::int64_t>(div_round_up(real.bits, 8), 64);
   out->wire_bytes = out->bytes;
   out->skip_blocks = real.skip_blocks;
   out->total_blocks = real.total_blocks;
-  recon_ = std::move(recon);
+  // encode_pass wrote every pixel of the scratch frame; swap it in as the
+  // new closed-loop reference (the old reference becomes next call's
+  // scratch) — no per-frame Frame allocation.
+  std::swap(recon_, recon_scratch_);
 
   // Buffer feedback nudges the starting quantizer of the next frame.
   buffer_bits_ += static_cast<double>(real.bits) - per_frame_budget;
@@ -233,7 +237,7 @@ std::shared_ptr<EncodedFrame> VideoEncoder::encode(const Frame& frame) {
 }
 
 VideoDecoder::VideoDecoder(int width, int height)
-    : width_(width), height_(height), current_(width, height, 0) {
+    : width_(width), height_(height), current_(width, height, 0), scratch_(width, height, 0) {
   if (width % kBlock != 0 || height % kBlock != 0) {
     throw std::invalid_argument{"frame dimensions must be multiples of 8"};
   }
@@ -245,34 +249,31 @@ const Frame& VideoDecoder::decode(const EncodedFrame& frame) {
   }
   const int bx = width_ / kBlock;
   const int by = height_ / kBlock;
-  Frame next{width_, height_};
-  Block deq, rec;
+  alignas(32) Block deq, rec;
   for (int byi = 0; byi < by; ++byi) {
     for (int bxi = 0; bxi < bx; ++bxi) {
       const int x0 = bxi * kBlock;
       const int y0 = byi * kBlock;
       const bool inter = frame.modes[static_cast<std::size_t>(byi) * bx + bxi] == BlockMode::kInter;
-      for (int v = 0; v < kBlock; ++v) {
-        for (int u = 0; u < kBlock; ++u) {
-          const double step = frame.qstep * quant_weight(u, v);
-          deq[v * kBlock + u] =
-              static_cast<double>(
-                  frame.coeffs[(static_cast<std::size_t>(byi) * bx + bxi) * kBlock * kBlock +
-                               v * kBlock + u]) *
-              step;
-        }
+      const std::int16_t* cblock =
+          frame.coeffs.data() + (static_cast<std::size_t>(byi) * bx + bxi) * kBlock * kBlock;
+      for (int i = 0; i < kBlock * kBlock; ++i) {
+        const double step = frame.qstep * kQuant.weight[i];
+        deq[i] = static_cast<double>(cblock[i]) * step;
       }
-      idct2d(deq, rec);
+      idct2d_8x8(deq.data(), rec.data());
       for (int y = 0; y < kBlock; ++y) {
         for (int x = 0; x < kBlock; ++x) {
           const double pred = inter ? static_cast<double>(current_.at(x0 + x, y0 + y)) : 128.0;
-          next.set(x0 + x, y0 + y,
-                   static_cast<std::uint8_t>(std::clamp(pred + rec[y * kBlock + x] + 0.5, 0.0, 255.0)));
+          scratch_.set(x0 + x, y0 + y,
+                       static_cast<std::uint8_t>(std::clamp(pred + rec[y * kBlock + x] + 0.5, 0.0, 255.0)));
         }
       }
     }
   }
-  current_ = std::move(next);
+  // Every pixel of scratch_ was just written; swap it in (the previous
+  // frame becomes the next call's scratch) — no per-frame allocation.
+  std::swap(current_, scratch_);
   ++frames_decoded_;
   return current_;
 }

@@ -14,6 +14,7 @@
 // on the wire, while decoding uses the coefficients carried alongside.
 #pragma once
 
+#include <array>
 #include <cstdint>
 #include <memory>
 #include <vector>
@@ -87,11 +88,18 @@ class VideoEncoder {
   };
   EncodeResult encode_pass(const Frame& frame, bool keyframe, double qstep, EncodedFrame* out,
                            Frame* recon) const;
+  /// Pooled EncodedFrame: recycles a previously returned frame once the
+  /// caller has dropped it (use_count()==1), else allocates. Keeps the
+  /// steady-state encode path allocation-free without ever mutating a frame
+  /// a consumer still holds.
+  std::shared_ptr<EncodedFrame> acquire_output_frame();
 
   int width_;
   int height_;
   Config cfg_;
   Frame recon_;           // closed-loop reference
+  Frame recon_scratch_;   // encode_pass target, swapped into recon_ per frame
+  std::array<std::shared_ptr<EncodedFrame>, 4> frame_pool_;
   double qstep_ = 10.0;
   std::int64_t next_seq_ = 0;
   double buffer_bits_ = 0.0;  // virtual buffer fullness for rate control
@@ -113,6 +121,7 @@ class VideoDecoder {
   int width_;
   int height_;
   Frame current_;
+  Frame scratch_;  // decode target, swapped into current_ per frame
   std::int64_t frames_decoded_ = 0;
 };
 

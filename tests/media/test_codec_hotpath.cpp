@@ -1,0 +1,144 @@
+// Regression tests for the allocation-free codec hot path: after warm-up,
+// steady-state encode and decode must perform ZERO heap allocations (the
+// EncodedFrame pool + persistent scratch frames + capacity-retaining
+// assign() make every per-frame buffer reusable).
+//
+// This file lives in its own test binary (tests_codec_hotpath) because it
+// replaces global operator new/delete with counting versions — that is
+// process-wide and must not leak into unrelated suites.
+#include <gtest/gtest.h>
+
+#include <atomic>
+#include <cstdlib>
+#include <new>
+#include <vector>
+
+#include "media/feeds.h"
+#include "media/video_codec.h"
+
+namespace {
+
+std::atomic<std::uint64_t> g_allocs{0};
+std::atomic<std::uint64_t> g_frees{0};
+
+}  // namespace
+
+void* operator new(std::size_t size) {
+  g_allocs.fetch_add(1, std::memory_order_relaxed);
+  if (void* p = std::malloc(size)) return p;
+  throw std::bad_alloc{};
+}
+
+void* operator new(std::size_t size, const std::nothrow_t&) noexcept {
+  g_allocs.fetch_add(1, std::memory_order_relaxed);
+  return std::malloc(size);
+}
+
+void operator delete(void* p) noexcept {
+  if (p != nullptr) g_frees.fetch_add(1, std::memory_order_relaxed);
+  std::free(p);
+}
+
+void operator delete(void* p, std::size_t) noexcept { operator delete(p); }
+void operator delete(void* p, const std::nothrow_t&) noexcept { operator delete(p); }
+
+namespace vc::media {
+namespace {
+
+constexpr int kW = 128;
+constexpr int kH = 96;
+
+VideoEncoder::Config cfg() {
+  VideoEncoder::Config c;
+  c.target_bitrate = DataRate::kbps(800);
+  c.fps = 10.0;
+  return c;
+}
+
+// Pre-rendered frames: feed rendering allocates by design (returns Frame by
+// value); the contract under test is the codec, so frames are produced
+// outside the measured window.
+std::vector<Frame> render_frames(int count) {
+  TourGuideFeed feed{{kW, kH, 10.0, 3}};
+  std::vector<Frame> frames;
+  frames.reserve(static_cast<std::size_t>(count));
+  for (int i = 0; i < count; ++i) frames.push_back(feed.frame_at(i));
+  return frames;
+}
+
+TEST(CodecHotPath, EncodeIsAllocationFreeAfterWarmup) {
+  const auto frames = render_frames(24);
+  VideoEncoder enc{kW, kH, cfg()};
+  // Warm-up: first frames populate the pool, the scratch frames, and the
+  // coeffs/modes capacity (keyframe at 0 is the largest output).
+  for (int i = 0; i < 8; ++i) enc.encode(frames[static_cast<std::size_t>(i)]);
+
+  const std::uint64_t before = g_allocs.load(std::memory_order_relaxed);
+  for (int i = 8; i < 24; ++i) {
+    auto f = enc.encode(frames[static_cast<std::size_t>(i)]);
+    ASSERT_NE(f, nullptr);
+    // f is dropped at scope end → the pool slot is free again next frame.
+  }
+  const std::uint64_t after = g_allocs.load(std::memory_order_relaxed);
+  EXPECT_EQ(after - before, 0u) << "encode hot path allocated " << (after - before) << " times";
+}
+
+TEST(CodecHotPath, DecodeIsAllocationFreeAfterWarmup) {
+  const auto frames = render_frames(24);
+  VideoEncoder enc{kW, kH, cfg()};
+  std::vector<std::shared_ptr<EncodedFrame>> encoded;
+  encoded.reserve(frames.size());
+  // Retaining every frame forces the encoder to allocate fresh ones — the
+  // pool must never recycle a frame the caller still holds.
+  for (const auto& f : frames) encoded.push_back(enc.encode(f));
+
+  VideoDecoder dec{kW, kH};
+  for (int i = 0; i < 8; ++i) dec.decode(*encoded[static_cast<std::size_t>(i)]);
+
+  const std::uint64_t before = g_allocs.load(std::memory_order_relaxed);
+  for (int i = 8; i < 24; ++i) dec.decode(*encoded[static_cast<std::size_t>(i)]);
+  const std::uint64_t after = g_allocs.load(std::memory_order_relaxed);
+  EXPECT_EQ(after - before, 0u) << "decode hot path allocated " << (after - before) << " times";
+}
+
+// The pool is an optimization, never a semantic: an encoder whose caller
+// retains every output (pool always exhausted → fresh allocations) must
+// produce the exact same stream as one whose caller drops frames
+// immediately (pool recycles every time).
+TEST(CodecHotPath, PoolRecyclingDoesNotChangeTheStream) {
+  const auto frames = render_frames(20);
+  VideoEncoder retain_enc{kW, kH, cfg()};
+  VideoEncoder drop_enc{kW, kH, cfg()};
+  std::vector<std::shared_ptr<EncodedFrame>> retained;
+  for (const auto& f : frames) {
+    retained.push_back(retain_enc.encode(f));
+    const auto dropped = drop_enc.encode(f);
+    const auto& kept = *retained.back();
+    EXPECT_EQ(dropped->bytes, kept.bytes);
+    EXPECT_EQ(dropped->qstep, kept.qstep);
+    EXPECT_EQ(dropped->sequence, kept.sequence);
+    EXPECT_EQ(dropped->keyframe, kept.keyframe);
+    EXPECT_EQ(dropped->coeffs, kept.coeffs);
+    EXPECT_EQ(dropped->modes, kept.modes);
+  }
+  // Sanity: the retained frames really are all distinct objects.
+  for (std::size_t i = 0; i < retained.size(); ++i) {
+    for (std::size_t j = i + 1; j < retained.size(); ++j) {
+      EXPECT_NE(retained[i].get(), retained[j].get());
+    }
+  }
+  EXPECT_EQ(retain_enc.last_reconstructed(), drop_enc.last_reconstructed());
+}
+
+// The counting operators themselves must be active, or the zero-allocation
+// expectations above would pass vacuously.
+TEST(CodecHotPath, CountingAllocatorIsLive) {
+  const std::uint64_t before = g_allocs.load(std::memory_order_relaxed);
+  auto* v = new std::vector<int>(1024, 7);
+  delete v;
+  EXPECT_GT(g_allocs.load(std::memory_order_relaxed), before);
+  EXPECT_GT(g_frees.load(std::memory_order_relaxed), 0u);
+}
+
+}  // namespace
+}  // namespace vc::media
