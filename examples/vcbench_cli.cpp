@@ -6,6 +6,7 @@
 //   vcbench_cli bwcap  --platform webex --cap-kbps 500 [--csv out.csv]
 //   vcbench_cli mobile --platform zoom --scenario LM-View
 //   vcbench_cli dump   --trace file.vctr [--max 50]
+//   vcbench_cli infer  --trace file.vctr [--platform zoom] [--json]
 //   vcbench_cli report run.json [--filter SUBSTR] [--cdf BASE]
 //   vcbench_cli trace  0.trace.json [--filter SUBSTR]
 #include <algorithm>
@@ -162,6 +163,55 @@ int run_mobile(const std::map<std::string, std::string>& flags) {
               r.s10.download_kbps.mean());
   std::printf("  J3:  CPU median %.0f%%, download %.0f Kbps, battery %.1f %%/h\n",
               r.j3.cpu.median, r.j3.download_kbps.mean(), r.j3.battery_pct_per_hour.mean());
+  return 0;
+}
+
+// Header-free QoE inference over a saved capture: the estimator sees only
+// record timestamps/lengths. `--platform` maps per-window bitrates onto that
+// platform's tier ladder; the layering boundary stays intact because the
+// ladder is resolved HERE and handed to the capture layer as plain numbers.
+int run_infer(const std::map<std::string, std::string>& flags) {
+  const std::string path = flag_str(flags, "trace", "");
+  if (path.empty()) {
+    std::fprintf(stderr, "infer requires --trace <file.vctr>\n");
+    return 2;
+  }
+  const capture::Trace trace = capture::read_trace_file(path);
+  capture::QoeInferConfig cfg;
+  const int freeze_ms = flag_int(flags, "freeze-ms", 0);
+  if (freeze_ms > 0) cfg.freeze_threshold = millis(freeze_ms);
+  const int window_ms = flag_int(flags, "window-ms", 0);
+  if (window_ms > 0) cfg.window = millis(window_ms);
+  const int min_payload = flag_int(flags, "min-payload", 0);
+  if (min_payload > 0) cfg.min_video_payload = min_payload;
+  if (flags.contains("platform")) {
+    for (const abr::Tier& tier : platform::tier_ladder(parse_platform(flags)).tiers) {
+      cfg.tier_rates_bps.push_back(tier.rate.bits_per_second());
+    }
+  }
+  const capture::QoeInferencer inferencer{trace, cfg};
+  const capture::QoeInferReport report = inferencer.analyze();
+  if (flags.contains("json")) {
+    std::printf("%s", report.to_json().c_str());
+    return 0;
+  }
+  std::printf("%s: %zu records, %lld video packets in %zu inferred frames\n", path.c_str(),
+              trace.records.size(), static_cast<long long>(report.video_packets),
+              report.frames.size());
+  std::printf("overall: %.2f fps, %.0f Kbps video, median inter-frame %.1f ms, %zu freeze(s)\n",
+              report.overall_fps, report.mean_video_kbps, report.median_interframe_ms,
+              report.freezes.size());
+  TextTable table{{"window start (ms)", "fps", "kbps", "tier"}};
+  for (const auto& w : report.windows) {
+    table.add_row({TextTable::num(w.start.millis(), 0), TextTable::num(w.fps, 1),
+                   TextTable::num(w.video_kbps, 0),
+                   w.tier >= 0 ? std::to_string(w.tier) : "-"});
+  }
+  std::printf("%s", table.render().c_str());
+  for (const auto& f : report.freezes) {
+    std::printf("freeze: %.0f ms -> %.0f ms (%.1f s)\n", f.start.millis(), f.end.millis(),
+                f.duration().seconds());
+  }
   return 0;
 }
 
@@ -419,12 +469,14 @@ int run_trace_summary(const std::string& path, const std::map<std::string, std::
 
 void usage() {
   std::fprintf(stderr,
-               "usage: vcbench_cli <lag|qoe|bwcap|mobile|dump|report|trace> [flags]\n"
+               "usage: vcbench_cli <lag|qoe|bwcap|mobile|dump|infer|report|trace> [flags]\n"
                "  lag    --host SITE [--sessions N] [--duration S] [--paid] [--csv FILE]\n"
                "  qoe    --receivers N --motion low|high [--sessions N] [--csv FILE]\n"
                "  bwcap  --cap-kbps K [--sessions N]\n"
                "  mobile --scenario LM|HM|LM-View|LM-Video-View|LM-Off\n"
                "  dump   --trace FILE [--max N]\n"
+               "  infer  --trace FILE.vctr [--platform P] [--freeze-ms N] [--window-ms N]\n"
+               "         [--min-payload B] [--json]   header-free QoE estimate from a capture\n"
                "  report RUN.json [--filter SUBSTR] [--cdf BASE] [--list]\n"
                "         render run-report tables/CDFs; --list enumerates metric keys\n"
                "  trace  FILE.trace.json [--filter SUBSTR]         per-span duration summaries\n");
@@ -458,6 +510,7 @@ int main(int argc, char** argv) {
     if (command == "bwcap") return run_bwcap(flags);
     if (command == "mobile") return run_mobile(flags);
     if (command == "dump") return run_dump(flags);
+    if (command == "infer") return run_infer(flags);
   } catch (const std::exception& e) {
     std::fprintf(stderr, "vcbench_cli %s: %s\n", command.c_str(), e.what());
     return 2;

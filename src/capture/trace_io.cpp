@@ -1,5 +1,6 @@
 #include "capture/trace_io.h"
 
+#include <algorithm>
 #include <cstdint>
 #include <fstream>
 #include <istream>
@@ -61,12 +62,25 @@ Trace read_trace(std::istream& in) {
   t.host_ip = net::IpAddr{get<std::uint32_t>(in)};
   t.clock_offset = SimDuration{get<std::int64_t>(in)};
   const auto count = get<std::uint64_t>(in);
-  t.records.reserve(count);
+  // `count` is attacker-controlled (a corrupt header can claim 2^63 records):
+  // never pre-size from it directly, or a 42-byte file could demand exabytes
+  // up front. Reserve a bounded hint and let push_back grow past it — a lying
+  // count then fails with "truncated trace stream" on the first missing
+  // record instead of an allocation failure.
+  constexpr std::uint64_t kReserveCap = 1 << 20;
+  t.records.reserve(static_cast<std::size_t>(std::min(count, kReserveCap)));
   for (std::uint64_t i = 0; i < count; ++i) {
     CaptureRecord r;
+    // Timestamps are stored as-is: records may legitimately be out of order
+    // (multi-tap merges, clock steps), and analyzers tolerate that — so the
+    // reader does not enforce monotonicity.
     r.timestamp = SimTime{get<std::int64_t>(in)};
-    r.dir = static_cast<net::Direction>(get<std::uint8_t>(in));
-    r.protocol = static_cast<net::Protocol>(get<std::uint8_t>(in));
+    const auto dir = get<std::uint8_t>(in);
+    if (dir > 1) throw std::runtime_error{"invalid direction byte"};
+    r.dir = static_cast<net::Direction>(dir);
+    const auto proto = get<std::uint8_t>(in);
+    if (proto > 1) throw std::runtime_error{"invalid protocol byte"};
+    r.protocol = static_cast<net::Protocol>(proto);
     r.src.ip = net::IpAddr{get<std::uint32_t>(in)};
     r.src.port = get<std::uint16_t>(in);
     r.dst.ip = net::IpAddr{get<std::uint32_t>(in)};

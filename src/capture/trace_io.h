@@ -21,7 +21,12 @@
 namespace vc::capture {
 
 void write_trace(std::ostream& out, const Trace& trace);
-/// Throws std::runtime_error on malformed input.
+/// Throws std::runtime_error on malformed input: truncation anywhere, bad
+/// magic or version, an implausible name length, or invalid direction /
+/// protocol bytes. A lying record_count cannot force a huge up-front
+/// allocation (the reserve hint is capped); it fails as truncation instead.
+/// Out-of-order record timestamps are tolerated by design — multi-tap merges
+/// and clock steps produce them, and analyzers handle them.
 Trace read_trace(std::istream& in);
 
 void write_trace_file(const std::string& path, const Trace& trace);

@@ -168,6 +168,10 @@ void VcaClient::update_video_target() {
     }
   }
   if (encoder_) encoder_->set_target_bitrate(video_target_ * config_.content_rate_fraction);
+  if (on_target_change_ && video_target_ != notified_target_) {
+    notified_target_ = video_target_;
+    on_target_change_(host_.network().now(), video_target_);
+  }
 }
 
 void VcaClient::video_tick() {

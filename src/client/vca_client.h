@@ -145,6 +145,15 @@ class VcaClient {
   /// (client::ClientController) hooks this to start its backoff loop.
   void set_on_connection_lost(std::function<void()> cb) { on_connection_lost_ = std::move(cb); }
 
+  /// Fires whenever the applied video encode target changes (policy push,
+  /// congestion adaptation, ABR override). This is ground-truth-side
+  /// instrumentation: bench_qoe_inference records the true bitrate timeline
+  /// through it to score the header-free estimate — the estimator itself
+  /// never sees it. Unset (the default) costs one branch per encode tick.
+  void set_on_target_change(std::function<void(SimTime, DataRate)> cb) {
+    on_target_change_ = std::move(cb);
+  }
+
   /// One reconnection attempt: asks the platform to re-attach this member
   /// (re-register with the relay, re-push route and subscriptions). Returns
   /// true once routed again; false while the infrastructure is still down.
@@ -235,6 +244,8 @@ class VcaClient {
   bool has_route_ = false;
   platform::RouteInfo route_;
   std::function<void()> on_connection_lost_;
+  std::function<void(SimTime, DataRate)> on_target_change_;
+  DataRate notified_target_ = DataRate::zero();
 
   // --- sending ---
   std::unique_ptr<media::VideoEncoder> encoder_;

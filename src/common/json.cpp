@@ -1,7 +1,9 @@
 #include "common/json.h"
 
 #include <charconv>
+#include <limits>
 #include <stdexcept>
+#include <string_view>
 #include <system_error>
 
 namespace vc::json {
@@ -19,9 +21,22 @@ class Parser {
   }
 
  private:
+  // Containers recurse one C++ stack frame per nesting level, so depth must
+  // be bounded or "[[[[..." overflows the stack instead of throwing. 256 is
+  // far beyond any report this repo emits and far below any stack limit.
+  static constexpr int kMaxDepth = 256;
+
   [[noreturn]] void fail(const char* what) const {
     throw std::runtime_error("json parse error at byte " + std::to_string(pos_) + ": " + what);
   }
+
+  struct DepthGuard {
+    explicit DepthGuard(Parser& p) : parser(p) {
+      if (++parser.depth_ > kMaxDepth) parser.fail("nesting too deep");
+    }
+    ~DepthGuard() { --parser.depth_; }
+    Parser& parser;
+  };
 
   char peek() {
     skip_ws();
@@ -83,6 +98,7 @@ class Parser {
   }
 
   Value parse_object() {
+    const DepthGuard guard{*this};
     expect('{');
     Value v;
     v.type = Value::Type::kObject;
@@ -103,6 +119,7 @@ class Parser {
   }
 
   Value parse_array() {
+    const DepthGuard guard{*this};
     expect('[');
     Value v;
     v.type = Value::Type::kArray;
@@ -212,6 +229,18 @@ class Parser {
     double d = 0.0;
     const auto [ptr, ec] = std::from_chars(start, end, d);
     if (ptr == start || ec == std::errc::invalid_argument) fail("expected a value");
+    if (ec == std::errc::result_out_of_range) {
+      // from_chars leaves `d` untouched here, which would silently read
+      // "1e400" as 0. Match strtod semantics instead: overflow saturates to
+      // ±infinity, underflow flushes to zero — told apart by the exponent's
+      // sign (out-of-range decimal literals always carry an exponent).
+      const std::string_view token{start, static_cast<std::size_t>(ptr - start)};
+      const std::size_t e = token.find_first_of("eE");
+      const bool underflow = e != std::string_view::npos && e + 1 < token.size() &&
+                             token[e + 1] == '-';
+      d = underflow ? 0.0 : std::numeric_limits<double>::infinity();
+      if (token.front() == '-') d = -d;
+    }
     pos_ += static_cast<std::size_t>(ptr - start);
     Value v;
     v.type = Value::Type::kNumber;
@@ -221,6 +250,7 @@ class Parser {
 
   const std::string& text_;
   std::size_t pos_ = 0;
+  int depth_ = 0;
 };
 
 }  // namespace

@@ -43,7 +43,10 @@ class Value {
 };
 
 /// Parses a complete JSON document; throws std::runtime_error with a byte
-/// offset on malformed input or trailing garbage.
+/// offset on malformed input, trailing garbage, or container nesting deeper
+/// than 256 levels (the parser recurses, so depth is bounded to keep "[[[["
+/// bombs from overflowing the stack). Duplicate object keys are preserved in
+/// insertion order; find()/at() return the first occurrence.
 Value parse(const std::string& text);
 
 /// Renders `v` exactly as printf("%.{precision}g") would in the C locale,

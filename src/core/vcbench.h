@@ -23,3 +23,4 @@
 #include "core/lag_benchmark.h"     // Figs 2, 4–11: streaming lag and RTTs
 #include "core/mobile_benchmark.h"  // Fig 19, Table 4: mobile resources
 #include "core/qoe_benchmark.h"     // Figs 12, 14–16: video QoE and rates
+#include "core/qoe_infer_benchmark.h"  // header-free QoE inference vs truth

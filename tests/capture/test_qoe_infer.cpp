@@ -1,0 +1,244 @@
+// Unit and property tests for the header-free QoE estimator, on synthetic
+// traces with known structure. The end-to-end accuracy (against a live
+// session's codec-side truth) lives in tests/core/test_qoe_infer_benchmark.cpp;
+// here every packet is hand-placed so each heuristic can be pinned exactly.
+#include <gtest/gtest.h>
+
+#include <string>
+#include <vector>
+
+#include "capture/qoe_infer.h"
+
+namespace vc::capture {
+namespace {
+
+constexpr std::int64_t kMtu = 1150;
+
+Trace make_trace() {
+  Trace t;
+  t.host_name = "rx";
+  t.host_ip = net::IpAddr{0x0A000001};
+  return t;
+}
+
+void add_packet(Trace& t, SimTime at, std::int64_t l7, net::Direction dir = net::Direction::kIncoming) {
+  CaptureRecord r;
+  r.timestamp = at;
+  r.dir = dir;
+  r.protocol = net::Protocol::kUdp;
+  r.l7_len = l7;
+  r.wire_len = l7 + 28;
+  t.records.push_back(r);
+}
+
+/// One video frame as the wire sees it: `full` MTU-sized fragments spaced
+/// 0.5 ms apart plus a sub-MTU tail.
+void add_frame(Trace& t, SimTime at, int full = 3, std::int64_t tail = 700) {
+  for (int i = 0; i < full; ++i) add_packet(t, at + micros(500 * i), kMtu);
+  if (tail > 0) add_packet(t, at + micros(500 * full), tail);
+}
+
+/// A steady cadence of `n` frames starting at `start`, `interval` apart.
+void add_cadence(Trace& t, SimTime start, int n, SimDuration interval = millis(100)) {
+  for (int i = 0; i < n; ++i) add_frame(t, start + interval * i);
+}
+
+TEST(QoeInfer, EmptyTraceYieldsEmptyReport) {
+  const Trace t = make_trace();
+  const QoeInferReport r = QoeInferencer{t}.analyze();
+  EXPECT_TRUE(r.frames.empty());
+  EXPECT_TRUE(r.windows.empty());
+  EXPECT_TRUE(r.freezes.empty());
+  EXPECT_DOUBLE_EQ(r.overall_fps, 0.0);
+  EXPECT_EQ(r.video_packets, 0);
+}
+
+TEST(QoeInfer, EmptyTraceWithPinnedSpanIsOneLongFreeze) {
+  const Trace t = make_trace();
+  QoeInferConfig cfg;
+  cfg.analysis_start = SimTime{} + seconds(1);
+  cfg.analysis_end = SimTime{} + seconds(5);
+  const QoeInferReport r = QoeInferencer{t, cfg}.analyze();
+  ASSERT_EQ(r.freezes.size(), 1u);
+  EXPECT_EQ(r.freezes[0].start, *cfg.analysis_start);
+  EXPECT_EQ(r.freezes[0].end, *cfg.analysis_end);
+  EXPECT_DOUBLE_EQ(r.overall_fps, 0.0);
+}
+
+TEST(QoeInfer, RecoversScriptedCadence) {
+  Trace t = make_trace();
+  add_cadence(t, SimTime{} + seconds(1), 100);  // 10 s at 10 fps
+  const QoeInferReport r = QoeInferencer{t}.analyze();
+  EXPECT_EQ(r.frames.size(), 100u);
+  EXPECT_NEAR(r.overall_fps, 10.0, 0.2);
+  EXPECT_NEAR(r.median_interframe_ms, 100.0, 0.01);
+  EXPECT_TRUE(r.freezes.empty());
+  for (const InferredFrame& f : r.frames) {
+    EXPECT_EQ(f.fragments, 4);
+    EXPECT_EQ(f.bytes, 3 * kMtu + 700);
+  }
+}
+
+TEST(QoeInfer, SmallPacketsAreNotVideo) {
+  Trace t = make_trace();
+  add_cadence(t, SimTime{} + seconds(1), 20);
+  const std::int64_t video_bytes = QoeInferencer{t}.analyze().video_bytes;
+  // Interleave the audio (20 ms, ~225 B) and control (500 ms, 48 B) cadences.
+  for (int i = 0; i < 100; ++i) add_packet(t, SimTime{} + seconds(1) + millis(20 * i) + micros(137), 225);
+  for (int i = 0; i < 4; ++i) add_packet(t, SimTime{} + seconds(1) + millis(500 * i), 48);
+  const QoeInferReport r = QoeInferencer{t}.analyze();
+  EXPECT_EQ(r.frames.size(), 20u);
+  EXPECT_EQ(r.video_bytes, video_bytes);
+}
+
+TEST(QoeInfer, OutgoingPacketsAreIgnored) {
+  Trace t = make_trace();
+  add_cadence(t, SimTime{} + seconds(1), 10);
+  for (int i = 0; i < 50; ++i) {
+    add_packet(t, SimTime{} + seconds(1) + millis(17 * i), kMtu, net::Direction::kOutgoing);
+  }
+  EXPECT_EQ(QoeInferencer{t}.analyze().frames.size(), 10u);
+}
+
+TEST(QoeInfer, ReorderedTailStaysInItsFrame) {
+  // Jitter regularly delivers the sub-MTU tail mid-burst; splitting there
+  // would double-count frames (the calibration bug this suite pins).
+  Trace t = make_trace();
+  for (int i = 0; i < 10; ++i) {
+    const SimTime at = SimTime{} + seconds(1) + millis(100 * i);
+    add_packet(t, at, kMtu);
+    add_packet(t, at + micros(400), 700);  // tail arrives second of four
+    add_packet(t, at + micros(800), kMtu);
+    add_packet(t, at + micros(1200), kMtu);
+  }
+  const QoeInferReport r = QoeInferencer{t}.analyze();
+  EXPECT_EQ(r.frames.size(), 10u);
+  EXPECT_NEAR(r.median_interframe_ms, 100.0, 0.01);
+}
+
+TEST(QoeInfer, QuietGapSplitsFrames) {
+  Trace t = make_trace();
+  add_frame(t, SimTime{} + seconds(1));
+  add_frame(t, SimTime{} + seconds(1) + millis(40));  // > 30 ms default gap
+  const QoeInferReport r = QoeInferencer{t}.analyze();
+  EXPECT_EQ(r.frames.size(), 2u);
+}
+
+TEST(QoeInfer, FreezeRequiresThresholdGap) {
+  QoeInferConfig cfg;
+  cfg.freeze_threshold = millis(500);
+  {
+    Trace t = make_trace();
+    add_frame(t, SimTime{} + seconds(1));
+    add_frame(t, SimTime{} + seconds(1) + millis(499));
+    EXPECT_TRUE((QoeInferencer{t, cfg}.analyze().freezes.empty()));
+  }
+  {
+    Trace t = make_trace();
+    add_frame(t, SimTime{} + seconds(1));
+    add_frame(t, SimTime{} + seconds(1) + millis(500));
+    const QoeInferReport r = QoeInferencer{t, cfg}.analyze();
+    ASSERT_EQ(r.freezes.size(), 1u);
+    EXPECT_EQ(r.freezes[0].duration(), millis(500));
+  }
+}
+
+TEST(QoeInfer, LeadingAndTrailingGapsFreezeOnlyWhenSpanPinned) {
+  Trace t = make_trace();
+  add_cadence(t, SimTime{} + seconds(3), 10);
+  EXPECT_TRUE(QoeInferencer{t}.analyze().freezes.empty());
+  QoeInferConfig cfg;
+  cfg.analysis_start = SimTime{} + seconds(1);   // 2 s of nothing first
+  cfg.analysis_end = SimTime{} + seconds(6);     // ~2.1 s of nothing after
+  const QoeInferReport r = QoeInferencer{t, cfg}.analyze();
+  EXPECT_EQ(r.freezes.size(), 2u);
+}
+
+TEST(QoeInfer, MoreLossNeverMeansFewerFreezes) {
+  // Property: with a fixed threshold, growing a single outage hole in an
+  // otherwise steady cadence can never reduce the number of freezes (or
+  // shrink the total frozen time).
+  int prev_freezes = -1;
+  double prev_frozen_s = -1.0;
+  for (int outage_frames = 0; outage_frames <= 60; outage_frames += 6) {
+    Trace t = make_trace();
+    for (int i = 0; i < 200; ++i) {
+      if (i >= 80 && i < 80 + outage_frames) continue;  // the hole
+      add_frame(t, SimTime{} + seconds(1) + millis(100 * i));
+    }
+    const QoeInferReport r = QoeInferencer{t}.analyze();
+    double frozen_s = 0.0;
+    for (const InferredFreeze& f : r.freezes) frozen_s += f.duration().seconds();
+    EXPECT_GE(static_cast<int>(r.freezes.size()), prev_freezes)
+        << "outage_frames=" << outage_frames;
+    EXPECT_GE(frozen_s, prev_frozen_s) << "outage_frames=" << outage_frames;
+    prev_freezes = static_cast<int>(r.freezes.size());
+    prev_frozen_s = frozen_s;
+  }
+  EXPECT_EQ(prev_freezes, 1);  // the biggest hole is one long freeze
+}
+
+TEST(QoeInfer, WindowsSnapToNearestRungTiesDown) {
+  Trace t = make_trace();
+  // 10 frames/s × 5000 B = 400 Kbps — exactly between the 300k and 500k
+  // rungs; ties must resolve to the lower rung (like abr::TierLadder).
+  for (int i = 0; i < 20; ++i) {
+    const SimTime at = SimTime{} + seconds(1) + millis(100 * i);
+    add_packet(t, at, kMtu);
+    add_packet(t, at + micros(500), kMtu);
+    add_packet(t, at + micros(1000), kMtu);
+    add_packet(t, at + micros(1500), kMtu);
+    add_packet(t, at + micros(2000), 5000 - 4 * kMtu);
+  }
+  QoeInferConfig cfg;
+  cfg.tier_rates_bps = {300'000, 500'000, 900'000};
+  cfg.analysis_start = SimTime{} + seconds(1);
+  cfg.analysis_end = SimTime{} + seconds(3);
+  const QoeInferReport r = QoeInferencer{t, cfg}.analyze();
+  ASSERT_EQ(r.windows.size(), 2u);
+  for (const QoeInferWindow& w : r.windows) {
+    EXPECT_NEAR(w.video_kbps, 400.0, 0.5);
+    EXPECT_EQ(w.tier, 0) << "ties must resolve downward";
+  }
+}
+
+TEST(QoeInfer, EmptyWindowCarriesNoTier) {
+  Trace t = make_trace();
+  add_cadence(t, SimTime{} + seconds(1), 10);
+  QoeInferConfig cfg;
+  cfg.tier_rates_bps = {300'000};
+  cfg.analysis_start = SimTime{} + seconds(1);
+  cfg.analysis_end = SimTime{} + seconds(4);  // frames end at ~2 s
+  const QoeInferReport r = QoeInferencer{t, cfg}.analyze();
+  ASSERT_EQ(r.windows.size(), 3u);
+  EXPECT_EQ(r.windows[0].tier, 0);
+  EXPECT_EQ(r.windows[2].tier, -1);
+  EXPECT_DOUBLE_EQ(r.windows[2].fps, 0.0);
+}
+
+TEST(QoeInfer, AnalysisIsPureAndByteIdentical) {
+  Trace t = make_trace();
+  add_cadence(t, SimTime{} + seconds(1), 50);
+  add_packet(t, SimTime{} + seconds(2), 225);
+  QoeInferConfig cfg;
+  cfg.tier_rates_bps = {300'000, 900'000};
+  const QoeInferencer a{t, cfg};
+  const QoeInferencer b{t, cfg};  // replica instance over the same trace
+  const std::string first = a.analyze().to_json();
+  EXPECT_EQ(first, a.analyze().to_json());  // analyze() is const and pure
+  EXPECT_EQ(first, b.analyze().to_json());
+  EXPECT_FALSE(first.empty());
+}
+
+TEST(QoeInfer, RejectsNonPositiveConfig) {
+  const Trace t = make_trace();
+  QoeInferConfig cfg;
+  cfg.window = SimDuration::zero();
+  EXPECT_THROW((QoeInferencer{t, cfg}), std::invalid_argument);
+  cfg = {};
+  cfg.freeze_threshold = SimDuration::zero();
+  EXPECT_THROW((QoeInferencer{t, cfg}), std::invalid_argument);
+}
+
+}  // namespace
+}  // namespace vc::capture

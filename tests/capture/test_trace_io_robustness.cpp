@@ -1,0 +1,135 @@
+// Adversarial inputs for the .vctr reader: whatever bytes arrive, read_trace
+// must either return a valid Trace or throw std::runtime_error — never crash,
+// never allocate unboundedly. These run under ASan/UBSan in CI, so a stray
+// read or overflow fails loudly. The happy path lives in test_trace_io.cpp.
+#include <gtest/gtest.h>
+
+#include <cstring>
+#include <sstream>
+#include <string>
+
+#include "capture/trace_io.h"
+
+namespace vc::capture {
+namespace {
+
+Trace sample_trace(int records = 3) {
+  Trace t;
+  t.host_name = "robust-host";
+  t.host_ip = net::IpAddr{0x0A000002};
+  t.clock_offset = millis(1);
+  for (int i = 0; i < records; ++i) {
+    CaptureRecord r;
+    r.timestamp = SimTime{} + millis(10 * i);
+    r.dir = i % 2 == 0 ? net::Direction::kIncoming : net::Direction::kOutgoing;
+    r.protocol = net::Protocol::kUdp;
+    r.src = {net::IpAddr{0x0A000001}, 5000};
+    r.dst = {net::IpAddr{0x0A000002}, 6000};
+    r.wire_len = 1178;
+    r.l7_len = 1150;
+    t.records.push_back(r);
+  }
+  return t;
+}
+
+std::string serialized(const Trace& t) {
+  std::ostringstream out;
+  write_trace(out, t);
+  return out.str();
+}
+
+Trace read_from(const std::string& bytes) {
+  std::istringstream in{bytes};
+  return read_trace(in);
+}
+
+TEST(TraceIoRobustness, ZeroLengthStreamThrows) {
+  EXPECT_THROW(read_from(""), std::runtime_error);
+}
+
+TEST(TraceIoRobustness, EmptyTraceRoundTripsFine) {
+  Trace t = sample_trace(0);
+  const Trace back = read_from(serialized(t));
+  EXPECT_EQ(back.host_name, t.host_name);
+  EXPECT_TRUE(back.records.empty());
+}
+
+TEST(TraceIoRobustness, EveryTruncationPointThrowsNotCrashes) {
+  const std::string full = serialized(sample_trace());
+  for (std::size_t len = 0; len < full.size(); ++len) {
+    EXPECT_THROW(read_from(full.substr(0, len)), std::runtime_error) << "at " << len;
+  }
+  EXPECT_NO_THROW(read_from(full));
+}
+
+TEST(TraceIoRobustness, CorruptMagicThrows) {
+  std::string bytes = serialized(sample_trace());
+  bytes[0] = 'X';
+  EXPECT_THROW(read_from(bytes), std::runtime_error);
+}
+
+TEST(TraceIoRobustness, UnsupportedVersionThrows) {
+  std::string bytes = serialized(sample_trace());
+  bytes[4] = 99;  // version field follows the 4-byte magic
+  EXPECT_THROW(read_from(bytes), std::runtime_error);
+}
+
+TEST(TraceIoRobustness, ImplausibleNameLengthThrows) {
+  std::string bytes = serialized(sample_trace());
+  const std::uint32_t huge = 0x7FFFFFFF;
+  std::memcpy(bytes.data() + 8, &huge, sizeof huge);  // name_len field
+  EXPECT_THROW(read_from(bytes), std::runtime_error);
+}
+
+TEST(TraceIoRobustness, LyingRecordCountFailsAsTruncationNotOom) {
+  // A 42-byte header claiming 2^62 records must not pre-allocate for them;
+  // it reads what exists, then reports truncation.
+  Trace t = sample_trace(1);
+  std::string bytes = serialized(t);
+  const std::size_t count_off = 12 + t.host_name.size() + 4 + 8;  // after header fields
+  const std::uint64_t absurd = 1ULL << 62;
+  std::memcpy(bytes.data() + count_off, &absurd, sizeof absurd);
+  EXPECT_THROW(read_from(bytes), std::runtime_error);
+}
+
+TEST(TraceIoRobustness, InvalidDirectionAndProtocolBytesThrow) {
+  Trace t = sample_trace(1);
+  const std::string good = serialized(t);
+  const std::size_t rec_off = 12 + t.host_name.size() + 4 + 8 + 8;  // first record
+  {
+    std::string bytes = good;
+    bytes[rec_off + 8] = 7;  // dir byte after the i64 timestamp
+    EXPECT_THROW(read_from(bytes), std::runtime_error);
+  }
+  {
+    std::string bytes = good;
+    bytes[rec_off + 9] = static_cast<char>(0xEE);  // protocol byte
+    EXPECT_THROW(read_from(bytes), std::runtime_error);
+  }
+}
+
+TEST(TraceIoRobustness, OutOfOrderTimestampsAreTolerated) {
+  Trace t = sample_trace(0);
+  for (int i = 0; i < 3; ++i) {
+    CaptureRecord r;
+    r.timestamp = SimTime{} + millis(100 - 40 * i);  // descending on purpose
+    r.protocol = net::Protocol::kUdp;
+    r.l7_len = r.wire_len = 100;
+    t.records.push_back(r);
+  }
+  const Trace back = read_from(serialized(t));
+  ASSERT_EQ(back.records.size(), 3u);
+  EXPECT_GT(back.records[0].timestamp, back.records[1].timestamp);
+}
+
+TEST(TraceIoRobustness, TrailingGarbageAfterRecordsIsIgnored) {
+  // Like pcap readers: the declared record count delimits the trace; bytes
+  // beyond it (e.g. a partially overwritten file) don't invalidate it.
+  std::string bytes = serialized(sample_trace());
+  bytes += "GARBAGE GARBAGE";
+  const Trace back = read_from(bytes);
+  EXPECT_EQ(back.records.size(), 3u);
+}
+
+}  // namespace
+}  // namespace vc::capture

@@ -1,0 +1,119 @@
+// Adversarial inputs for vc::json::parse: hostile documents must throw
+// std::runtime_error (never crash, never overflow the C++ stack) and edge-case
+// valid documents must parse to pinned values. The friendly-path coverage
+// lives in test_json.cpp; these run under ASan/UBSan in CI.
+#include <gtest/gtest.h>
+
+#include <cmath>
+#include <limits>
+#include <string>
+
+#include "common/json.h"
+
+namespace vc::json {
+namespace {
+
+std::string nested(const std::string& open, const std::string& close, int depth,
+                   const std::string& core) {
+  std::string s;
+  for (int i = 0; i < depth; ++i) s += open;
+  s += core;
+  for (int i = 0; i < depth; ++i) s += close;
+  return s;
+}
+
+TEST(JsonAdversarial, DeepArrayNestingThrowsInsteadOfOverflowing) {
+  // 256 levels is within the documented bound; 100k would smash the stack on
+  // an unguarded recursive-descent parser.
+  EXPECT_NO_THROW(parse(nested("[", "]", 256, "1")));
+  EXPECT_THROW(parse(nested("[", "]", 257, "1")), std::runtime_error);
+  EXPECT_THROW(parse(nested("[", "]", 100'000, "1")), std::runtime_error);
+}
+
+TEST(JsonAdversarial, DeepObjectNestingThrowsToo) {
+  EXPECT_THROW(parse(nested("{\"k\":", "}", 100'000, "1")), std::runtime_error);
+  // Mixed nesting shares the same depth budget.
+  EXPECT_THROW(parse(nested("{\"k\":[", "]}", 60'000, "1")), std::runtime_error);
+}
+
+TEST(JsonAdversarial, UnclosedDeepNestingStillThrows) {
+  // No closing brackets at all: the bomb is rejected while still descending.
+  EXPECT_THROW(parse(std::string(100'000, '[')), std::runtime_error);
+}
+
+TEST(JsonAdversarial, HugeAndTinyNumbersSurvive) {
+  EXPECT_DOUBLE_EQ(parse("1e308").number_value, 1e308);
+  EXPECT_DOUBLE_EQ(parse("-1.7976931348623157e308").number_value,
+                   -std::numeric_limits<double>::max());
+  // Denormals parse to their exact value, not zero.
+  EXPECT_DOUBLE_EQ(parse("5e-324").number_value, 5e-324);
+  EXPECT_GT(parse("5e-324").number_value, 0.0);
+  // Values past double range overflow to infinity rather than failing (the
+  // from_chars result_out_of_range path) — pin that choice.
+  EXPECT_TRUE(std::isinf(parse("1e400").number_value));
+  EXPECT_DOUBLE_EQ(parse("1e-400").number_value, 0.0);
+}
+
+TEST(JsonAdversarial, NumberRoundTripsThroughFormatNumberExactly) {
+  for (const double v : {0.1, 1.0 / 3.0, 9007199254740993.0, 2.2250738585072014e-308}) {
+    EXPECT_DOUBLE_EQ(parse(format_number(v)).number_value, v);
+  }
+}
+
+TEST(JsonAdversarial, LoneSurrogateHalvesBecomeReplacementCharacter) {
+  const std::string fffd = "\xEF\xBF\xBD";
+  EXPECT_EQ(parse("\"\\uD800\"").string_value, fffd);        // high, nothing after
+  EXPECT_EQ(parse("\"\\uDC00\"").string_value, fffd);        // low with no high
+  EXPECT_EQ(parse("\"\\uD800x\"").string_value, fffd + "x"); // high then plain char
+  // High followed by a non-low escape: U+FFFD, then the escape on its own.
+  EXPECT_EQ(parse("\"\\uD800\\u0041\"").string_value, fffd + "A");
+  // A proper pair still combines.
+  EXPECT_EQ(parse("\"\\uD83D\\uDE00\"").string_value, "\xF0\x9F\x98\x80");
+}
+
+TEST(JsonAdversarial, LoneSurrogateInObjectKeyIsStillAValidKey) {
+  const Value v = parse("{\"\\uDEAD\": 1, \"ok\": 2}");
+  ASSERT_TRUE(v.is_object());
+  ASSERT_EQ(v.object_items.size(), 2u);
+  EXPECT_EQ(v.object_items[0].first, "\xEF\xBF\xBD");
+  EXPECT_DOUBLE_EQ(v.at("ok").number_value, 2.0);
+}
+
+TEST(JsonAdversarial, DuplicateKeysKeepInsertionOrderAndFindReturnsFirst) {
+  const Value v = parse("{\"k\": 1, \"other\": true, \"k\": 2}");
+  ASSERT_TRUE(v.is_object());
+  ASSERT_EQ(v.object_items.size(), 3u);  // duplicates are preserved, not merged
+  EXPECT_EQ(v.object_items[0].first, "k");
+  EXPECT_DOUBLE_EQ(v.object_items[0].second.number_value, 1.0);
+  EXPECT_EQ(v.object_items[2].first, "k");
+  EXPECT_DOUBLE_EQ(v.object_items[2].second.number_value, 2.0);
+  ASSERT_NE(v.find("k"), nullptr);
+  EXPECT_DOUBLE_EQ(v.find("k")->number_value, 1.0);  // first occurrence wins
+}
+
+TEST(JsonAdversarial, TruncatedEscapesAndStringsThrow) {
+  EXPECT_THROW(parse("\"abc"), std::runtime_error);
+  EXPECT_THROW(parse("\"\\"), std::runtime_error);
+  EXPECT_THROW(parse("\"\\u12"), std::runtime_error);
+  EXPECT_THROW(parse("\"\\uD800\\u12\""), std::runtime_error);
+  EXPECT_THROW(parse("\"\\q\""), std::runtime_error);
+}
+
+TEST(JsonAdversarial, MalformedStructuresThrowWithoutCrashing) {
+  for (const char* doc : {"", "   ", "{", "[", "{\"a\"}", "{\"a\":}", "[1,]", "[1 2]",
+                          "{\"a\":1,}", "{1: 2}", "tru", "nul", "+1", "0x10", "1 2",
+                          "[1]]", "{\"a\":1}}"}) {
+    EXPECT_THROW(parse(doc), std::runtime_error) << "doc: " << doc;
+  }
+}
+
+TEST(JsonAdversarial, DepthLimitDoesNotAffectWideDocuments) {
+  // Breadth is bounded by memory, not the depth guard: 50k siblings parse.
+  std::string wide = "[0";
+  for (int i = 1; i < 50'000; ++i) wide += ",1";
+  wide += "]";
+  EXPECT_EQ(parse(wide).array_items.size(), 50'000u);
+}
+
+}  // namespace
+}  // namespace vc::json

@@ -1,0 +1,76 @@
+// Determinism contract for the header-free QoE inference pipeline: a faulted
+// inference session — scripted receiver-link outage, shaped last mile, live
+// capture, QoeInferencer, truth join — must produce byte-identical runner
+// aggregate reports at every thread count and relay fan-out shard count K.
+// The estimator itself is pure, so any drift here indicts the session world
+// (capture order, fault arming, shaper state), not the analyzer.
+#include <gtest/gtest.h>
+
+#include <cstddef>
+#include <cstdint>
+#include <string>
+
+#include "core/qoe_infer_benchmark.h"
+#include "runner/experiment_runner.h"
+
+namespace vc {
+namespace {
+
+constexpr std::size_t kTasks = 3;
+
+/// FNV-1a folded to 32 bits so the digest survives the samples' double
+/// representation exactly (doubles hold 32-bit integers losslessly).
+double report_digest(const std::string& s) {
+  std::uint64_t h = 1469598103934665603ULL;
+  for (const unsigned char c : s) {
+    h ^= c;
+    h *= 1099511628211ULL;
+  }
+  return static_cast<double>((h >> 32) ^ (h & 0xFFFFFFFFULL));
+}
+
+std::string run_sweep(std::size_t threads, int fan_out_shards) {
+  runner::ExperimentRunner::Config rc;
+  rc.threads = threads;
+  rc.base_seed = 47;
+  rc.label = "infer-determinism";
+  const auto report =
+      runner::ExperimentRunner{rc}.run(kTasks, [fan_out_shards](runner::SessionContext& ctx) {
+        core::QoeInferBenchmarkConfig cfg;
+        cfg.platform = vc::platform::PlatformId::kZoom;
+        cfg.media_duration = seconds(14);
+        cfg.outages = {{seconds(5), seconds(2)}};  // FaultPlan active
+        cfg.shaper = core::InferShaperProfile::kDsl;
+        cfg.fan_out_shards = fan_out_shards;
+        cfg.metrics = &ctx.metrics;
+        const auto r = core::run_qoe_inference_session(cfg, ctx.seed);
+        // The scripted outage must actually register end to end.
+        EXPECT_EQ(r.inferred_freezes, 1) << "task " << ctx.task_index;
+        EXPECT_DOUBLE_EQ(r.freeze_recall, 1.0);
+        ctx.sample("inferred_fps", r.inferred_fps);
+        ctx.sample("truth_fps", r.truth_fps);
+        ctx.sample("tier_accuracy", r.tier_accuracy);
+        ctx.sample("fps_abs_err", r.fps_abs_err);
+        // The full JSON text participates in the identity check, not just
+        // the scalars — a formatting drift is a determinism bug too.
+        ctx.sample("report_digest", report_digest(r.report_json));
+      });
+  EXPECT_TRUE(report.failures.empty());
+  return report.aggregate_json();
+}
+
+TEST(InferDeterminism, IdenticalAcrossThreadsAndShards) {
+  const std::string base = run_sweep(1, 0);
+  EXPECT_NE(base.find("report_digest"), std::string::npos);
+  const struct {
+    std::size_t threads;
+    int shards;
+  } combos[] = {{8, 0}, {1, 8}, {8, 8}};
+  for (const auto& combo : combos) {
+    EXPECT_EQ(run_sweep(combo.threads, combo.shards), base)
+        << "report drifted at threads=" << combo.threads << " K=" << combo.shards;
+  }
+}
+
+}  // namespace
+}  // namespace vc
