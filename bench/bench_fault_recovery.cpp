@@ -31,6 +31,7 @@
 
 #include "bench/bench_util.h"
 #include "core/fault_recovery_benchmark.h"
+#include "health/health_monitor.h"
 #include "runner/experiment_runner.h"
 
 namespace {
@@ -64,6 +65,30 @@ core::FaultRecoveryConfig base_config(SimDuration session_duration) {
   cfg.outage_start = seconds(8);
   cfg.recovery_grace = seconds(5);
   return cfg;
+}
+
+/// Default SLO rules for `--timeline` runs (overridable with `--slo FILE`):
+/// steady state means nobody reconnects, and a disconnect is critical. Both
+/// watch per-sample deltas, so the breach window tracks the outage window.
+std::vector<health::SloRule> default_slo_rules() {
+  std::vector<health::SloRule> rules;
+  health::SloRule reconnect;
+  reconnect.rule = "reconnect-steady";
+  reconnect.metric = "client.reconnects";
+  reconnect.field = health::SloRule::Field::kDelta;
+  reconnect.op = health::SloRule::Op::kEq;
+  reconnect.threshold = 0.0;
+  reconnect.severity = health::Severity::kWarning;
+  rules.push_back(reconnect);
+  health::SloRule disconnect;
+  disconnect.rule = "no-disconnects";
+  disconnect.metric = "client.disconnects";
+  disconnect.field = health::SloRule::Field::kDelta;
+  disconnect.op = health::SloRule::Op::kEq;
+  disconnect.threshold = 0.0;
+  disconnect.severity = health::Severity::kCritical;
+  rules.push_back(disconnect);
+  return rules;
 }
 
 void sample_quantiles(runner::SessionContext& ctx, const std::string& base,
@@ -180,6 +205,32 @@ int main(int argc, char** argv) {
                 plan_path.c_str());
   }
 
+  // `--timeline DIR` exports a per-task metrics timeline (sampled at 500 ms
+  // for phase resolution) with an SLO HealthMonitor attached; `--slo FILE`
+  // replaces the default rules. The serial and 8-thread sweeps write to
+  // DIR/t1 and DIR/t8, and every timeline file must be byte-identical
+  // between them — same contract as the aggregate reports.
+  const std::string timeline_dir = flag_string(argc, argv, "--timeline", "");
+  std::vector<health::SloRule> slo_rules;
+  if (!timeline_dir.empty()) slo_rules = default_slo_rules();
+  const std::string slo_path = flag_string(argc, argv, "--slo", "");
+  if (!slo_path.empty()) {
+    std::ifstream in{slo_path, std::ios::binary};
+    if (!in) {
+      std::fprintf(stderr, "cannot read SLO rules %s\n", slo_path.c_str());
+      return 2;
+    }
+    std::ostringstream ss;
+    ss << in.rdbuf();
+    try {
+      slo_rules = health::HealthMonitor::rules_from_json(ss.str());
+    } catch (const std::exception& e) {
+      std::fprintf(stderr, "%s: %s\n", slo_path.c_str(), e.what());
+      return 2;
+    }
+    std::printf("SLO rules: %zu from %s\n", slo_rules.size(), slo_path.c_str());
+  }
+
   const std::vector<SimDuration> outages =
       paper ? std::vector<SimDuration>{seconds(1), seconds(2), seconds(4), seconds(8)}
             : std::vector<SimDuration>{seconds(1), seconds(3)};
@@ -211,7 +262,26 @@ int main(int argc, char** argv) {
     cfg.seed = ctx.seed ^ c.platform_seed;
     cfg.metrics = &ctx.metrics;
     cfg.tracer = ctx.tracer;
+    cfg.timeline = ctx.timeline;
     const auto r = core::run_fault_recovery_benchmark(cfg);
+    if (ctx.health != nullptr) {
+      // Bucket SLO breach-begins by the session's fault phases so the sweep
+      // reports where in the outage window each rule fired.
+      std::size_t before = 0, during = 0, after = 0;
+      for (const auto& ev : ctx.health->events()) {
+        if (!ev.begin) continue;
+        if (ev.at < r.outage_begin_abs) {
+          ++before;
+        } else if (ev.at < r.recovery_end_abs) {
+          ++during;
+        } else {
+          ++after;
+        }
+      }
+      ctx.sample(c.key + ".slo_breach_before", static_cast<double>(before));
+      ctx.sample(c.key + ".slo_breach_during", static_cast<double>(during));
+      ctx.sample(c.key + ".slo_breach_after", static_cast<double>(after));
+    }
     ctx.sample(c.key + ".disconnects", static_cast<double>(r.disconnects));
     ctx.sample(c.key + ".reconnects", static_cast<double>(r.reconnects));
     ctx.sample(c.key + ".attempts", static_cast<double>(r.reconnect_attempts));
@@ -231,15 +301,32 @@ int main(int argc, char** argv) {
   rc.base_seed = 3301;
   rc.label = "fault_recovery";
   rc.threads = 1;
+  if (!timeline_dir.empty()) {
+    rc.timeline_interval = millis(500);
+    rc.health_rules = slo_rules;
+    rc.timeline_dir = timeline_dir + "/t1";
+  }
   const auto serial = runner::ExperimentRunner{rc}.run(cells.size(), task);
   rc.threads = 8;
+  if (!timeline_dir.empty()) rc.timeline_dir = timeline_dir + "/t8";
   const auto report = runner::ExperimentRunner{rc}.run(cells.size(), task);
 
   TextTable table{{"platform", "outage", "reconn", "TTR (ms)", "worst TTR", "lost pkts",
-                   "during p50 (ms)", "after p50 (ms)", "HWM (ms)"}};
+                   "during p50 (ms)", "after p50 (ms)", "HWM (ms)", "SLO b/d/a"}};
   auto cell = [&report](const std::string& key, int digits) {
     const auto* s = report.find_sample(key);
     return s ? TextTable::num(s->mean(), digits) : std::string{"-"};
+  };
+  // Per-phase SLO breach-begin counts, summed over the cell's sessions.
+  auto slo_cell = [&report](const std::string& key) {
+    const auto* before = report.find_sample(key + ".slo_breach_before");
+    const auto* during = report.find_sample(key + ".slo_breach_during");
+    const auto* after = report.find_sample(key + ".slo_breach_after");
+    if (before == nullptr && during == nullptr && after == nullptr) return std::string{"-"};
+    auto total = [](const RunningStats* s) {
+      return std::to_string(s != nullptr ? static_cast<long long>(s->sum() + 0.5) : 0LL);
+    };
+    return total(before) + "/" + total(during) + "/" + total(after);
   };
   for (const auto id : vcb::all_platforms()) {
     for (const auto outage : outages) {
@@ -250,12 +337,43 @@ int main(int argc, char** argv) {
                      cell(k + ".reconnects", 1), cell(k + ".time_to_recover_ms", 0),
                      cell(k + ".worst_time_to_recover_ms", 0), cell(k + ".packets_lost", 0),
                      cell(k + ".lag_during.p50", 1), cell(k + ".lag_after.p50", 1),
-                     cell(k + ".lag_spike_hwm_ms", 1)});
+                     cell(k + ".lag_spike_hwm_ms", 1), slo_cell(k)});
     }
   }
   std::printf("%s\n", table.render().c_str());
 
-  const bool identical = serial.aggregate_json() == report.aggregate_json();
+  bool identical = serial.aggregate_json() == report.aggregate_json();
+  if (!timeline_dir.empty()) {
+    std::printf("timeline: %llu sample(s) over %llu column(s); health: %llu rule(s), "
+                "%llu event(s), %llu breach(es)\n",
+                static_cast<unsigned long long>(report.timeline.samples),
+                static_cast<unsigned long long>(report.timeline.columns),
+                static_cast<unsigned long long>(report.timeline.health_rules),
+                static_cast<unsigned long long>(report.timeline.health_events),
+                static_cast<unsigned long long>(report.timeline.health_breaches));
+    // Same contract as the aggregates: every exported timeline file must be
+    // byte-identical between the 1-thread and 8-thread sweeps.
+    auto read_file = [](const std::string& p, std::string* out) {
+      std::ifstream in{p, std::ios::binary};
+      if (!in) return false;
+      std::ostringstream ss;
+      ss << in.rdbuf();
+      *out = ss.str();
+      return true;
+    };
+    std::size_t mismatches = 0;
+    for (std::size_t i = 0; i < cells.size(); ++i) {
+      const std::string name = "/" + std::to_string(i) + ".timeline.json";
+      std::string a, b;
+      if (!read_file(timeline_dir + "/t1" + name, &a) ||
+          !read_file(timeline_dir + "/t8" + name, &b) || a != b) {
+        ++mismatches;
+      }
+    }
+    std::printf("timeline files byte-identical across thread counts: %s\n",
+                mismatches == 0 ? "yes" : "NO — determinism regression!");
+    if (mismatches > 0) identical = false;
+  }
   std::printf("sessions: %zu  failures: %zu  fan_out_shards: %d\n", report.sessions,
               report.failures.size(), shards);
   std::printf("wall clock: %.2f s at 1 thread, %.2f s at 8 threads — speedup %.2fx\n",

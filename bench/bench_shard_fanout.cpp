@@ -27,6 +27,18 @@
 // in-process A/B comparison is deliberate: absolute baselines are too noisy
 // on shared CI runners (see the PR3 comments above).
 //
+// Two more interleaved modes gate the PR 9 observability layer the same way:
+// `metrics` attaches a MetricsRegistry to the network/relay (the A side),
+// and `timeline-off` additionally arms a MetricsTimeline that is disabled —
+// which must schedule nothing at all (structural zero, like an armed empty
+// FaultPlan). `--timeline-gate <ratio>` fails (exit 4) when best(metrics) /
+// best(timeline-off) falls below the ratio; CI runs --timeline-gate 0.98.
+// `--timeline-out <path>` writes that gate's JSON report (default
+// BENCH_PR9_timeline_gate.json). The same invocation also checks that a
+// zero-rule HealthMonitor observing an *enabled* sampling timeline leaves
+// the exported timeline bytes identical to an unobserved run (exit 5) —
+// the armed-but-empty monitor contract.
+//
 // Compiling with -DVC_BENCH_SERIAL_ONLY builds only the serial mode against
 // a tree that predates the sharding API — that is how the "before" column of
 // the checked-in BENCH_PR3.json was measured at the parent commit.
@@ -42,8 +54,11 @@
 #include "platform/relay.h"
 #include "runner/experiment_runner.h"
 #ifndef VC_BENCH_SERIAL_ONLY
+#include "common/metrics.h"
+#include "common/metrics_timeline.h"
 #include "common/shard_pool.h"
 #include "common/tracer.h"
+#include "health/health_monitor.h"
 #endif
 
 namespace {
@@ -60,7 +75,9 @@ struct Mode {
   std::string name;
   int shards = 0;
   bool use_pool = false;
-  bool traced = false;  // attach a disabled Tracer to every hot path
+  bool traced = false;    // attach a disabled Tracer to every hot path
+  bool metered = false;   // attach a MetricsRegistry to network + relay
+  bool timeline = false;  // additionally arm a disabled MetricsTimeline
   std::vector<double> seconds;
   std::uint64_t digest = 0;
   std::int64_t media_forwarded = 0;
@@ -72,9 +89,24 @@ void fnv_mix(std::uint64_t& h, std::uint64_t v) {
 }
 
 #ifndef VC_BENCH_SERIAL_ONLY
-TrialResult run_trial(int n, int frames, int shards, ShardPool* pool, Tracer* tracer) {
+/// Observability side-channel for a trial. attach_metrics alone is the A
+/// side of the timeline gate; arm_disabled adds an armed-but-disabled
+/// sampler (the B side, which must schedule nothing); sample arms an
+/// enabled 50 ms sampler and exports its JSON (the armed-empty-monitor
+/// byte-identity check).
+struct TimelineProbe {
+  bool attach_metrics = false;
+  bool arm_disabled = false;
+  bool sample = false;
+  health::HealthMonitor* monitor = nullptr;
+  std::string timeline_json;
+};
+
+TrialResult run_trial(int n, int frames, int shards, ShardPool* pool, Tracer* tracer,
+                      TimelineProbe* probe = nullptr) {
 #else
-TrialResult run_trial(int n, int frames, int /*shards*/, void* /*pool*/, void* /*tracer*/) {
+TrialResult run_trial(int n, int frames, int /*shards*/, void* /*pool*/, void* /*tracer*/,
+                      void* /*probe*/ = nullptr) {
 #endif
   net::Network net{std::make_unique<net::FixedLatencyModel>(millis(3)), 99};
   platform::RelayServer relay{net, "relay", GeoPoint{38.9, -77.4}, 8801,
@@ -85,6 +117,22 @@ TrialResult run_trial(int n, int frames, int /*shards*/, void* /*pool*/, void* /
     // Attached-but-disabled: the exact state the <=2% overhead gate measures.
     net.set_tracer(tracer);
     relay.set_tracer(tracer);
+  }
+  MetricsRegistry registry;
+  MetricsTimeline timeline{MetricsTimeline::Config{millis(50), 256}};
+  if (probe != nullptr && (probe->attach_metrics || probe->arm_disabled || probe->sample)) {
+    net.attach_metrics(registry);
+    relay.attach_metrics(registry);
+  }
+  if (probe != nullptr && (probe->arm_disabled || probe->sample)) {
+    timeline.set_enabled(probe->sample);
+    if (probe->monitor != nullptr) {
+      probe->monitor->bind(&registry, nullptr);
+      timeline.set_observer(probe->monitor);
+    }
+    // Disabled arm must schedule nothing; an enabled one samples every 50 ms
+    // for the byte-identity probe.
+    timeline.arm(net.loop(), registry, SimTime::zero(), SimTime::zero() + seconds(10));
   }
 #endif
 
@@ -144,6 +192,12 @@ TrialResult run_trial(int n, int frames, int /*shards*/, void* /*pool*/, void* /
   const auto t1 = std::chrono::steady_clock::now();
   out.seconds = std::chrono::duration<double>(t1 - t0).count();
   out.media_forwarded = relay.stats().media_forwarded;
+#ifndef VC_BENCH_SERIAL_ONLY
+  if (probe != nullptr && probe->sample) {
+    timeline.finalize();
+    probe->timeline_json = timeline.to_json();
+  }
+#endif
   return out;
 }
 
@@ -170,17 +224,34 @@ int main(int argc, char** argv) {
   const int shards = std::max(1, vcb::int_flag(argc, argv, "--shards", 4));
   const double gate = flag_double(argc, argv, "--gate", 0.0);
   const double trace_gate = flag_double(argc, argv, "--trace-gate", 0.0);
+  const double timeline_gate = flag_double(argc, argv, "--timeline-gate", 0.0);
   const std::string out_path = flag_string(argc, argv, "--out", "BENCH_PR3.json");
+  const std::string timeline_out =
+      flag_string(argc, argv, "--timeline-out", "BENCH_PR9_timeline_gate.json");
 
-  std::printf("relay fan-out A/B: n=%d frames=%d rounds=%d shards=%d gate=%.2f trace-gate=%.2f\n",
-              n, frames, rounds, shards, gate, trace_gate);
+  std::printf("relay fan-out A/B: n=%d frames=%d rounds=%d shards=%d gate=%.2f trace-gate=%.2f "
+              "timeline-gate=%.2f\n",
+              n, frames, rounds, shards, gate, trace_gate, timeline_gate);
 
+  auto make_mode = [](const char* name, int mode_shards, bool use_pool, bool traced, bool metered,
+                      bool timeline) {
+    Mode m;
+    m.name = name;
+    m.shards = mode_shards;
+    m.use_pool = use_pool;
+    m.traced = traced;
+    m.metered = metered;
+    m.timeline = timeline;
+    return m;
+  };
   std::vector<Mode> modes;
-  modes.push_back({"serial", 0, false, false, {}, 0, 0});
+  modes.push_back(make_mode("serial", 0, false, false, false, false));
 #ifndef VC_BENCH_SERIAL_ONLY
-  modes.push_back({"traced-off", 0, false, true, {}, 0, 0});
-  modes.push_back({"staged", shards, false, false, {}, 0, 0});
-  modes.push_back({"pooled", shards, true, false, {}, 0, 0});
+  modes.push_back(make_mode("traced-off", 0, false, true, false, false));
+  modes.push_back(make_mode("metrics", 0, false, false, true, false));
+  modes.push_back(make_mode("timeline-off", 0, false, false, true, true));
+  modes.push_back(make_mode("staged", shards, false, false, false, false));
+  modes.push_back(make_mode("pooled", shards, true, false, false, false));
   const int workers = ShardPool::auto_workers(shards);
   ShardPool pool{workers};
   Tracer tracer;  // never enabled: measures the compiled-in-but-off cost
@@ -191,8 +262,11 @@ int main(int argc, char** argv) {
   // One untimed warm-up per mode, then interleaved timed rounds.
   for (auto& m : modes) {
 #ifndef VC_BENCH_SERIAL_ONLY
-    const TrialResult warm =
-        run_trial(n, frames, m.shards, m.use_pool ? &pool : nullptr, m.traced ? &tracer : nullptr);
+    TimelineProbe probe;
+    probe.attach_metrics = m.metered;
+    probe.arm_disabled = m.timeline;
+    const TrialResult warm = run_trial(n, frames, m.shards, m.use_pool ? &pool : nullptr,
+                                       m.traced ? &tracer : nullptr, &probe);
 #else
     const TrialResult warm = run_trial(n, frames, m.shards, nullptr, nullptr);
 #endif
@@ -202,8 +276,11 @@ int main(int argc, char** argv) {
   for (int r = 0; r < rounds; ++r) {
     for (auto& m : modes) {
 #ifndef VC_BENCH_SERIAL_ONLY
+      TimelineProbe probe;
+      probe.attach_metrics = m.metered;
+      probe.arm_disabled = m.timeline;
       const TrialResult t = run_trial(n, frames, m.shards, m.use_pool ? &pool : nullptr,
-                                      m.traced ? &tracer : nullptr);
+                                      m.traced ? &tracer : nullptr, &probe);
 #else
       const TrialResult t = run_trial(n, frames, m.shards, nullptr, nullptr);
 #endif
@@ -214,6 +291,26 @@ int main(int argc, char** argv) {
       }
     }
   }
+
+#ifndef VC_BENCH_SERIAL_ONLY
+  // Armed-empty HealthMonitor byte-identity: an enabled sampling timeline
+  // exports the same bytes whether or not a zero-rule monitor is observing
+  // it (and the deliveries stay identical too, via the digest check below).
+  TimelineProbe plain;
+  plain.sample = true;
+  const TrialResult sampled_plain = run_trial(n, frames, 0, nullptr, nullptr, &plain);
+  health::HealthMonitor empty_monitor;
+  TimelineProbe observed;
+  observed.sample = true;
+  observed.monitor = &empty_monitor;
+  const TrialResult sampled_observed = run_trial(n, frames, 0, nullptr, nullptr, &observed);
+  const bool monitor_invisible = plain.timeline_json == observed.timeline_json &&
+                                 !plain.timeline_json.empty() &&
+                                 sampled_plain.digest == sampled_observed.digest &&
+                                 sampled_plain.digest == modes[0].digest;
+#else
+  const bool monitor_invisible = true;
+#endif
 
   bool identical = true;
   for (const auto& m : modes) {
@@ -233,6 +330,12 @@ int main(int argc, char** argv) {
   double serial_median = 0.0;
   double staged_speedup = 1.0;
   double traced_speedup = 1.0;
+  double timeline_speedup = 1.0;
+  double metrics_best = 0.0;
+  double timeline_best = 0.0;
+  auto best_of = [](const std::vector<double>& s) {
+    return s.empty() ? 0.0 : *std::min_element(s.begin(), s.end());
+  };
   for (std::size_t i = 0; i < modes.size(); ++i) {
     auto& m = modes[i];
     const double med = median(m.seconds);
@@ -243,10 +346,12 @@ int main(int argc, char** argv) {
       // Gate on best-of-rounds, not medians: scheduler noise only ever adds
       // time, so min/min isolates the intrinsic cost of the disabled hooks
       // from the +-5% round-to-round jitter of shared runners.
-      const double serial_best = *std::min_element(modes[0].seconds.begin(), modes[0].seconds.end());
-      const double traced_best = *std::min_element(m.seconds.begin(), m.seconds.end());
+      const double serial_best = best_of(modes[0].seconds);
+      const double traced_best = best_of(m.seconds);
       traced_speedup = traced_best > 0 ? serial_best / traced_best : 0.0;
     }
+    if (m.name == "metrics") metrics_best = best_of(m.seconds);
+    if (m.name == "timeline-off") timeline_best = best_of(m.seconds);
     table.add_row({m.name, TextTable::num(med * 1e3, 2),
                    TextTable::num(med > 0 ? static_cast<double>(ingests) / med : 0.0, 0),
                    TextTable::num(speedup, 3) + "x"});
@@ -268,11 +373,31 @@ int main(int argc, char** argv) {
                 gate, staged_speedup, trace_gate, traced_speedup);
   json += tail;
 
+  // The disabled-sampler gate compares against the `metrics` mode, not
+  // `serial`: attaching the registry is the cost the caller opted into; the
+  // armed-but-disabled timeline on top must be structurally free.
+  timeline_speedup = timeline_best > 0.0 ? metrics_best / timeline_best : 1.0;
+
   std::printf("%s\n", table.render().c_str());
   std::printf("deliveries byte-identical across modes: %s\n",
               identical ? "yes" : "NO — determinism regression!");
+  std::printf("armed-empty HealthMonitor invisible in timeline bytes: %s\n",
+              monitor_invisible ? "yes" : "NO — observer perturbed the export!");
   if (runner::write_text_file(out_path, json)) {
     std::printf("report written to %s\n", out_path.c_str());
+  }
+  if (timeline_gate > 0.0) {
+    char tl_json[512];
+    std::snprintf(tl_json, sizeof(tl_json),
+                  "{\n  \"benchmark\": \"timeline_disabled_gate\",\n  \"rounds\": %d,\n"
+                  "  \"best_metrics_seconds\": %.6f,\n  \"best_timeline_off_seconds\": %.6f,\n"
+                  "  \"timeline_off_speed_ratio\": %.4f,\n  \"gate\": %.2f,\n"
+                  "  \"armed_empty_monitor_byte_identical\": %s\n}\n",
+                  rounds, metrics_best, timeline_best, timeline_speedup,
+                  timeline_gate, monitor_invisible ? "true" : "false");
+    if (runner::write_text_file(timeline_out, tl_json)) {
+      std::printf("timeline gate report written to %s\n", timeline_out.c_str());
+    }
   }
 
   if (!identical) return 1;
@@ -284,6 +409,15 @@ int main(int argc, char** argv) {
     std::printf("FAIL: disabled-tracer overhead ratio %.3fx below trace gate %.2fx\n",
                 traced_speedup, trace_gate);
     return 3;
+  }
+  if (timeline_gate > 0.0 && timeline_speedup < timeline_gate) {
+    std::printf("FAIL: disabled-sampler overhead ratio %.3fx below timeline gate %.2fx\n",
+                timeline_speedup, timeline_gate);
+    return 4;
+  }
+  if (!monitor_invisible) {
+    std::printf("FAIL: armed-but-empty HealthMonitor changed the exported timeline bytes\n");
+    return 5;
   }
   return 0;
 }

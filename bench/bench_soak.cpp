@@ -1,8 +1,9 @@
 // Long-run soak benchmark: the always-on perf trajectory (PR 7).
 //
 // Replays a mixed workload in timed epochs — video encode+decode, serial
-// relay fan-out, a competing-flow fairness session, and audio encode+decode
-// — and emits the whole time-series as one JSON report. Where the other
+// relay fan-out, a competing-flow fairness session, audio encode+decode,
+// and a metrics-timeline sampling session (PR 9) — and emits the whole
+// time-series as one JSON report. Where the other
 // bench gates are point-in-time A/B comparisons, this one watches for
 // *drift within a single long run*: allocator fragmentation, cache
 // pollution, accidental state accumulation (growing maps, unbounded pools)
@@ -45,9 +46,13 @@
 
 #include "bench/bench_util.h"
 #include "common/json.h"
+#include "common/metrics.h"
+#include "common/metrics_timeline.h"
 #include "common/rng.h"
 #include "common/stats.h"
 #include "core/fairness_benchmark.h"
+#include "health/health_monitor.h"
+#include "net/event_loop.h"
 #include "media/audio_codec.h"
 #include "media/dct8.h"
 #include "media/feeds.h"
@@ -182,6 +187,89 @@ LegResult run_fairness_leg() {
   return out;
 }
 
+// --- timeline leg: sampler + SLO monitor under metric churn ---------------
+//
+// A synthetic event-loop workload mutates a registry once per simulated
+// millisecond while an enabled MetricsTimeline samples it every 10 ms into a
+// 64-slot ring (the 4 s run wraps it several times, so base folding is on the
+// digested path) and a HealthMonitor with rules that genuinely fire — and one
+// that stays open until finalize() — watches every snapshot. The digest
+// covers the exported timeline + health JSON byte-for-byte, so any drift in
+// sampling cadence, delta encoding, ring eviction, or breach edge-triggering
+// across epochs (or across code changes, via the baseline) trips the
+// determinism checks.
+LegResult run_timeline_leg() {
+  net::EventLoop loop;
+  MetricsRegistry reg;
+  auto* work = &reg.counter("soak.work");
+  auto* burst = &reg.counter("soak.burst");
+  auto* depth = &reg.gauge("soak.depth");
+  auto* latency = &reg.histogram("soak.latency_ms");
+
+  MetricsTimeline::Config tcfg;
+  tcfg.interval = millis(10);
+  tcfg.capacity = 64;
+  MetricsTimeline timeline{tcfg};
+  timeline.set_enabled(true);
+
+  health::HealthMonitor monitor;
+  // Triangle-wave gauge crosses 40 every period: repeated begin/end edges,
+  // with a min_duration long enough to need several consecutive bad samples.
+  monitor.add_rule({.rule = "depth-bounded",
+                    .metric = "soak.depth",
+                    .field = health::SloRule::Field::kValue,
+                    .op = health::SloRule::Op::kLe,
+                    .threshold = 40.0,
+                    .severity = health::Severity::kWarning,
+                    .min_duration = millis(30)});
+  // Bursts happen only in odd 250 ms windows: delta-field edges every window.
+  monitor.add_rule({.rule = "burst-quiet",
+                    .metric = "soak.burst",
+                    .field = health::SloRule::Field::kDelta,
+                    .op = health::SloRule::Op::kEq,
+                    .threshold = 0.0,
+                    .severity = health::Severity::kInfo});
+  // The running max only climbs, so once this breaches it never recovers —
+  // finalize() has to close it (the close lands in the digested event list).
+  monitor.add_rule({.rule = "latency-sane",
+                    .metric = "soak.latency_ms",
+                    .field = health::SloRule::Field::kMax,
+                    .op = health::SloRule::Op::kLt,
+                    .threshold = 9.5,
+                    .severity = health::Severity::kCritical});
+  monitor.bind(&reg, nullptr);
+  timeline.set_observer(&monitor);
+
+  const SimDuration span = seconds(4);
+  timeline.arm(loop, reg, SimTime::zero(), SimTime::zero() + span);
+  auto rng = std::make_shared<Rng>(20260808);
+  // One workload event per 50 us of sim time — enough real work per epoch
+  // (several ms) that the drift gate measures the leg, not scheduler noise.
+  for (int k = 0; k < 80'000; ++k) {
+    loop.schedule_at(SimTime{k * 50}, [work, burst, depth, latency, rng, k] {
+      const int ms = k / 20;
+      work->inc();
+      if ((ms / 250) % 2 == 1) burst->inc();
+      const int phase = ms % 500;  // triangle wave, period 500 ms, peak 62
+      depth->set(static_cast<double>(phase < 250 ? phase : 500 - phase) / 4.0);
+      latency->observe(rng->uniform(0.0, 10.0));
+    });
+  }
+
+  LegResult out{};
+  const auto t0 = std::chrono::steady_clock::now();
+  loop.run();
+  const auto t1 = std::chrono::steady_clock::now();
+  out.seconds = std::chrono::duration<double>(t1 - t0).count();
+  timeline.finalize();
+  out.items = static_cast<std::int64_t>(timeline.total_samples());
+  const std::string tl_json = timeline.to_json();
+  const std::string health_json = monitor.to_json();
+  for (const char c : tl_json) fnv_mix(out.digest, static_cast<unsigned char>(c));
+  for (const char c : health_json) fnv_mix(out.digest, static_cast<unsigned char>(c));
+  return out;
+}
+
 // --- audio leg: encode + decode deterministic PCM -------------------------
 
 struct AudioLeg {
@@ -306,17 +394,19 @@ int main(int argc, char** argv) {
   // dominated by scheduler noise rather than by its own speed.
   const int relay_frames = 300;
 
-  std::vector<LegSeries> legs(4);
+  std::vector<LegSeries> legs(5);
   legs[0].name = "codec";
   legs[1].name = "relay";
   legs[2].name = "fairness";
   legs[3].name = "audio";
+  legs[4].name = "timeline";
   auto run_leg = [&](std::size_t idx) -> LegResult {
     switch (idx) {
       case 0: return codec_leg.run();
       case 1: return run_relay_leg(relay_n, relay_frames);
       case 2: return run_fairness_leg();
-      default: return audio_leg.run();
+      case 3: return audio_leg.run();
+      default: return run_timeline_leg();
     }
   };
 

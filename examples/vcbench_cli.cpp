@@ -9,10 +9,13 @@
 //   vcbench_cli infer  --trace file.vctr [--platform zoom] [--json]
 //   vcbench_cli report run.json [--filter SUBSTR] [--cdf BASE]
 //   vcbench_cli trace  0.trace.json [--filter SUBSTR]
+//   vcbench_cli profile <trace.json | trace_dir> [--top N] [--chains N]
+//   vcbench_cli timeline 0.timeline.json [--metric SUBSTR] [--json]
 #include <algorithm>
 #include <cctype>
 #include <cstdio>
 #include <cstdlib>
+#include <filesystem>
 #include <fstream>
 #include <map>
 #include <sstream>
@@ -21,6 +24,9 @@
 
 #include "capture/trace_dump.h"
 #include "capture/trace_io.h"
+#include "cli/report_render.h"
+#include "cli/timeline_render.h"
+#include "cli/trace_profile.h"
 #include "common/csv.h"
 #include "common/json.h"
 #include "common/stats.h"
@@ -230,8 +236,8 @@ int run_dump(const std::map<std::string, std::string>& flags) {
 }
 
 // ---------------------------------------------------------------------------
-// report: render tables (and optional ASCII CDFs) from a saved run report, as
-// written by runner::RunReport::to_json() / aggregate_json().
+// report / profile / timeline: thin wrappers over the vc_cli renderers (pure
+// text-in/text-out, unit-tested in tests_cli); this file only does the I/O.
 // ---------------------------------------------------------------------------
 
 bool read_whole_file(const std::string& path, std::string* out) {
@@ -243,64 +249,10 @@ bool read_whole_file(const std::string& path, std::string* out) {
   return true;
 }
 
-// Case-insensitive substring match so `--filter zoom` finds "Zoom/n3/...".
-bool name_matches(const std::string& name, const std::string& filter) {
-  if (filter.empty()) return true;
-  auto lower = [](std::string s) {
-    std::transform(s.begin(), s.end(), s.begin(),
-                   [](unsigned char c) { return static_cast<char>(std::tolower(c)); });
-    return s;
-  };
-  return lower(name).find(lower(filter)) != std::string::npos;
-}
-
-// Renders one {name: {count,mean,stddev,min,max,sum}} stats section.
-void render_stats_section(const char* title, const json::Value& section,
-                          const std::string& filter) {
-  if (!section.is_object() || section.object_items.empty()) return;
-  TextTable table{{"name", "count", "mean", "stddev", "min", "max", "sum"}};
-  std::size_t rows = 0;
-  for (const auto& [name, stats] : section.object_items) {
-    if (!name_matches(name, filter) || !stats.is_object()) continue;
-    auto field = [&stats](const char* key) {
-      const json::Value* v = stats.find(key);
-      return v != nullptr && v->is_number() ? TextTable::num(v->number_value, 4) : std::string("-");
-    };
-    const json::Value* count = stats.find("count");
-    table.add_row({name,
-                   count != nullptr && count->is_number()
-                       ? std::to_string(static_cast<long long>(count->number_value))
-                       : "-",
-                   field("mean"), field("stddev"), field("min"), field("max"), field("sum")});
-    ++rows;
-  }
-  if (rows == 0) return;
-  std::printf("%s\n%s", title, table.render().c_str());
-}
-
-// ASCII CDF from quantile samples named <base>.p10 / .p25 / .p50 / .p75 /
-// .p90 (the shape runner-converted benches record per distribution).
-void render_cdf(const json::Value& samples, const std::string& base) {
-  constexpr int kQuantiles[] = {10, 25, 50, 75, 90};
-  std::vector<std::pair<int, double>> points;
-  for (int q : kQuantiles) {
-    const json::Value* s = samples.find(base + ".p" + std::to_string(q));
-    if (s == nullptr || !s->is_object()) continue;
-    const json::Value* mean = s->find("mean");
-    if (mean != nullptr && mean->is_number()) points.emplace_back(q, mean->number_value);
-  }
-  if (points.empty()) {
-    std::printf("no quantile samples %s.p10..p90 in report\n", base.c_str());
-    return;
-  }
-  double max_v = 0.0;
-  for (const auto& [q, v] : points) max_v = std::max(max_v, v);
-  std::printf("%s CDF\n", base.c_str());
-  constexpr int kWidth = 48;
-  for (const auto& [q, v] : points) {
-    const int bar = max_v > 0.0 ? static_cast<int>(v / max_v * kWidth + 0.5) : 0;
-    std::printf("  p%-2d |%-*s %.2f\n", q, kWidth, std::string(static_cast<std::size_t>(bar), '#').c_str(), v);
-  }
+int emit(const cli::RenderResult& result) {
+  if (!result.out.empty()) std::printf("%s", result.out.c_str());
+  if (!result.err.empty()) std::fprintf(stderr, "%s", result.err.c_str());
+  return result.exit_code;
 }
 
 int run_report(const std::string& path, const std::map<std::string, std::string>& flags) {
@@ -309,86 +261,65 @@ int run_report(const std::string& path, const std::map<std::string, std::string>
     std::fprintf(stderr, "cannot read %s\n", path.c_str());
     return 2;
   }
-  json::Value root;
-  try {
-    root = json::parse(text);
-  } catch (const std::exception& e) {
-    std::fprintf(stderr, "%s: %s\n", path.c_str(), e.what());
-    return 2;
-  }
-  // Accept both the full to_json() shape and a bare aggregate_json().
-  const json::Value* agg = root.find("aggregate");
-  if (agg == nullptr) agg = &root;
-
-  const json::Value* label = agg->find("label");
-  const json::Value* sessions = agg->find("sessions");
-  const json::Value* seed = agg->find("base_seed");
-  std::printf("report %s  label=%s  sessions=%lld  base_seed=%llu\n", path.c_str(),
-              label != nullptr && label->is_string() ? label->string_value.c_str() : "?",
-              sessions != nullptr && sessions->is_number()
-                  ? static_cast<long long>(sessions->number_value)
-                  : -1,
-              seed != nullptr && seed->is_number()
-                  ? static_cast<unsigned long long>(seed->number_value)
-                  : 0ULL);
-  const json::Value* failures = agg->find("failures");
-  if (failures != nullptr && failures->is_array() && !failures->array_items.empty()) {
-    std::printf("FAILURES: %zu task(s) threw\n", failures->array_items.size());
-  }
-  const json::Value* trace = agg->find("trace");
-  if (trace != nullptr && trace->is_object()) {
-    auto tfield = [trace](const char* key) -> long long {
-      const json::Value* v = trace->find(key);
-      return v != nullptr && v->is_number() ? static_cast<long long>(v->number_value) : 0;
-    };
-    std::printf("trace: %lld records (%lld spans, %lld instants, %lld counter samples), %lld dropped\n",
-                tfield("records"), tfield("spans"), tfield("instants"), tfield("counter_samples"),
-                tfield("dropped"));
-  }
-
-  const std::string filter = flag_str(flags, "filter", "");
+  cli::ReportOptions options;
+  options.filter = flag_str(flags, "filter", "");
+  options.list = flags.contains("list");
   const auto cdf = flags.find("cdf");
-  const json::Value* samples = agg->find("samples");
-  if (flags.contains("list")) {
-    // Bare metric keys, one per line — greppable, and exactly the names
-    // `--filter` and `--cdf BASE` (for <base>.p10..p90 families) accept.
-    auto list_section = [&filter](const char* section, const json::Value* v) {
-      if (v == nullptr || !v->is_object()) return;
-      for (const auto& [name, _] : v->object_items) {
-        if (name_matches(name, filter)) std::printf("%s %s\n", section, name.c_str());
-      }
-    };
-    list_section("sample", samples);
-    list_section("counter", agg->find("counters"));
-    list_section("gauge", agg->find("gauges"));
-    list_section("histogram", agg->find("histograms"));
-    return 0;
-  }
   if (cdf != flags.end()) {
-    if (samples == nullptr) {
-      std::fprintf(stderr, "report has no samples section\n");
+    options.has_cdf = true;
+    options.cdf_base = cdf->second;
+  }
+  return emit(cli::render_report(path, text, options));
+}
+
+int run_profile(const std::string& path, const std::map<std::string, std::string>& flags) {
+  // A directory aggregates every <task>.trace.json in it (a runner
+  // trace_dir); a file profiles just that trace.
+  std::vector<std::string> paths;
+  std::error_code ec;
+  if (std::filesystem::is_directory(path, ec)) {
+    for (const auto& entry : std::filesystem::directory_iterator(path, ec)) {
+      const std::string name = entry.path().filename().string();
+      if (name.size() > 11 && name.rfind(".trace.json") == name.size() - 11) {
+        paths.push_back(entry.path().string());
+      }
+    }
+    std::sort(paths.begin(), paths.end());
+    if (paths.empty()) {
+      std::fprintf(stderr, "%s: no *.trace.json files\n", path.c_str());
       return 2;
     }
-    render_cdf(*samples, cdf->second);
-    return 0;
+  } else {
+    paths.push_back(path);
   }
-  if (samples != nullptr) render_stats_section("samples", *samples, filter);
-  const json::Value* counters = agg->find("counters");
-  if (counters != nullptr && counters->is_object() && !counters->object_items.empty()) {
-    TextTable table{{"counter", "value"}};
-    std::size_t rows = 0;
-    for (const auto& [name, value] : counters->object_items) {
-      if (!name_matches(name, filter) || !value.is_number()) continue;
-      table.add_row({name, std::to_string(static_cast<long long>(value.number_value))});
-      ++rows;
+  std::vector<cli::TraceInput> traces;
+  for (const std::string& p : paths) {
+    cli::TraceInput input;
+    input.label = p;
+    if (!read_whole_file(p, &input.json_text)) {
+      std::fprintf(stderr, "cannot read %s\n", p.c_str());
+      return 2;
     }
-    if (rows > 0) std::printf("counters\n%s", table.render().c_str());
+    traces.push_back(std::move(input));
   }
-  const json::Value* gauges = agg->find("gauges");
-  if (gauges != nullptr) render_stats_section("gauges", *gauges, filter);
-  const json::Value* histograms = agg->find("histograms");
-  if (histograms != nullptr) render_stats_section("histograms", *histograms, filter);
-  return 0;
+  cli::ProfileOptions options;
+  options.top = static_cast<std::size_t>(flag_int(flags, "top", 15));
+  options.chains = static_cast<std::size_t>(flag_int(flags, "chains", 3));
+  options.filter = flag_str(flags, "filter", "");
+  return emit(cli::render_profile(traces, options));
+}
+
+int run_timeline(const std::string& path, const std::map<std::string, std::string>& flags) {
+  std::string text;
+  if (!read_whole_file(path, &text)) {
+    std::fprintf(stderr, "cannot read %s\n", path.c_str());
+    return 2;
+  }
+  cli::TimelineOptions options;
+  options.metric = flag_str(flags, "metric", "");
+  options.width = flag_int(flags, "width", 60);
+  options.json = flags.contains("json");
+  return emit(cli::render_timeline(path, text, options));
 }
 
 // ---------------------------------------------------------------------------
@@ -427,7 +358,7 @@ int run_trace_summary(const std::string& path, const std::map<std::string, std::
     const json::Value* name = ev.find("name");
     const json::Value* ph = ev.find("ph");
     if (name == nullptr || !name->is_string() || ph == nullptr || !ph->is_string()) continue;
-    if (!name_matches(name->string_value, filter)) continue;
+    if (!cli::name_matches(name->string_value, filter)) continue;
     Agg& agg = by_name[name->string_value][ph->string_value];
     ++agg.count;
     const json::Value* dur = ev.find("dur");
@@ -462,6 +393,11 @@ int run_trace_summary(const std::string& path, const std::map<std::string, std::
                       ? static_cast<long long>(recorded->number_value)
                       : -1,
                   static_cast<long long>(dropped->number_value));
+      if (dropped->number_value > 0) {
+        std::printf("WARNING: trace ring wrapped — the %lld oldest record(s) are gone; the\n"
+                    "         summary above undercounts early-session activity.\n",
+                    static_cast<long long>(dropped->number_value));
+      }
     }
   }
   return 0;
@@ -469,7 +405,7 @@ int run_trace_summary(const std::string& path, const std::map<std::string, std::
 
 void usage() {
   std::fprintf(stderr,
-               "usage: vcbench_cli <lag|qoe|bwcap|mobile|dump|infer|report|trace> [flags]\n"
+               "usage: vcbench_cli <lag|qoe|bwcap|mobile|dump|infer|report|trace|profile|timeline>\n"
                "  lag    --host SITE [--sessions N] [--duration S] [--paid] [--csv FILE]\n"
                "  qoe    --receivers N --motion low|high [--sessions N] [--csv FILE]\n"
                "  bwcap  --cap-kbps K [--sessions N]\n"
@@ -479,7 +415,11 @@ void usage() {
                "         [--min-payload B] [--json]   header-free QoE estimate from a capture\n"
                "  report RUN.json [--filter SUBSTR] [--cdf BASE] [--list]\n"
                "         render run-report tables/CDFs; --list enumerates metric keys\n"
-               "  trace  FILE.trace.json [--filter SUBSTR]         per-span duration summaries\n");
+               "  trace  FILE.trace.json [--filter SUBSTR]         per-span duration summaries\n"
+               "  profile FILE.trace.json|TRACE_DIR [--top N] [--chains N] [--filter SUBSTR]\n"
+               "         self/total time per span + busiest event-loop chains\n"
+               "  timeline FILE.timeline.json [--metric SUBSTR] [--width N] [--json]\n"
+               "         decoded metric series, sparklines, and SLO breach events\n");
 }
 
 }  // namespace
@@ -494,15 +434,19 @@ int main(int argc, char** argv) {
   // JSON, bad flag values that make a benchmark throw — reports to stderr
   // and exits non-zero instead of aborting on an uncaught exception.
   try {
-    if (command == "report" || command == "trace") {
-      // These take a positional input file before the flags.
+    if (command == "report" || command == "trace" || command == "profile" ||
+        command == "timeline") {
+      // These take a positional input file (or directory) before the flags.
       if (argc < 3 || std::string(argv[2]).rfind("--", 0) == 0) {
         usage();
         return 2;
       }
       const std::string path = argv[2];
       const auto flags = parse_flags(argc, argv, 3);
-      return command == "report" ? run_report(path, flags) : run_trace_summary(path, flags);
+      if (command == "report") return run_report(path, flags);
+      if (command == "trace") return run_trace_summary(path, flags);
+      if (command == "profile") return run_profile(path, flags);
+      return run_timeline(path, flags);
     }
     const auto flags = parse_flags(argc, argv, 2);
     if (command == "lag") return run_lag(flags);

@@ -1,0 +1,70 @@
+// Timeline rendering (the `vcbench_cli timeline` subcommand).
+//
+// Parses a `<task>.timeline.json` file (the MetricsTimeline::to_json()
+// document the runner writes, optionally wrapped with a "health" section)
+// and renders it for a terminal: an overview table of every column, ASCII
+// sparklines for selected metrics, and the SLO breach events. parse_timeline
+// is exposed separately so tests can check the delta decode round-trips —
+// decoded cumulative counter values must exactly reproduce what the registry
+// held at each retained sample.
+#pragma once
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+#include "cli/cli_render.h"
+
+namespace vc::cli {
+
+/// One decoded metric as a dense series over the retained window. Counters
+/// decode to cumulative values (base + running delta sum); gauges are raw;
+/// a histogram flattens to three series named <name>.count / .mean / .max.
+struct TimelineSeries {
+  std::string name;
+  /// Offset into the retained window of this series' first value (columns
+  /// discovered mid-run start late).
+  std::size_t offset = 0;
+  std::vector<double> values;
+};
+
+struct HealthEventRow {
+  std::string rule;
+  bool begin = false;
+  std::string severity;
+  std::int64_t ts_us = 0;
+  double value = 0.0;
+};
+
+struct TimelineDoc {
+  std::int64_t interval_us = 0;
+  std::size_t total_samples = 0;
+  std::size_t samples = 0;  // retained
+  std::size_t dropped = 0;
+  std::vector<std::int64_t> ts_us;  // one per retained sample
+  std::vector<TimelineSeries> series;
+  // Health (absent unless the run armed a monitor with rules).
+  bool has_health = false;
+  std::vector<HealthEventRow> health_events;
+  std::vector<std::pair<std::string, std::int64_t>> breaches;  // rule -> count
+};
+
+/// Accepts both the runner's wrapper ({"timeline":{...},"health":{...}}) and
+/// a bare MetricsTimeline::to_json() object. Throws std::runtime_error on
+/// malformed input.
+TimelineDoc parse_timeline(const std::string& json_text);
+
+struct TimelineOptions {
+  /// Case-insensitive substring filter; matching series get sparklines
+  /// (empty: overview table only).
+  std::string metric;
+  /// Sparkline width in characters; longer series are bucketed by max.
+  int width = 60;
+  /// Re-emit the decoded document as JSON instead of tables.
+  bool json = false;
+};
+
+RenderResult render_timeline(const std::string& label, const std::string& json_text,
+                             const TimelineOptions& options);
+
+}  // namespace vc::cli

@@ -10,8 +10,10 @@
 #pragma once
 
 #include <cstdint>
+#include <functional>
 #include <map>
 #include <string>
+#include <type_traits>
 
 #include "common/stats.h"
 
@@ -30,14 +32,27 @@ class MetricsRegistry {
     std::int64_t value_ = 0;
   };
 
-  /// Last-written value (backlog depth, current rate target, ...).
+  /// Last-written value (backlog depth, current rate target, ...). Also
+  /// tracks the high-water mark of everything ever set(), so end-of-run
+  /// reports can surface peak queue depths even when the final value has
+  /// drained back to zero.
   class Gauge {
    public:
-    void set(double value) { value_ = value; }
+    void set(double value) {
+      value_ = value;
+      if (!seen_ || value > max_) {
+        max_ = value;
+        seen_ = true;
+      }
+    }
     double value() const { return value_; }
+    /// Largest value ever set; 0 before the first set().
+    double max() const { return seen_ ? max_ : 0.0; }
 
    private:
     double value_ = 0.0;
+    double max_ = 0.0;
+    bool seen_ = false;
   };
 
   /// Streaming summary of observed values (join latency, queue delay, ...).
@@ -57,7 +72,12 @@ class MetricsRegistry {
   Gauge& gauge(const std::string& name) { return gauges_[name]; }
   Histogram& histogram(const std::string& name) { return histograms_[name]; }
 
-  // Name-ordered iteration, for deterministic report emission.
+  // Name-ordered iteration, for deterministic report emission. The ordering
+  // contract is pinned: these maps compare keys with std::less<std::string>
+  // (byte-wise operator<), never a locale-aware collation, and instruments
+  // are created-on-first-use but NEVER removed — so iteration order depends
+  // only on the set of names, not on insertion order, locale, or time. Both
+  // report emission and MetricsTimeline's snapshot column order rely on this.
   const std::map<std::string, Counter>& counters() const { return counters_; }
   const std::map<std::string, Gauge>& gauges() const { return gauges_; }
   const std::map<std::string, Histogram>& histograms() const { return histograms_; }
@@ -68,6 +88,9 @@ class MetricsRegistry {
   std::map<std::string, Counter> counters_;
   std::map<std::string, Gauge> gauges_;
   std::map<std::string, Histogram> histograms_;
+  static_assert(std::is_same_v<std::map<std::string, Counter>::key_compare,
+                               std::less<std::string>>,
+                "registry iteration order must be plain byte-wise name order");
 };
 
 }  // namespace vc

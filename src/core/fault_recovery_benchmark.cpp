@@ -118,12 +118,21 @@ FaultRecoveryResult run_fault_recovery_benchmark(const FaultRecoveryConfig& conf
     }
   };
   testbed::SessionOrchestrator orchestrator{std::move(plan)};
+  if (config.timeline != nullptr) {
+    // The bound (join + media + reconnect-tail headroom) is what lets the
+    // self-rescheduling tick chain end and run_all() drain.
+    config.timeline->arm(bed.loop(), reg, SimTime::zero(),
+                         SimTime::zero() + config.session_duration + config.outage_duration +
+                             config.recovery_grace + seconds(30));
+  }
   orchestrator.start();
   bed.run_all();
 
   FaultRecoveryResult result;
   result.platform = config.platform;
   result.clients = 1 + static_cast<int>(part_vms.size());
+  result.outage_begin_abs = outage_begin_abs;
+  result.recovery_end_abs = recovery_end_abs;
 
   capture::LagDetectorConfig lag_cfg;
   lag_cfg.flash_period = seconds_f(feed->period_sec());

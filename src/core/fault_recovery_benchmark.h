@@ -12,6 +12,7 @@
 
 #include "client/controller.h"
 #include "common/metrics.h"
+#include "common/metrics_timeline.h"
 #include "common/tracer.h"
 #include "fault/fault_plan.h"
 #include "platform/base_platform.h"
@@ -48,6 +49,10 @@ struct FaultRecoveryConfig {
   bool inject = true;
   MetricsRegistry* metrics = nullptr;
   Tracer* tracer = nullptr;
+  /// Optional periodic sampler, armed over the session (plus a quiescent
+  /// tail) so the outage window is visible as a time-series; sampled against
+  /// `metrics` when set, else the run's local registry.
+  MetricsTimeline* timeline = nullptr;
 };
 
 struct FaultRecoveryResult {
@@ -64,6 +69,10 @@ struct FaultRecoveryResult {
   std::int64_t packets_lost_in_outage = 0;
   /// Worst flash lag observed at/after the fault (the lag-spike HWM).
   double lag_spike_hwm_ms = 0.0;
+  /// Phase boundaries in absolute sim time (fixed when media starts), so
+  /// callers can bucket timeline samples / SLO breach events by phase.
+  SimTime outage_begin_abs{};
+  SimTime recovery_end_abs{};
   std::vector<double> lags_before_ms;
   std::vector<double> lags_during_ms;  // fault window + recovery grace
   std::vector<double> lags_after_ms;

@@ -132,6 +132,14 @@ LagBenchmarkResult run_lag_benchmark(const LagBenchmarkConfig& config) {
       for (auto& m : monitors) m->start_active_probing();
     };
     testbed::SessionOrchestrator orchestrator{std::move(plan)};
+    if (config.timeline != nullptr && config.metrics != nullptr) {
+      // Re-armed per session because run_all() drains the loop: the bound
+      // (join + media + teardown headroom) is what lets the tick chain end
+      // and the session terminate.
+      const SimTime origin = bed.loop().now();
+      config.timeline->arm(bed.loop(), *config.metrics, origin,
+                           origin + config.session_duration + seconds(30));
+    }
     orchestrator.start();
     bed.run_all();
 

@@ -82,6 +82,16 @@ std::string RunReport::aggregate_json() const {
     out += ",\"write_failures\":" + std::to_string(trace.write_failures);
     out += "},";
   }
+  if (timeline.enabled) {
+    out += "\"timeline\":{\"samples\":" + std::to_string(timeline.samples);
+    out += ",\"columns\":" + std::to_string(timeline.columns);
+    out += ",\"dropped\":" + std::to_string(timeline.dropped);
+    out += ",\"write_failures\":" + std::to_string(timeline.write_failures);
+    out += ",\"health_rules\":" + std::to_string(timeline.health_rules);
+    out += ",\"health_events\":" + std::to_string(timeline.health_events);
+    out += ",\"health_breaches\":" + std::to_string(timeline.health_breaches);
+    out += "},";
+  }
   append_stats_map(out, "samples", samples);
   out += ",\"counters\":{";
   bool first = true;
@@ -92,6 +102,10 @@ std::string RunReport::aggregate_json() const {
   }
   out += "},";
   append_stats_map(out, "gauges", gauges);
+  if (!gauge_hwm.empty()) {
+    out += ",";
+    append_stats_map(out, "gauge_hwm", gauge_hwm);
+  }
   out += ",";
   append_stats_map(out, "histograms", histograms);
   out += "}";
@@ -120,6 +134,7 @@ std::string RunReport::to_csv() const {
     out += "counter," + name + ",1,,,,," + std::to_string(value) + "\n";
   }
   stats_rows("gauge", gauges);
+  stats_rows("gauge_hwm", gauge_hwm);
   stats_rows("histogram", histograms);
   return out;
 }
@@ -142,6 +157,14 @@ RunReport ExperimentRunner::run(std::size_t n_sessions, const Task& task) const 
     std::uint64_t trace_instants = 0;
     std::uint64_t trace_counters = 0;
     bool trace_write_failed = false;
+    // Timeline accounting (zeros when timelines are off).
+    std::uint64_t timeline_samples = 0;
+    std::uint64_t timeline_columns = 0;
+    std::uint64_t timeline_dropped = 0;
+    std::uint64_t health_rules = 0;
+    std::uint64_t health_events = 0;
+    std::uint64_t health_breaches = 0;
+    bool timeline_write_failed = false;
   };
   std::vector<Outcome> outcomes(n_sessions);
 
@@ -149,6 +172,11 @@ RunReport ExperimentRunner::run(std::size_t n_sessions, const Task& task) const 
   if (tracing) {
     std::error_code ec;
     std::filesystem::create_directories(config_.trace_dir, ec);
+  }
+  const bool timelining = !config_.timeline_dir.empty();
+  if (timelining) {
+    std::error_code ec;
+    std::filesystem::create_directories(config_.timeline_dir, ec);
   }
 
   std::size_t threads = config_.threads != 0
@@ -170,6 +198,23 @@ RunReport ExperimentRunner::run(std::size_t n_sessions, const Task& task) const 
         tracer->set_enabled(true);
         ctx.tracer = tracer.get();
       }
+      std::unique_ptr<MetricsTimeline> timeline;
+      std::unique_ptr<health::HealthMonitor> monitor;
+      if (timelining) {
+        timeline = std::make_unique<MetricsTimeline>(
+            MetricsTimeline::Config{config_.timeline_interval, config_.timeline_capacity});
+        timeline->set_enabled(true);
+        if (!config_.health_rules.empty()) {
+          monitor = std::make_unique<health::HealthMonitor>();
+          for (const health::SloRule& rule : config_.health_rules) monitor->add_rule(rule);
+          // Binding resolves the per-rule breach counters now, so they exist
+          // (at zero) from the first snapshot on — stable column sets.
+          monitor->bind(&ctx.metrics, ctx.tracer);
+          timeline->set_observer(monitor.get());
+        }
+        ctx.timeline = timeline.get();
+        ctx.health = monitor.get();
+      }
       Outcome& out = outcomes[i];
       try {
         task(ctx);
@@ -179,6 +224,9 @@ RunReport ExperimentRunner::run(std::size_t n_sessions, const Task& task) const 
       } catch (...) {
         out.error = "unknown exception";
       }
+      // Close open SLO breaches before ctx.metrics moves out from under the
+      // monitor's counter pointers and the timeline's registry binding.
+      if (timeline != nullptr) timeline->finalize();
       out.samples = std::move(ctx.samples);
       out.metrics = std::move(ctx.metrics);
       if (tracer != nullptr) {
@@ -192,6 +240,25 @@ RunReport ExperimentRunner::run(std::size_t n_sessions, const Task& task) const 
         const std::string path =
             config_.trace_dir + "/" + std::to_string(i) + ".trace.json";
         out.trace_write_failed = !write_text_file(path, tracer->to_chrome_json());
+      }
+      if (timeline != nullptr) {
+        out.timeline_samples = timeline->total_samples();
+        out.timeline_columns = timeline->column_count();
+        out.timeline_dropped = timeline->dropped_samples();
+        if (monitor != nullptr) {
+          out.health_rules = monitor->rules().size();
+          out.health_events = monitor->events().size();
+          out.health_breaches = monitor->total_breaches();
+        }
+        // The "health" section appears only when the monitor has rules: a
+        // monitor armed with zero rules leaves the file byte-identical to an
+        // unmonitored run.
+        std::string doc = "{\"timeline\":" + timeline->to_json();
+        if (monitor != nullptr && !monitor->empty()) doc += ",\"health\":" + monitor->to_json();
+        doc += "}\n";
+        const std::string path =
+            config_.timeline_dir + "/" + std::to_string(i) + ".timeline.json";
+        out.timeline_write_failed = !write_text_file(path, doc);
       }
     }
   };
@@ -217,6 +284,7 @@ RunReport ExperimentRunner::run(std::size_t n_sessions, const Task& task) const 
   report.threads = threads;
   report.wall_seconds = std::chrono::duration<double>(t1 - t0).count();
   report.trace.enabled = tracing;
+  report.timeline.enabled = timelining;
   for (std::size_t i = 0; i < n_sessions; ++i) {
     const Outcome& out = outcomes[i];
     if (tracing) {
@@ -226,6 +294,15 @@ RunReport ExperimentRunner::run(std::size_t n_sessions, const Task& task) const 
       report.trace.instants += out.trace_instants;
       report.trace.counter_samples += out.trace_counters;
       if (out.trace_write_failed) ++report.trace.write_failures;
+    }
+    if (timelining) {
+      report.timeline.samples += out.timeline_samples;
+      report.timeline.columns += out.timeline_columns;
+      report.timeline.dropped += out.timeline_dropped;
+      report.timeline.health_rules += out.health_rules;
+      report.timeline.health_events += out.health_events;
+      report.timeline.health_breaches += out.health_breaches;
+      if (out.timeline_write_failed) ++report.timeline.write_failures;
     }
     if (!out.ok) {
       report.failures.emplace_back(i, out.error);
@@ -237,6 +314,7 @@ RunReport ExperimentRunner::run(std::size_t n_sessions, const Task& task) const 
     }
     for (const auto& [name, gauge] : out.metrics.gauges()) {
       report.gauges[name].add(gauge.value());
+      report.gauge_hwm[name].add(gauge.max());
     }
     for (const auto& [name, histo] : out.metrics.histograms()) {
       report.histograms[name].merge(histo.stats());

@@ -21,8 +21,11 @@
 #include <vector>
 
 #include "common/metrics.h"
+#include "common/metrics_timeline.h"
 #include "common/stats.h"
+#include "common/time.h"
 #include "common/tracer.h"
+#include "health/health_monitor.h"
 
 namespace vc::runner {
 
@@ -39,6 +42,18 @@ struct SessionContext {
   /// runner owns it and writes `<task_index>.trace.json` after the task
   /// returns; the task just hands it to instrumented components.
   Tracer* tracer = nullptr;
+  /// Per-task metric sampler, non-null iff Config::timeline_dir is set. The
+  /// runner owns it and writes `<task_index>.timeline.json` after the task
+  /// returns; the task arms it on its session's event loop (typically by
+  /// passing it to a core benchmark config, which calls
+  /// `timeline->arm(loop, ctx.metrics, origin, until)`).
+  MetricsTimeline* timeline = nullptr;
+  /// SLO rule engine attached as the timeline's observer, non-null iff
+  /// Config::health_rules is non-empty (and timeline_dir is set). Tasks may
+  /// read events() after their session loop drains — e.g. to bucket breach
+  /// begins by phase; breaches still open then are closed by the runner's
+  /// finalize, after the task returns.
+  const health::HealthMonitor* health = nullptr;
 
   void sample(const std::string& name, double value) { samples.emplace_back(name, value); }
 
@@ -59,6 +74,10 @@ struct RunReport {
   std::map<std::string, RunningStats> samples;
   std::map<std::string, std::int64_t> counters;
   std::map<std::string, RunningStats> gauges;
+  /// Per-task gauge high-water marks (Gauge::max()), aggregated like gauges.
+  /// Surfaces peak queue depths that drained before the end-of-run snapshot;
+  /// absent from aggregate_json() when no gauges exist.
+  std::map<std::string, RunningStats> gauge_hwm;
   std::map<std::string, RunningStats> histograms;
 
   /// Flight-recorder accounting when Config::trace_dir was set. All-integer
@@ -75,6 +94,21 @@ struct RunReport {
     std::uint64_t write_failures = 0;  // trace files that failed to write
   };
   TraceSummary trace;
+
+  /// Metric-timeline accounting when Config::timeline_dir was set. Same
+  /// determinism shape as TraceSummary: all-integer sums in task-index
+  /// order, absent from aggregate_json() when timelines are off.
+  struct TimelineSummary {
+    bool enabled = false;
+    std::uint64_t samples = 0;  // snapshots taken across all tasks
+    std::uint64_t columns = 0;  // columns discovered across all tasks
+    std::uint64_t dropped = 0;  // snapshots lost to ring wrap
+    std::uint64_t write_failures = 0;
+    std::uint64_t health_rules = 0;   // rules armed, summed over tasks
+    std::uint64_t health_events = 0;  // breach begin+end edges
+    std::uint64_t health_breaches = 0;
+  };
+  TimelineSummary timeline;
 
   /// Wall-clock of the run. Timing metadata only — deliberately excluded
   /// from aggregate_json() so reports compare equal across thread counts.
@@ -108,6 +142,19 @@ class ExperimentRunner {
     std::string trace_dir;
     /// Ring capacity (records) of each per-task Tracer.
     std::size_t trace_capacity = Tracer::kDefaultCapacity;
+    /// Non-empty: hand each task an enabled MetricsTimeline and write one
+    /// `<timeline_dir>/<task_index>.timeline.json` per task (the task still
+    /// has to arm it on its session loop). Files are keyed by task index, so
+    /// a sampled run emits byte-identical files at any thread count.
+    std::string timeline_dir;
+    /// Sampling period / ring capacity (snapshots) of each per-task timeline.
+    SimDuration timeline_interval = seconds(1);
+    std::size_t timeline_capacity = 1024;
+    /// SLO rules evaluated against every timeline snapshot (requires
+    /// timeline_dir). Breach events land in the timeline file's "health"
+    /// section, in per-task `health.<rule>.breaches` counters, and in the
+    /// report's timeline summary.
+    std::vector<health::SloRule> health_rules;
   };
 
   using Task = std::function<void(SessionContext&)>;
