@@ -51,12 +51,14 @@
 #include "common/rng.h"
 #include "common/stats.h"
 #include "core/fairness_benchmark.h"
+#include "fleet/relay_fleet.h"
 #include "health/health_monitor.h"
 #include "net/event_loop.h"
 #include "media/audio_codec.h"
 #include "media/dct8.h"
 #include "media/feeds.h"
 #include "media/video_codec.h"
+#include "platform/base_platform.h"
 #include "platform/relay.h"
 #include "runner/experiment_runner.h"
 
@@ -311,6 +313,134 @@ struct AudioLeg {
   }
 };
 
+// --- fleet leg: trunked two-slot federation under membership churn --------
+//
+// A RelayFleet of 2 driven through its MeetingPlacer interface: one meeting
+// overflow-split across both slots (trunked both ways), steady media from
+// every member, and scripted churn — a leave plus replacement join, a relay
+// crash whose members fail over to the trunked survivor mid-stream, and a
+// post-restart expansion shard. The digest covers every delivery (receiver,
+// origin, seq, arrival tick) plus the final trunk/slot accounting, so drift
+// in balancer decisions, trunk pacing, or failover order trips the epoch
+// and baseline checks.
+LegResult run_fleet_leg(int frames) {
+  net::Network net{std::make_unique<net::FixedLatencyModel>(millis(3)), 77};
+  auto plat = platform::make_platform(platform::PlatformId::kZoom, net, 13);
+  fleet::RelayFleet::Config fc;
+  fc.size = 2;
+  fc.policy = fleet::PlacementPolicy::kLeastLoaded;
+  fc.overflow_shard_size = 4;  // members 1-8 split 4/4 across the slots
+  fleet::RelayFleet fl{net, *plat, fc};
+
+  LegResult out{};
+  auto* digest = &out.digest;
+  auto* items = &out.items;
+  constexpr platform::MeetingId kMeeting = 1;
+  const GeoPoint loc = platform::platform_sites(platform::PlatformId::kZoom)[0].location;
+
+  struct Member {
+    net::Host* host = nullptr;
+    platform::RelayServer* home = nullptr;
+    bool active = false;
+  };
+  std::vector<Member> members(11);  // ids 1..10
+  auto join = [&](int id) {
+    Member& m = members[static_cast<std::size_t>(id)];
+    if (m.host == nullptr) {
+      m.host = &net.add_host("fm" + std::to_string(id), GeoPoint{40.0, -75.0});
+      auto& sock = m.host->udp_bind(100);
+      const std::uint64_t rx_tag = static_cast<std::uint64_t>(id) << 48;
+      sock.on_receive([digest, items, rx_tag, &net](const net::Packet& p) {
+        fnv_mix(*digest, rx_tag | p.origin_id);
+        fnv_mix(*digest, p.seq);
+        fnv_mix(*digest, static_cast<std::uint64_t>(net.now().micros()));
+        ++*items;
+      });
+    }
+    platform::RelayServer* relay =
+        fl.home_for(kMeeting, static_cast<platform::ParticipantId>(id), loc);
+    if (relay == nullptr) return;
+    relay->add_participant(kMeeting, static_cast<platform::ParticipantId>(id),
+                           {m.host->ip(), 100});
+    m.home = relay;
+    m.active = true;
+  };
+  for (int id = 1; id <= 8; ++id) join(id);
+
+  // Steady media: every active member streams at ~30 fps toward its current
+  // home relay (updated in place on failover).
+  for (int f = 0; f < frames; ++f) {
+    for (int id = 1; id <= 10; ++id) {
+      Member* m = &members[static_cast<std::size_t>(id)];
+      const std::uint32_t origin = static_cast<std::uint32_t>(id);
+      const std::uint64_t seq = static_cast<std::uint64_t>(f);
+      const std::int64_t l7 = 600 + 41 * ((f + id) % 11);
+      net.loop().schedule_at(SimTime{f * 33'000 + id * 307}, [m, origin, seq, l7] {
+        if (!m->active || m->home == nullptr) return;
+        net::Packet p;
+        p.dst = m->home->endpoint();
+        p.l7_len = l7;
+        p.kind = net::StreamKind::kVideo;
+        p.origin_id = origin;
+        p.seq = seq;
+        m->host->udp_socket(100)->send(std::move(p));
+      });
+    }
+  }
+
+  // Scripted churn, all at fixed sim times.
+  net.loop().schedule_at(SimTime{2'000'000}, [&] {
+    members[3].active = false;
+    members[3].home->remove_participant(kMeeting, 3);
+    fl.on_member_left(kMeeting, 3);
+  });
+  net.loop().schedule_at(SimTime{2'500'000}, [&] { join(9); });
+  net.loop().schedule_at(SimTime{4'000'000}, [&] {
+    platform::RelayServer* dead = fl.relay_of_slot(1);
+    dead->crash();
+    fl.on_relay_crashed(dead);
+    for (int id = 1; id <= 10; ++id) {
+      Member& m = members[static_cast<std::size_t>(id)];
+      if (!m.active) continue;
+      platform::RelayServer* target =
+          fl.rehome(kMeeting, static_cast<platform::ParticipantId>(id));
+      if (target == nullptr || target == m.home) continue;
+      target->add_participant(kMeeting, static_cast<platform::ParticipantId>(id),
+                              {m.host->ip(), 100});
+      m.home = target;
+      fnv_mix(*digest, 0xFA11'0000ULL | static_cast<std::uint64_t>(id));
+    }
+  });
+  net.loop().schedule_at(SimTime{5'000'000}, [&] { fl.relay_of_slot(1)->restart(); });
+  net.loop().schedule_at(SimTime{5'500'000}, [&] { join(10); });
+
+  const auto t0 = std::chrono::steady_clock::now();
+  net.loop().run();
+  const auto t1 = std::chrono::steady_clock::now();
+  out.seconds = std::chrono::duration<double>(t1 - t0).count();
+
+  // Final accounting: trunk forward/drop/delivery totals and slot load are
+  // part of the digested contract, like relay metrics elsewhere.
+  for (int i = 0; i < fl.size(); ++i) {
+    for (int j = 0; j < fl.size(); ++j) {
+      const fleet::Trunk* t = fl.trunk(i, j);
+      if (t == nullptr) continue;
+      fnv_mix(*digest, static_cast<std::uint64_t>(t->stats().delivered_packets));
+      fnv_mix(*digest, static_cast<std::uint64_t>(t->stats().delivered_bytes));
+      fnv_mix(*digest, static_cast<std::uint64_t>(t->shaper_stats().forwarded_packets));
+      fnv_mix(*digest, static_cast<std::uint64_t>(t->shaper_stats().dropped_packets));
+    }
+    fnv_mix(*digest, static_cast<std::uint64_t>(fl.slot_participants(i)));
+    fnv_mix(*digest, static_cast<std::uint64_t>(fl.slot_meetings(i)));
+    const platform::RelayServer* r = fl.relay_of_slot(i);
+    if (r != nullptr) {
+      fnv_mix(*digest, static_cast<std::uint64_t>(r->stats().trunk_in));
+      fnv_mix(*digest, static_cast<std::uint64_t>(r->stats().crash_dropped));
+    }
+  }
+  return out;
+}
+
 // --------------------------------------------------------------------------
 
 struct LegSeries {
@@ -393,20 +523,25 @@ int main(int argc, char** argv) {
   // best-of-half wall clocks, and a leg in the low-millisecond range is
   // dominated by scheduler noise rather than by its own speed.
   const int relay_frames = 300;
+  // ~46 s simulated (all churn events fire early) and ~20 ms/epoch — above
+  // the scheduler-noise floor for the same reason as relay_frames.
+  const int fleet_frames = 1400;
 
-  std::vector<LegSeries> legs(5);
+  std::vector<LegSeries> legs(6);
   legs[0].name = "codec";
   legs[1].name = "relay";
   legs[2].name = "fairness";
   legs[3].name = "audio";
   legs[4].name = "timeline";
+  legs[5].name = "fleet";
   auto run_leg = [&](std::size_t idx) -> LegResult {
     switch (idx) {
       case 0: return codec_leg.run();
       case 1: return run_relay_leg(relay_n, relay_frames);
       case 2: return run_fairness_leg();
       case 3: return audio_leg.run();
-      default: return run_timeline_leg();
+      case 4: return run_timeline_leg();
+      default: return run_fleet_leg(fleet_frames);
     }
   };
 

@@ -142,6 +142,18 @@ RenderResult render_report(const std::string& label, const std::string& json_tex
                     " timeline file(s) failed to write.\n";
     }
   }
+  // Throughput rates ride the full to_json() shape only (they derive from
+  // wall-clock, so they live beside threads/wall_seconds, not in the
+  // aggregate); a bare-aggregate report simply has none to show.
+  const json::Value* rates = root.find("rates");
+  if (rates != nullptr && rates->is_object() && !rates->object_items.empty()) {
+    result.out += "rates:";
+    for (const auto& [key, value] : rates->object_items) {
+      if (!value.is_number()) continue;
+      result.out += "  " + key + "=" + TextTable::num(value.number_value, 1);
+    }
+    result.out += "\n";
+  }
 
   const json::Value* samples = agg->find("samples");
   if (options.list) {

@@ -94,6 +94,12 @@ class FaultPlan {
   FaultPlan& link_outage(SimDuration at, std::string host, SimDuration duration);
   FaultPlan& burst_loss(SimDuration at, double average, double mean_burst,
                         std::string host = {});
+  /// `relay_index` addresses the platform allocator's relays in creation
+  /// order. Fleet relays (fleet::RelayFleet) provision through the same
+  /// allocator, so a crash plan targets fleet slots too: under the rr and
+  /// least-loaded policies slots first provision in ascending slot order
+  /// (deterministic tie-breaking), so relay_crash(at, 0, d) crashes fleet
+  /// slot 0, whose meetings the balancer fails over onto survivors.
   FaultPlan& relay_crash(SimDuration at, std::size_t relay_index, SimDuration down_for,
                          SimDuration detection = millis(250));
 

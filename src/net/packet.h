@@ -51,6 +51,11 @@ struct Packet {
   StreamKind kind = StreamKind::kUnknown;
   /// Identifier of the media source participant, 0 if n/a.
   std::uint32_t origin_id = 0;
+  /// Meeting the packet belongs to, 0 if n/a. Stamped by relays on
+  /// inter-relay copies: a trunk between two relays carries many meetings'
+  /// aggregated media at once, and unlike a per-meeting peer socket the
+  /// receiving relay cannot demux by source endpoint alone.
+  std::uint64_t meeting = 0;
   /// Frame sequence number for media, probe id for probes.
   std::uint64_t seq = 0;
   /// Decodable payload, if any.

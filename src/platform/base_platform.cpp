@@ -60,6 +60,7 @@ void BasePlatform::leave(MeetingId meeting, ParticipantId participant) {
   for (auto& m : it->second.members) {
     if (m.id == participant && m.relay != nullptr) m.relay->remove_participant(meeting, participant);
   }
+  if (placer_ != nullptr) placer_->on_member_left(meeting, participant);
   std::erase_if(it->second.members, [&](const Member& m) { return m.id == participant; });
   if (it->second.members.empty()) {
     end_meeting(meeting);
@@ -72,6 +73,7 @@ void BasePlatform::end_meeting(MeetingId meeting) {
   auto it = meetings_.find(meeting);
   if (it == meetings_.end()) return;
   for (RelayServer* r : it->second.relays) r->remove_meeting(meeting);
+  if (placer_ != nullptr) placer_->on_meeting_ended(meeting);
   meetings_.erase(it);
 }
 
@@ -91,12 +93,30 @@ int BasePlatform::participant_count(MeetingId meeting) const {
 
 void BasePlatform::notify_relay_crashed(RelayServer* relay) {
   if (relay == nullptr) return;
+  // The placer sees the crash first: it releases the dead relay's load and
+  // precomputes spare-capacity failover targets while it still knows which
+  // members the relay was serving (the loop below erases that binding).
+  if (placer_ != nullptr) placer_->on_relay_crashed(relay);
   for (auto& [id, meeting] : meetings_) {
     for (auto& m : meeting.members) {
       if (m.relay != relay) continue;
       m.relay = nullptr;
       m.on_route(RouteInfo{});  // unspecified endpoint: connection lost
     }
+  }
+}
+
+void BasePlatform::fleet_assign(Meeting& meeting) {
+  for (auto& m : meeting.members) {
+    if (m.relay != nullptr) continue;
+    RelayServer* relay = placer_->home_for(meeting.id, m.id, m.ref.host->location());
+    if (relay == nullptr) continue;  // no capacity: member stays unrouted
+    relay->add_participant(meeting.id, m.id, client_endpoint(m));
+    m.relay = relay;
+    if (std::find(meeting.relays.begin(), meeting.relays.end(), relay) == meeting.relays.end()) {
+      meeting.relays.push_back(relay);
+    }
+    m.on_route(RouteInfo{relay->endpoint(), false});
   }
 }
 
@@ -115,6 +135,19 @@ bool BasePlatform::reconnect(MeetingId meeting, ParticipantId participant) {
 }
 
 bool BasePlatform::reattach_member(Meeting& meeting, Member& member) {
+  if (placer_ != nullptr) {
+    // Fleet failover: reconnect lands on the spare-capacity target the
+    // placer picked at crash time, not on the dead relay.
+    RelayServer* relay = placer_->rehome(meeting.id, member.id);
+    if (relay == nullptr || relay->crashed()) return false;
+    relay->add_participant(meeting.id, member.id, client_endpoint(member));
+    member.relay = relay;
+    if (std::find(meeting.relays.begin(), meeting.relays.end(), relay) == meeting.relays.end()) {
+      meeting.relays.push_back(relay);
+    }
+    member.on_route(RouteInfo{relay->endpoint(), false});
+    return true;
+  }
   // Zoom/Webex: the session relay is fixed for the meeting's lifetime, so a
   // rejoin goes back to the same server — and fails until it restarts.
   if (meeting.relays.empty()) return false;
@@ -171,6 +204,12 @@ ZoomPlatform::ZoomPlatform(net::Network& network, const PlatformConfig& config)
                    config) {}
 
 void ZoomPlatform::assign_routes(Meeting& meeting) {
+  if (placer_ != nullptr) {
+    // Fleet deployment: all media terminates on managed relays, so the
+    // two-party P2P short-circuit below is deliberately bypassed.
+    fleet_assign(meeting);
+    return;
+  }
   if (traits_.p2p_for_two && meeting.members.size() == 2 && meeting.relays.empty()) {
     // Two-party: direct peer-to-peer streaming on the clients' own ports.
     meeting.p2p = true;
@@ -227,6 +266,10 @@ WebexPlatform::WebexPlatform(net::Network& network, const PlatformConfig& config
       tier_(tier) {}
 
 void WebexPlatform::assign_routes(Meeting& meeting) {
+  if (placer_ != nullptr) {
+    fleet_assign(meeting);
+    return;
+  }
   if (meeting.relays.empty()) {
     meeting.relays.push_back(
         tier_ == WebexTier::kPaid
@@ -269,6 +312,10 @@ MeetPlatform::MeetPlatform(net::Network& network, const PlatformConfig& config)
                    config) {}
 
 void MeetPlatform::assign_routes(Meeting& meeting) {
+  if (placer_ != nullptr) {
+    fleet_assign(meeting);
+    return;
+  }
   for (auto& m : meeting.members) {
     if (m.relay != nullptr) continue;
     RelayServer* fe = allocator_.meet_front_end(*m.ref.host);
@@ -288,6 +335,8 @@ void MeetPlatform::assign_routes(Meeting& meeting) {
 }
 
 bool MeetPlatform::reattach_member(Meeting& meeting, Member& member) {
+  // Under a fleet placer the failover path is platform-agnostic.
+  if (placer_ != nullptr) return BasePlatform::reattach_member(meeting, member);
   // Meet re-resolves the client's front-end (stickiness usually lands on the
   // same one, so the rejoin keeps failing until it restarts).
   RelayServer* fe = allocator().meet_front_end(*member.ref.host);

@@ -12,6 +12,36 @@
 
 namespace vc::platform {
 
+/// Pluggable meeting-placement policy (implemented by fleet::RelayFleet).
+/// When installed on a platform it REPLACES the platform's native relay
+/// steering for every meeting: each member is homed on the relay the placer
+/// picks (Zoom's two-party P2P short-circuit included — a fleet deployment
+/// terminates all media on managed infrastructure). Implementations must be
+/// deterministic and draw no RNG: placement decisions are part of the
+/// byte-identity contract.
+class MeetingPlacer {
+ public:
+  virtual ~MeetingPlacer() = default;
+
+  /// Relay to home (meeting, member) on; nullptr means "no capacity" and the
+  /// member stays unrouted. Called once per member, in join order.
+  virtual RelayServer* home_for(MeetingId meeting, ParticipantId member,
+                                const GeoPoint& member_location) = 0;
+
+  /// Load bookkeeping: a member left / the meeting ended.
+  virtual void on_member_left(MeetingId meeting, ParticipantId member) = 0;
+  virtual void on_meeting_ended(MeetingId meeting) = 0;
+
+  /// A relay crashed: release its load and precompute failover targets for
+  /// every member it was serving. Called before members are detached.
+  virtual void on_relay_crashed(RelayServer* relay) = 0;
+
+  /// Failover target for a disconnected member (spare-capacity re-homing
+  /// decided at crash time). nullptr while nothing can serve it — the
+  /// client keeps backing off, exactly like the native rejoin path.
+  virtual RelayServer* rehome(MeetingId meeting, ParticipantId member) = 0;
+};
+
 class BasePlatform : public VcaPlatform {
  public:
   BasePlatform(net::Network& network, PlatformTraits traits, std::uint64_t seed);
@@ -50,6 +80,13 @@ class BasePlatform : public VcaPlatform {
   /// while the infrastructure is still down — callers back off and retry.
   bool reconnect(MeetingId meeting, ParticipantId participant);
 
+  /// Installs `placer` (borrowed; must outlive the platform, nullptr to
+  /// uninstall) as the routing authority for meetings assigned from now on.
+  /// Install before any meeting is created: mixing native-steered and
+  /// placer-steered meetings in one platform instance is unsupported.
+  void set_placer(MeetingPlacer* placer) { placer_ = placer; }
+  MeetingPlacer* placer() { return placer_; }
+
   /// Instruments every relay this platform allocates from now on.
   void set_metrics(MetricsRegistry* registry) { allocator_.set_metrics(registry); }
 
@@ -85,6 +122,11 @@ class BasePlatform : public VcaPlatform {
   /// links the crash wiped. Returns false while the target is still crashed.
   virtual bool reattach_member(Meeting& meeting, Member& member);
 
+  /// Placer-driven routing: homes every unrouted member on the relay the
+  /// installed MeetingPlacer picks. Subclass assign_routes overrides
+  /// delegate here (and return) whenever a placer is installed.
+  void fleet_assign(Meeting& meeting);
+
   /// Recomputes every member's subscriptions from current membership and
   /// view modes and pushes them to the serving relays.
   void refresh_subscriptions(Meeting& meeting);
@@ -100,6 +142,7 @@ class BasePlatform : public VcaPlatform {
   /// every relay it creates, and relays must never outlive the pool.
   std::unique_ptr<ShardPool> shard_pool_;
   RelayAllocator allocator_;
+  MeetingPlacer* placer_ = nullptr;
   std::unordered_map<MeetingId, Meeting> meetings_;
   MeetingId next_meeting_ = 1;
 };

@@ -63,6 +63,12 @@ class RelayAllocator {
   /// with high probability each session (≈1.8 distinct over 20 sessions).
   RelayServer* meet_front_end(const net::Host& client);
 
+  /// Explicitly provision a relay at `site`, bypassing the per-platform
+  /// steering policies above. Fleet deployments (src/fleet) use this to
+  /// stand up a fixed pool of relays up front; the relay is owned here and
+  /// addressable via relay_at() like any policy-allocated one. Draws no RNG.
+  RelayServer* provision_relay(const Site& site) { return new_relay(site); }
+
   std::size_t relays_created() const { return relays_.size(); }
 
   /// Relay by creation index (0-based), or nullptr when out of range. The

@@ -39,6 +39,7 @@ void RelayServer::attach_metrics(MetricsRegistry& registry, const std::string& p
   m_crash_dropped_ = &registry.counter(prefix + ".crash_dropped");
   m_crashes_ = &registry.counter(prefix + ".crashes");
   m_restarts_ = &registry.counter(prefix + ".restarts");
+  m_trunk_in_ = &registry.counter(prefix + ".trunk_in");
   m_fan_out_ = &registry.histogram(prefix + ".fan_out");
   m_departure_batch_pkts_ = &registry.histogram(prefix + ".departure_batch_pkts");
 }
@@ -92,6 +93,17 @@ void RelayServer::send_with_candidate(net::Packet pkt, Departure& dep, SimTime c
   schedule_departure(departure, std::move(batch));
 }
 
+void RelayServer::transmit(net::Packet&& pkt) {
+  if (!trunk_routes_.empty()) {
+    const auto it = trunk_routes_.find(pkt.dst);
+    if (it != trunk_routes_.end()) {
+      it->second(std::move(pkt));
+      return;
+    }
+  }
+  socket_->send(std::move(pkt));
+}
+
 void RelayServer::schedule_departure(SimTime tick, std::shared_ptr<DepartureBatch> batch) {
   network_.loop().schedule_at(tick, [this, batch = std::move(batch)] {
     batch->sealed = true;
@@ -101,7 +113,7 @@ void RelayServer::schedule_departure(SimTime tick, std::shared_ptr<DepartureBatc
     if (tracer_ != nullptr) {
       tracer_->instant("relay.depart", network_.now(), static_cast<double>(batch->packets.size()));
     }
-    for (net::Packet& p : batch->packets) socket_->send(std::move(p));
+    for (net::Packet& p : batch->packets) transmit(std::move(p));
   });
 }
 
@@ -115,7 +127,7 @@ void RelayServer::schedule_candidate_departure(SimTime tick,
     if (tracer_ != nullptr) {
       tracer_->instant("relay.depart", network_.now(), static_cast<double>(batch->packets.size()));
     }
-    for (net::Packet& p : batch->packets) socket_->send(std::move(p));
+    for (net::Packet& p : batch->packets) transmit(std::move(p));
     // Recycle only when this event holds the sole reference: a destination
     // whose open-batch handle still points here may yet append at this tick
     // (zero-delay pipelines), so its batch must stay sealed, not reused.
@@ -139,9 +151,35 @@ std::shared_ptr<RelayServer::DepartureBatch> RelayServer::acquire_batch(
   return b;
 }
 
+void RelayServer::set_trunk_egress(net::Endpoint peer_endpoint,
+                                   std::function<void(net::Packet)> send) {
+  if (!send) {
+    trunk_routes_.erase(peer_endpoint);
+    return;
+  }
+  trunk_routes_[peer_endpoint] = std::move(send);
+}
+
+void RelayServer::ingest_trunk(const net::Packet& pkt) {
+  if (crashed_) {
+    ++stats_.crash_dropped;
+    if (m_crash_dropped_) m_crash_dropped_->inc();
+    return;
+  }
+  // A trunk multiplexes many meetings onto one relay-pair link, so demux is
+  // by the packet's meeting tag rather than by source endpoint (the by_peer_
+  // map can bind an endpoint to only one meeting).
+  auto m_it = meetings_.find(pkt.meeting);
+  if (m_it == meetings_.end()) return;  // meeting re-homed or gone: drop
+  ++stats_.trunk_in;
+  if (m_trunk_in_) m_trunk_in_->inc();
+  forward_media(m_it->second, pkt, /*from_peer=*/true);
+}
+
 void RelayServer::add_participant(MeetingId meeting, ParticipantId id,
                                   net::Endpoint client_endpoint) {
   Meeting& m = meetings_[meeting];
+  m.id = meeting;
   for (const auto& p : m.participants) {
     if (p.id == id) return;  // idempotent re-registration
   }
@@ -192,6 +230,7 @@ void RelayServer::set_subscriptions(MeetingId meeting, ParticipantId receiver,
 void RelayServer::link_peer(MeetingId meeting, RelayServer* peer) {
   if (peer == nullptr || peer == this) return;
   Meeting& m = meetings_[meeting];
+  m.id = meeting;
   for (const PeerLink& pl : m.peers) {
     if (pl.relay == peer) return;
   }
@@ -484,6 +523,7 @@ void RelayServer::forward_media(Meeting& meeting, const net::Packet& pkt, bool f
       for (PeerLink& pl : meeting.peers) {
         net::Packet copy = pkt;
         copy.dst = pl.relay->endpoint();
+        copy.meeting = meeting.id;
         send_with_candidate(std::move(copy), pl.departure, candidate);
         ++stats_.control_forwarded;
         if (m_control_forwarded_) m_control_forwarded_->inc();
@@ -509,6 +549,7 @@ void RelayServer::forward_media(Meeting& meeting, const net::Packet& pkt, bool f
     for (PeerLink& pl : meeting.peers) {
       net::Packet copy = pkt;
       copy.dst = pl.relay->endpoint();
+      copy.meeting = meeting.id;
       send_with_candidate(std::move(copy), pl.departure, candidate);
       ++peer_copies;
     }

@@ -33,6 +33,7 @@
 #pragma once
 
 #include <cstdint>
+#include <functional>
 #include <memory>
 #include <string>
 #include <unordered_map>
@@ -64,6 +65,11 @@ class RelayServer {
     std::int64_t crash_dropped = 0;
     std::int64_t crashes = 0;
     std::int64_t restarts = 0;
+    /// Packets ingested over relay-to-relay trunks (src/fleet). Like Meet's
+    /// peer ingest, trunk ingest is not counted in media_in: media_in is
+    /// first-hop load, and a cascaded packet was already counted once at its
+    /// ingress relay.
+    std::int64_t trunk_in = 0;
   };
 
   /// Media-plane processing latency added per forwarded packet (ingest,
@@ -164,6 +170,24 @@ class RelayServer {
   void link_peer(MeetingId meeting, RelayServer* peer);
   void unlink_peer(MeetingId meeting, RelayServer* peer);
 
+  /// Trunk egress (src/fleet cascaded relays): packets departing toward
+  /// `peer_endpoint` are handed to `send` at their departure tick instead of
+  /// this relay's UDP socket, so a fleet::Trunk can model the inter-relay
+  /// leg's capacity and propagation explicitly. Departure scheduling, FIFO
+  /// floors and batch composition are untouched — the interception happens
+  /// after the batch is sealed, on the event-loop thread, which is what keeps
+  /// the trunked path inside the shard-determinism contract. An empty route
+  /// map costs one branch per departure event (the fleet-of-1 gate's ≤2%
+  /// budget). Passing a null `send` removes the route.
+  void set_trunk_egress(net::Endpoint peer_endpoint, std::function<void(net::Packet)> send);
+
+  /// Ingest from a trunk, bypassing the network/UDP path. Demuxed by
+  /// pkt.meeting (one trunk aggregates many meetings); treated exactly like
+  /// a Meet peer ingest: from_peer semantics, never re-forwarded to peers,
+  /// not counted in media_in. Dropped (and counted in crash_dropped) while
+  /// crashed, like any other arriving packet.
+  void ingest_trunk(const net::Packet& pkt);
+
  private:
   /// Packets departing to one destination at one tick. A batch rides a
   /// single scheduled event; `sealed` flips when that event fires so a
@@ -212,6 +236,9 @@ class RelayServer {
     Departure departure;
   };
   struct Meeting {
+    /// Own id, so forwarding paths holding only the Meeting& can stamp
+    /// inter-relay copies with the meeting they belong to (trunk demux).
+    MeetingId id = 0;
     std::vector<Participant> participants;
     std::vector<PeerLink> peers;
   };
@@ -276,6 +303,9 @@ class RelayServer {
   void send_with_candidate(net::Packet pkt, Departure& dep, SimTime candidate);
   /// Schedules the departure event that seals and transmits `batch`.
   void schedule_departure(SimTime tick, std::shared_ptr<DepartureBatch> batch);
+  /// Final egress of one departed packet: a registered trunk route when the
+  /// destination is a trunked peer, the relay's UDP socket otherwise.
+  void transmit(net::Packet&& pkt);
   /// Like schedule_departure, but for an ingest-wide candidate batch: after
   /// transmitting, the batch is recycled onto batch_spares_ when no departure
   /// pipeline references it any more (destinations usually repoint their
@@ -299,6 +329,10 @@ class RelayServer {
   std::unordered_map<net::Endpoint, std::pair<MeetingId, ParticipantId>> by_sender_;
   /// peer relay endpoint → meeting id.
   std::unordered_map<net::Endpoint, MeetingId> by_peer_;
+  /// peer relay endpoint → trunk egress (src/fleet). Consulted at departure
+  /// fire time; empty for untrunked relays, so the common path pays only a
+  /// hoisted emptiness check per departure event.
+  std::unordered_map<net::Endpoint, std::function<void(net::Packet)>> trunk_routes_;
   Stats stats_;
   bool crashed_ = false;
 
@@ -316,6 +350,7 @@ class RelayServer {
   MetricsRegistry::Counter* m_crash_dropped_ = nullptr;
   MetricsRegistry::Counter* m_crashes_ = nullptr;
   MetricsRegistry::Counter* m_restarts_ = nullptr;
+  MetricsRegistry::Counter* m_trunk_in_ = nullptr;
   MetricsRegistry::Histogram* m_fan_out_ = nullptr;
   MetricsRegistry::Histogram* m_departure_batch_pkts_ = nullptr;
 

@@ -116,6 +116,16 @@ std::string RunReport::to_json() const {
   std::string out = "{\"aggregate\":" + aggregate_json();
   out += ",\"threads\":" + std::to_string(threads);
   out += ",\"wall_seconds\":" + json_num(wall_seconds);
+  if (!rates.empty()) {
+    out += ",\"rates\":{";
+    bool first = true;
+    for (const auto& [name, value] : rates) {
+      if (!first) out += ",";
+      first = false;
+      out += "\"" + name + "\":" + json_num(value);
+    }
+    out += "}";
+  }
   out += "}";
   return out;
 }
@@ -319,6 +329,12 @@ RunReport ExperimentRunner::run(std::size_t n_sessions, const Task& task) const 
     for (const auto& [name, histo] : out.metrics.histograms()) {
       report.histograms[name].merge(histo.stats());
     }
+  }
+  for (const std::string& name : config_.rate_counters) {
+    const auto it = report.counters.find(name);
+    const double total = it == report.counters.end() ? 0.0 : static_cast<double>(it->second);
+    report.rates[name + "_per_sec"] =
+        report.wall_seconds > 0.0 ? total / report.wall_seconds : 0.0;
   }
   return report;
 }

@@ -114,6 +114,12 @@ struct RunReport {
   /// from aggregate_json() so reports compare equal across thread counts.
   double wall_seconds = 0.0;
 
+  /// Throughput rates (`<counter>_per_sec` = summed counter / wall_seconds)
+  /// for the counters named in Config::rate_counters. Derived from
+  /// wall-clock, so like threads/wall_seconds they live OUTSIDE
+  /// aggregate_json() — to_json() carries them in a separate "rates" block.
+  std::map<std::string, double> rates;
+
   /// Deterministic JSON: everything except timing/thread metadata. Two runs
   /// with the same base seed and task list produce byte-identical strings
   /// regardless of thread count.
@@ -155,6 +161,12 @@ class ExperimentRunner {
     /// section, in per-task `health.<rule>.breaches` counters, and in the
     /// report's timeline summary.
     std::vector<health::SloRule> health_rules;
+    /// Counters to report as first-class throughput rates: each name here
+    /// yields RunReport::rates["<name>_per_sec"] = summed value /
+    /// wall_seconds (0 when the counter never fired). Missing counters rate
+    /// as 0 rather than erroring, so sweeps can name instruments that only
+    /// some configurations register.
+    std::vector<std::string> rate_counters;
   };
 
   using Task = std::function<void(SessionContext&)>;
